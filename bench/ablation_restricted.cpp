@@ -1,0 +1,56 @@
+// Ablation: restricted strategy graphs (paper §4, end).
+//
+// The paper suggests removing the u -> S edge to relieve congestion near
+// the source, and the length-capped variant bounds per-client state.  This
+// bench measures what the restrictions cost in simulated latency/bandwidth,
+// and how much source load (unicast-source repairs) they remove.
+#include <iostream>
+
+#include "figure_common.hpp"
+
+int main() {
+  using namespace rmrn;
+  using namespace rmrn::bench;
+  std::cerr << "[ablation_restricted] restricted strategy graphs\n";
+
+  struct Variant {
+    std::string name;
+    bool allow_direct_source;
+    std::size_t max_list_length;
+    protocols::SourceRecoveryMode mode;
+  };
+  const Variant variants[] = {
+      {"unrestricted", true, std::numeric_limits<std::size_t>::max(),
+       protocols::SourceRecoveryMode::kUnicast},
+      {"no direct source", false, std::numeric_limits<std::size_t>::max(),
+       protocols::SourceRecoveryMode::kUnicast},
+      {"list capped at 1", true, 1, protocols::SourceRecoveryMode::kUnicast},
+      {"list capped at 2", true, 2, protocols::SourceRecoveryMode::kUnicast},
+      {"subgroup source repair", true,
+       std::numeric_limits<std::size_t>::max(),
+       protocols::SourceRecoveryMode::kSubgroupMulticast},
+  };
+
+  harness::TextTable table({"variant", "avg latency (ms)",
+                            "avg bandwidth (hops)", "source requests",
+                            "max link load"});
+  const harness::ProtocolKind only_rp[] = {harness::ProtocolKind::kRp};
+  for (const Variant& v : variants) {
+    harness::ExperimentConfig config = baseConfig();
+    config.num_nodes = 200;
+    config.loss_prob = 0.05;
+    config.rp_planner.allow_direct_source = v.allow_direct_source;
+    config.rp_planner.max_list_length = v.max_list_length;
+    config.rp_source_mode = v.mode;
+    const harness::ExperimentResult result =
+        harness::runAveragedExperiment(config, 3, only_rp);
+    const auto& rp = result.result(harness::ProtocolKind::kRp);
+    table.addRow({v.name, harness::TextTable::num(rp.avg_latency_ms),
+                  harness::TextTable::num(rp.avg_bandwidth_hops),
+                  std::to_string(rp.source_requests),
+                  std::to_string(rp.max_link_load)});
+  }
+  std::cout << "Ablation: restricted strategies (n = 200, p = 5%)\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks for the paper's complexity claims:
+//   * Algorithm 1 (strategy-graph shortest path) is O(N^2) in the candidate
+//     count N;
+//   * whole-group planning (RpPlanner) is polynomial in topology size;
+//   * candidate selection (competitive classes) is near-linear.
+#include <benchmark/benchmark.h>
+
+#include "core/planner.hpp"
+#include "core/strategy_graph.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rmrn;
+
+std::vector<core::Candidate> syntheticCandidates(std::size_t n,
+                                                 util::Rng& rng) {
+  // Strictly descending DS chain of length n below ds_u = n + 1.
+  std::vector<core::Candidate> candidates;
+  candidates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    candidates.push_back({static_cast<net::NodeId>(i + 1),
+                          static_cast<net::HopCount>(n - i),
+                          rng.uniformReal(1.0, 60.0)});
+  }
+  return candidates;
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(42);
+  const auto candidates = syntheticCandidates(n, rng);
+  core::StrategyGraphOptions options;
+  options.timeout_ms = 100.0;
+  const core::StrategyGraph graph(static_cast<net::HopCount>(n + 1),
+                                  candidates, 80.0, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::searchMinimalDelay(graph));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Algorithm1)->RangeMultiplier(2)->Range(4, 512)->Complexity();
+
+void BM_StrategyGraphBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(43);
+  const auto candidates = syntheticCandidates(n, rng);
+  core::StrategyGraphOptions options;
+  options.timeout_ms = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::StrategyGraph(
+        static_cast<net::HopCount>(n + 1), candidates, 80.0, options));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StrategyGraphBuild)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_PlannerWholeGroup(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  util::Rng rng(44);
+  net::TopologyConfig config;
+  config.num_nodes = n;
+  const net::Topology topo = net::generateTopology(config, rng);
+  const net::Routing routing(topo.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::RpPlanner(topo, routing, core::PlannerOptions{}));
+  }
+  state.counters["clients"] = static_cast<double>(topo.clients.size());
+}
+BENCHMARK(BM_PlannerWholeGroup)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Arg(600);
+
+void BM_CandidateSelection(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  util::Rng rng(45);
+  net::TopologyConfig config;
+  config.num_nodes = n;
+  const net::Topology topo = net::generateTopology(config, rng);
+  const net::Routing routing(topo.graph);
+  const net::NodeId u = topo.clients.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::selectCandidates(u, topo.tree, routing, topo.clients));
+  }
+}
+BENCHMARK(BM_CandidateSelection)->Arg(100)->Arg(300)->Arg(600);
+
+void BM_AllPairsRouting(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  util::Rng rng(46);
+  net::TopologyConfig config;
+  config.num_nodes = n;
+  const net::Topology topo = net::generateTopology(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Routing(topo.graph));
+  }
+}
+BENCHMARK(BM_AllPairsRouting)->Arg(100)->Arg(300)->Arg(600);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+// Reproduces paper Figure 7: average recovery latency per packet recovered
+// (ms) versus per-link loss probability 2%..20%, n = 500 (k ~ 208 in the
+// paper).  Paper reports near-constant curves with RP ~78.5% below SRM and
+// ~56% below RMA.
+#include <iostream>
+
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmrn::bench;
+  std::cerr << "[fig7] latency vs loss sweep (n = 500)\n";
+  const auto rows = runLossSweep(Metric::kLatency);
+  printFigure(std::cout,
+              "Figure 7: average delay per packet recovered (ms), n = 500",
+              "p(%)", "latency", rows);
+  maybeWriteCsv(argc, argv, "p(%)", "latency", rows);
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Shared driver for the figure-reproduction benches (Figs. 5-8).
+//
+// Each fig*_ binary re-runs the paper's §5 simulation campaign and prints a
+// paper-style table plus the headline percentage comparisons the text
+// reports.  Absolute milliseconds depend on the unpublished random
+// topologies; the *shape* (protocol ordering, rough factors, flat-vs-sloped
+// trends) is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace rmrn::bench {
+
+inline harness::ExperimentConfig baseConfig() {
+  harness::ExperimentConfig config;
+  config.num_packets = 60;
+  config.data_interval_ms = 50.0;
+  config.seed = 20030401;  // fixed campaign seed (ICPP 2003)
+  return config;
+}
+
+/// The paper's Fig. 5/6 sweep: topologies of n nodes at p = 5%.
+inline const std::vector<std::uint32_t>& figure56Sizes() {
+  static const std::vector<std::uint32_t> sizes{50,  100, 200, 300,
+                                                400, 500, 600};
+  return sizes;
+}
+
+/// The paper's Fig. 7/8 sweep: n = 500, p = 2% .. 20%.
+inline const std::vector<double>& figure78LossProbs() {
+  static const std::vector<double> probs{0.02, 0.04, 0.06, 0.08, 0.10,
+                                         0.12, 0.14, 0.16, 0.18, 0.20};
+  return probs;
+}
+
+struct FigureRow {
+  double x = 0.0;  // client count (Figs. 5/6) or loss percent (Figs. 7/8)
+  double clients = 0.0;
+  double srm = 0.0;
+  double rma = 0.0;
+  double rp = 0.0;
+};
+
+inline void printFigure(std::ostream& out, const std::string& title,
+                        const std::string& x_label,
+                        const std::string& y_label,
+                        const std::vector<FigureRow>& rows) {
+  out << title << "\n";
+  harness::TextTable table({x_label, "clients", "SRM " + y_label,
+                            "RMA " + y_label, "RP " + y_label});
+  double srm_sum = 0.0;
+  double rma_sum = 0.0;
+  double rp_sum = 0.0;
+  for (const FigureRow& row : rows) {
+    table.addRow({harness::TextTable::num(row.x, 0),
+                  harness::TextTable::num(row.clients, 0),
+                  harness::TextTable::num(row.srm),
+                  harness::TextTable::num(row.rma),
+                  harness::TextTable::num(row.rp)});
+    srm_sum += row.srm;
+    rma_sum += row.rma;
+    rp_sum += row.rp;
+  }
+  table.print(out);
+  if (srm_sum > 0.0 && rma_sum > 0.0) {
+    out << "RP vs SRM: " << harness::TextTable::num(
+               100.0 * (1.0 - rp_sum / srm_sum), 2)
+        << "% lower; RP vs RMA: "
+        << harness::TextTable::num(100.0 * (1.0 - rp_sum / rma_sum), 2)
+        << "% lower (averaged over the sweep)\n";
+  }
+  out << std::endl;
+}
+
+/// Optional CSV sidecar: when argv contains "--csv <path>", writes the
+/// figure rows there (x, clients, srm, rma, rp) for external plotting.
+inline void maybeWriteCsv(int argc, char** argv, const std::string& x_label,
+                          const std::string& y_label,
+                          const std::vector<FigureRow>& rows) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) != "--csv") continue;
+    std::ofstream out(argv[i + 1]);
+    if (!out) {
+      std::cerr << "cannot open csv path " << argv[i + 1] << "\n";
+      return;
+    }
+    harness::CsvWriter csv(out);
+    csv.row({x_label, "clients", "srm_" + y_label, "rma_" + y_label,
+             "rp_" + y_label});
+    for (const FigureRow& row : rows) {
+      csv.row({harness::TextTable::num(row.x, 4),
+               harness::TextTable::num(row.clients, 0),
+               harness::TextTable::num(row.srm, 6),
+               harness::TextTable::num(row.rma, 6),
+               harness::TextTable::num(row.rp, 6)});
+    }
+    std::cerr << "wrote " << argv[i + 1] << "\n";
+    return;
+  }
+}
+
+enum class Metric { kLatency, kBandwidth };
+
+inline double metricOf(const harness::ProtocolResult& r, Metric m) {
+  return m == Metric::kLatency ? r.avg_latency_ms : r.avg_bandwidth_hops;
+}
+
+/// Runs the Fig. 5/6 client-count sweep and returns one row per size.
+inline std::vector<FigureRow> runClientSweep(Metric metric,
+                                             std::uint32_t runs = 3) {
+  std::vector<FigureRow> rows;
+  for (const std::uint32_t n : figure56Sizes()) {
+    harness::ExperimentConfig config = baseConfig();
+    config.num_nodes = n;
+    config.loss_prob = 0.05;
+    config.seed += n;  // distinct topology per size, like the paper
+    const harness::ExperimentResult result =
+        harness::runAveragedExperimentParallel(config, runs);
+    rows.push_back(
+        {result.num_clients, result.num_clients,
+         metricOf(result.result(harness::ProtocolKind::kSrm), metric),
+         metricOf(result.result(harness::ProtocolKind::kRma), metric),
+         metricOf(result.result(harness::ProtocolKind::kRp), metric)});
+    std::cerr << "  n=" << n << " done (k~" << result.num_clients << ")\n";
+  }
+  return rows;
+}
+
+/// Runs the Fig. 7/8 loss-probability sweep (n = 500).
+inline std::vector<FigureRow> runLossSweep(Metric metric,
+                                           std::uint32_t runs = 2) {
+  std::vector<FigureRow> rows;
+  for (const double p : figure78LossProbs()) {
+    harness::ExperimentConfig config = baseConfig();
+    config.num_nodes = 500;
+    config.loss_prob = p;
+    const harness::ExperimentResult result =
+        harness::runAveragedExperimentParallel(config, runs);
+    rows.push_back(
+        {100.0 * p, result.num_clients,
+         metricOf(result.result(harness::ProtocolKind::kSrm), metric),
+         metricOf(result.result(harness::ProtocolKind::kRma), metric),
+         metricOf(result.result(harness::ProtocolKind::kRp), metric)});
+    std::cerr << "  p=" << 100.0 * p << "% done\n";
+  }
+  return rows;
+}
+
+}  // namespace rmrn::bench

@@ -1,0 +1,98 @@
+// Plan report: generates a topology, summarizes the whole group's RP plan
+// (core/analysis), and optionally exports the topology in the rmrn text
+// format and Graphviz DOT for offline inspection.
+//
+// Usage: plan_report [num_nodes] [seed] [output_basename]
+//   With an output basename, writes <base>.topo and <base>.dot.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "core/objective.hpp"
+#include "harness/table.hpp"
+#include "net/serialization.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmrn;
+  const auto num_nodes =
+      static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 200);
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  util::Rng rng(seed);
+  net::TopologyConfig topo_config;
+  topo_config.num_nodes = num_nodes;
+  const net::Topology topo = net::generateTopology(topo_config, rng);
+  const net::Routing routing(topo.graph);
+
+  core::PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;  // plan against RTT-scaled waits
+  const core::RpPlanner planner(topo, routing, options);
+  const core::PlanSummary summary = summarizePlan(topo, routing, planner);
+
+  std::cout << "RP plan report (n=" << num_nodes << ", seed=" << seed
+            << ")\n\n";
+  harness::TextTable table({"metric", "value"});
+  const auto num = [](double v) { return harness::TextTable::num(v); };
+  table.addRow({"clients", std::to_string(summary.clients)});
+  table.addRow({"mean expected delay (ms)",
+                num(summary.mean_expected_delay_ms)});
+  table.addRow({"min / max expected delay (ms)",
+                num(summary.min_expected_delay_ms) + " / " +
+                    num(summary.max_expected_delay_ms)});
+  table.addRow({"mean list length", num(summary.mean_list_length)});
+  table.addRow({"max list length",
+                std::to_string(summary.max_list_length)});
+  table.addRow({"direct-to-source clients",
+                std::to_string(summary.direct_to_source)});
+  table.addRow({"mean first-request success prob",
+                num(summary.mean_first_success_prob)});
+  table.addRow({"mean delay vs direct source",
+                num(summary.mean_delay_vs_source)});
+  table.print(std::cout);
+
+  // Aggregate attempt distribution: where do recoveries complete?
+  double first_try = 0.0;
+  double later_peer = 0.0;
+  double fallback = 0.0;
+  double expected_requests = 0.0;
+  for (const net::NodeId u : topo.clients) {
+    const auto dist = core::attemptDistribution(
+        planner.strategyFor(u).peers, topo.tree.depth(u));
+    if (!dist.success_at.empty()) first_try += dist.success_at.front();
+    for (std::size_t j = 1; j < dist.success_at.size(); ++j) {
+      later_peer += dist.success_at[j];
+    }
+    fallback += dist.fallback_to_source;
+    expected_requests += dist.expected_requests;
+  }
+  const auto frac = [&](double v) {
+    return harness::TextTable::num(
+        100.0 * v / static_cast<double>(summary.clients), 1);
+  };
+  std::cout << "\nRecovery completes at: first peer " << frac(first_try)
+            << "%, later peer " << frac(later_peer) << "%, source "
+            << frac(fallback) << "%; expected requests per loss "
+            << harness::TextTable::num(
+                   expected_requests / static_cast<double>(summary.clients))
+            << "\n";
+
+  std::cout << "\nList-length histogram:\n";
+  for (std::size_t len = 0; len < summary.list_length_histogram.size();
+       ++len) {
+    std::cout << "  " << len << " peers: "
+              << summary.list_length_histogram[len] << " clients\n";
+  }
+
+  if (argc > 3) {
+    const std::string base = argv[3];
+    std::ofstream topo_out(base + ".topo");
+    net::writeTopology(topo_out, topo);
+    std::ofstream dot_out(base + ".dot");
+    net::writeDot(dot_out, topo);
+    std::cout << "\nWrote " << base << ".topo and " << base << ".dot\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: generate a random multicast topology, compute the RP recovery
+// strategy for every client, and run a short lossy transfer to watch the
+// recovery machinery work.
+//
+// Usage: quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/planner.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmrn;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  // 1. A random 60-node network with a multicast tree (clients = leaves).
+  util::Rng rng(seed);
+  net::TopologyConfig topo_config;
+  topo_config.num_nodes = 60;
+  const net::Topology topo = net::generateTopology(topo_config, rng);
+  const net::Routing routing(topo.graph);
+  std::cout << "Topology: " << topo.graph.numNodes() << " nodes, "
+            << topo.graph.numEdges() << " links, source " << topo.source
+            << ", " << topo.clients.size() << " clients\n\n";
+
+  // 2. Plan the optimal prioritized recovery list for each client
+  //    (Algorithm 1 on the strategy graph).
+  const core::RpPlanner planner(topo, routing, core::PlannerOptions{});
+  std::cout << "RP strategies (peer list, then source fallback):\n";
+  for (const net::NodeId u : topo.clients) {
+    const core::Strategy& s = planner.strategyFor(u);
+    std::cout << "  client " << u << " (DS=" << topo.tree.depth(u) << "): [";
+    for (std::size_t i = 0; i < s.peers.size(); ++i) {
+      std::cout << (i ? ", " : "") << s.peers[i].peer << " (ds "
+                << s.peers[i].ds << ")";
+    }
+    std::cout << "] -> S, expected delay "
+              << harness::TextTable::num(s.expected_delay_ms) << " ms\n";
+  }
+
+  // 3. Run a 50-packet transfer at 5% per-link loss and report recoveries.
+  harness::ExperimentConfig config;
+  config.num_nodes = 60;
+  config.loss_prob = 0.05;
+  config.num_packets = 50;
+  config.seed = seed;
+  const harness::ProtocolKind only_rp[] = {harness::ProtocolKind::kRp};
+  const harness::ExperimentResult result =
+      harness::runExperiment(config, only_rp);
+  const auto& rp = result.result(harness::ProtocolKind::kRp);
+  std::cout << "\nTransfer of 50 packets at p=5%: " << rp.losses
+            << " losses, all " << rp.recoveries << " recovered; avg latency "
+            << harness::TextTable::num(rp.avg_latency_ms)
+            << " ms, avg recovery bandwidth "
+            << harness::TextTable::num(rp.avg_bandwidth_hops) << " hops\n";
+  return rp.fully_recovered ? 0 : 1;
+}

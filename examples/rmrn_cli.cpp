@@ -1,0 +1,283 @@
+// rmrn — the command-line front end a downstream user drives the library
+// with.  Subcommands:
+//
+//   rmrn_cli gen  --nodes N [--seed S] [--out base]
+//       Generate a topology; print a summary; optionally write base.topo
+//       (rmrn text format) and base.dot (Graphviz).
+//
+//   rmrn_cli plan --topo file.topo [--client id] [--timeout-factor F]
+//       Load a topology and print the RP strategy of one client (or all).
+//
+//   rmrn_cli run  [--config file] [--nodes N] [--loss P%] [--packets K]
+//                 [--seed S] [--runs R] [--protocols srm,rma,rp,src,fec]
+//                 [--burst B] [--lossy-recovery] [--csv out.csv]
+//       Run the protocol comparison; print the paper-style table.
+//
+//   rmrn_cli transfer [--topo file.topo | --nodes N] [--mb M] [--loss P%]
+//                     [--protocol rp|srm|rma|src|fec] [--seed S]
+//                     [--lossy-recovery]
+//       Run a reliable file transfer and report per-client completion.
+//
+//   rmrn_cli config [--out file]
+//       Print (or write) a complete default experiment config to edit.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/planner.hpp"
+#include "harness/config_io.hpp"
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "harness/transfer.hpp"
+#include "net/serialization.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace rmrn;
+
+int usage() {
+  std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|config> [--flags]\n"
+               "  see the header comment of examples/rmrn_cli.cpp\n";
+  return 2;
+}
+
+int failUnknownFlags(const util::Flags& flags) {
+  const auto unknown = flags.unconsumed();
+  if (unknown.empty()) return 0;
+  for (const auto& name : unknown) {
+    std::cerr << "unknown flag --" << name << "\n";
+  }
+  return 2;
+}
+
+int cmdGen(const util::Flags& flags) {
+  const auto nodes =
+      static_cast<std::uint32_t>(flags.getUnsigned("nodes", 100));
+  const std::uint64_t seed = flags.getUnsigned("seed", 1);
+  const std::string out = flags.getString("out", "");
+  if (const int rc = failUnknownFlags(flags)) return rc;
+
+  util::Rng rng(seed);
+  net::TopologyConfig config;
+  config.num_nodes = nodes;
+  const net::Topology topo = net::generateTopology(config, rng);
+  std::cout << "Generated " << nodes << "-node topology (seed " << seed
+            << "): " << topo.graph.numEdges() << " links, source "
+            << topo.source << ", " << topo.clients.size() << " clients\n";
+  if (!out.empty()) {
+    std::ofstream topo_out(out + ".topo");
+    net::writeTopology(topo_out, topo);
+    std::ofstream dot_out(out + ".dot");
+    net::writeDot(dot_out, topo);
+    std::cout << "Wrote " << out << ".topo and " << out << ".dot\n";
+  }
+  return 0;
+}
+
+int cmdPlan(const util::Flags& flags) {
+  const std::string path = flags.getString("topo", "");
+  const std::int64_t client_flag = flags.getInt("client", -1);
+  const double factor = flags.getDouble("timeout-factor", 1.5);
+  if (const int rc = failUnknownFlags(flags)) return rc;
+  if (path.empty()) {
+    std::cerr << "plan: --topo <file> is required\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "plan: cannot open " << path << "\n";
+    return 1;
+  }
+  const net::Topology topo = net::readTopology(in);
+  const net::Routing routing(topo.graph);
+  core::PlannerOptions options;
+  options.per_peer_timeout_factor = factor;
+  const core::RpPlanner planner(topo, routing, options);
+
+  const auto show = [&](net::NodeId u) {
+    const core::Strategy& s = planner.strategyFor(u);
+    std::cout << "client " << u << " (DS=" << topo.tree.depth(u) << "): [";
+    for (std::size_t i = 0; i < s.peers.size(); ++i) {
+      std::cout << (i ? ", " : "") << s.peers[i].peer << " (ds "
+                << s.peers[i].ds << ", rtt "
+                << harness::TextTable::num(s.peers[i].rtt_ms) << ")";
+    }
+    std::cout << "] -> S; expected delay "
+              << harness::TextTable::num(s.expected_delay_ms) << " ms\n";
+  };
+  if (client_flag >= 0) {
+    show(static_cast<net::NodeId>(client_flag));
+  } else {
+    for (const net::NodeId u : topo.clients) show(u);
+  }
+  return 0;
+}
+
+std::vector<harness::ProtocolKind> parseProtocols(const std::string& list) {
+  std::vector<harness::ProtocolKind> kinds;
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token == "srm") {
+      kinds.push_back(harness::ProtocolKind::kSrm);
+    } else if (token == "rma") {
+      kinds.push_back(harness::ProtocolKind::kRma);
+    } else if (token == "rp") {
+      kinds.push_back(harness::ProtocolKind::kRp);
+    } else if (token == "src") {
+      kinds.push_back(harness::ProtocolKind::kSourceDirect);
+    } else if (token == "fec") {
+      kinds.push_back(harness::ProtocolKind::kParityFec);
+    } else {
+      throw std::invalid_argument("unknown protocol '" + token + "'");
+    }
+  }
+  return kinds;
+}
+
+int cmdRun(const util::Flags& flags) {
+  harness::ExperimentConfig config;
+  const std::string config_path = flags.getString("config", "");
+  if (!config_path.empty()) {
+    std::ifstream in(config_path);
+    if (!in) {
+      std::cerr << "run: cannot open " << config_path << "\n";
+      return 1;
+    }
+    config = harness::readConfig(in);
+  }
+  config.num_nodes = static_cast<std::uint32_t>(
+      flags.getUnsigned("nodes", config.num_nodes));
+  if (flags.has("loss")) {
+    config.loss_prob = flags.getDouble("loss", 5.0) / 100.0;
+  }
+  config.num_packets = static_cast<std::uint32_t>(
+      flags.getUnsigned("packets", config.num_packets));
+  config.seed = flags.getUnsigned("seed", config.seed);
+  config.mean_burst_packets =
+      flags.getDouble("burst", config.mean_burst_packets);
+  config.lossy_recovery =
+      flags.getBool("lossy-recovery", config.lossy_recovery);
+  const auto runs =
+      static_cast<std::uint32_t>(flags.getUnsigned("runs", 1));
+  const auto kinds =
+      parseProtocols(flags.getString("protocols", "srm,rma,rp"));
+  const std::string csv_path = flags.getString("csv", "");
+  if (const int rc = failUnknownFlags(flags)) return rc;
+
+  const harness::ExperimentResult result =
+      harness::runAveragedExperimentParallel(config, runs, kinds);
+
+  std::cout << "n=" << config.num_nodes << " (k~" << result.num_clients
+            << "), p=" << config.loss_prob * 100.0 << "%, "
+            << config.num_packets << " packets x " << runs << " run(s)\n";
+  harness::TextTable table({"protocol", "losses", "recovered",
+                            "avg latency (ms)", "avg bandwidth (hops)"});
+  for (const harness::ProtocolResult& r : result.protocols) {
+    table.addRow({std::string(toString(r.kind)), std::to_string(r.losses),
+                  std::to_string(r.recoveries),
+                  harness::TextTable::num(r.avg_latency_ms),
+                  harness::TextTable::num(r.avg_bandwidth_hops)});
+  }
+  table.print(std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    harness::writeResultsCsv(out, {result});
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  bool ok = true;
+  for (const auto& r : result.protocols) ok &= r.fully_recovered;
+  return ok ? 0 : 1;
+}
+
+harness::ProtocolKind parseOneProtocol(const std::string& name) {
+  const auto kinds = parseProtocols(name);
+  if (kinds.size() != 1) {
+    throw std::invalid_argument("--protocol expects exactly one scheme");
+  }
+  return kinds.front();
+}
+
+int cmdTransfer(const util::Flags& flags) {
+  const std::string topo_path = flags.getString("topo", "");
+  const auto nodes =
+      static_cast<std::uint32_t>(flags.getUnsigned("nodes", 100));
+  const double mb = flags.getDouble("mb", 4.0);
+  const double loss = flags.getDouble("loss", 5.0) / 100.0;
+  const auto kind = parseOneProtocol(flags.getString("protocol", "rp"));
+  const std::uint64_t seed = flags.getUnsigned("seed", 1);
+  const bool lossy_recovery = flags.getBool("lossy-recovery", false);
+  if (const int rc = failUnknownFlags(flags)) return rc;
+
+  net::Topology topo;
+  if (!topo_path.empty()) {
+    std::ifstream in(topo_path);
+    if (!in) {
+      std::cerr << "transfer: cannot open " << topo_path << "\n";
+      return 1;
+    }
+    topo = net::readTopology(in);
+  } else {
+    util::Rng rng(seed);
+    net::TopologyConfig topo_config;
+    topo_config.num_nodes = nodes;
+    topo = net::generateTopology(topo_config, rng);
+  }
+
+  harness::TransferConfig config;
+  config.protocol = kind;
+  config.num_packets = static_cast<std::uint32_t>(
+      std::max(1.0, mb * 1024.0 / 32.0));  // 32 KiB packets
+  config.loss_prob = loss;
+  config.lossy_recovery = lossy_recovery;
+  config.seed = seed;
+  const harness::TransferReport report = harness::runTransfer(topo, config);
+
+  std::cout << toString(kind) << " transfer of " << mb << " MB ("
+            << config.num_packets << " packets) to " << topo.clients.size()
+            << " clients at p=" << loss * 100.0 << "%:\n";
+  std::cout << "  " << (report.complete ? "COMPLETE" : "INCOMPLETE")
+            << " in " << harness::TextTable::num(report.duration_ms / 1000.0, 3)
+            << " s; " << report.losses << " losses, avg recovery "
+            << harness::TextTable::num(report.avg_recovery_latency_ms)
+            << " ms, overhead "
+            << harness::TextTable::num(100.0 * report.overhead, 1) << "%\n";
+  return report.complete ? 0 : 1;
+}
+
+int cmdConfig(const util::Flags& flags) {
+  const std::string out_path = flags.getString("out", "");
+  if (const int rc = failUnknownFlags(flags)) return rc;
+  const harness::ExperimentConfig config;
+  if (out_path.empty()) {
+    harness::writeConfig(std::cout, config);
+  } else {
+    std::ofstream out(out_path);
+    harness::writeConfig(out, config);
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Flags flags(argc, argv);
+    if (flags.positional().empty()) return usage();
+    const std::string& command = flags.positional().front();
+    if (command == "gen") return cmdGen(flags);
+    if (command == "plan") return cmdPlan(flags);
+    if (command == "run") return cmdRun(flags);
+    if (command == "transfer") return cmdTransfer(flags);
+    if (command == "config") return cmdConfig(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,49 @@
+// Shared-link (LAN segment) modelling via ghost nodes — paper Fig. 2.
+//
+// Builds a small campus-style network where three clients hang off one
+// broadcast segment, applies the ghost-node transform, and shows that
+// routing over the transformed point-to-point graph preserves segment
+// delays while exposing per-member loss assignment.
+//
+// Usage: shared_lan
+#include <iostream>
+
+#include "harness/table.hpp"
+#include "net/ghost.hpp"
+#include "net/routing.hpp"
+
+int main() {
+  using namespace rmrn;
+
+  // Point-to-point core: source 0 -- router 1 -- router 2; clients 3, 4, 5
+  // share one 4 ms broadcast segment with router 2.
+  net::Graph core(6);
+  core.addEdge(0, 1, 2.0);
+  core.addEdge(1, 2, 3.0);
+
+  const net::SharedLink lan{.members = {2, 3, 4, 5}, .delay = 4.0};
+  const auto result = net::applyGhostTransform(core, {lan});
+  const net::NodeId ghost = result.ghosts.front();
+
+  std::cout << "Original graph: " << core.numNodes() << " nodes, "
+            << core.numEdges() << " links (plus 1 shared segment)\n";
+  std::cout << "Transformed:    " << result.graph.numNodes() << " nodes, "
+            << result.graph.numEdges() << " point-to-point links; ghost node "
+            << ghost << " stands in for the segment\n\n";
+
+  const net::Routing routing(result.graph);
+  harness::TextTable table({"path", "one-way delay (ms)"});
+  table.addRow({"client 3 -> client 4 (across segment)",
+                harness::TextTable::num(routing.distance(3, 4))});
+  table.addRow({"client 3 -> router 2 (segment uplink)",
+                harness::TextTable::num(routing.distance(3, 2))});
+  table.addRow({"client 3 -> source 0",
+                harness::TextTable::num(routing.distance(3, 0))});
+  table.print(std::cout);
+
+  std::cout
+      << "\nEach member owns a private ghost link, so a partial loss on the\n"
+         "segment (e.g. only client 4 misses a frame) is modelled as a loss\n"
+         "on the ghost->4 link, exactly as Fig. 2 of the paper describes.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Strategy explorer: dissects the RP computation for one client — the
+// competitive classes (Lemma 4), the candidate list (Lemma 5), the strategy
+// graph (Definition 1) and the Algorithm-1 optimum, including the
+// restricted variants.
+//
+// Usage: strategy_explorer [seed] [client_index]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/candidates.hpp"
+#include "core/planner.hpp"
+#include "core/strategy_graph.hpp"
+#include "harness/table.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmrn;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  const std::size_t client_index =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 0;
+
+  util::Rng rng(seed);
+  net::TopologyConfig config;
+  config.num_nodes = 40;
+  const net::Topology topo = net::generateTopology(config, rng);
+  const net::Routing routing(topo.graph);
+  const net::NodeId u = topo.clients[client_index % topo.clients.size()];
+
+  std::cout << "Client " << u << " at tree depth DS_u = "
+            << topo.tree.depth(u) << "; source " << topo.source
+            << " at RTT " << routing.rtt(u, topo.source) << " ms\n\n";
+
+  std::cout << "Competitive classes (Lemma 4 - one candidate each):\n";
+  for (const auto& cls : core::competitiveClasses(u, topo.tree,
+                                                  topo.clients)) {
+    std::cout << "  router " << cls.common_router << " (DS=" << cls.ds
+              << "): peers {";
+    for (std::size_t i = 0; i < cls.peers.size(); ++i) {
+      std::cout << (i ? ", " : "") << cls.peers[i];
+    }
+    std::cout << "}\n";
+  }
+
+  const auto candidates =
+      core::selectCandidates(u, topo.tree, routing, topo.clients);
+  std::cout << "\nCandidates (descending DS, min-RTT per class):\n";
+  harness::TextTable cand_table({"peer", "DS", "RTT (ms)"});
+  for (const auto& c : candidates) {
+    cand_table.addRow({std::to_string(c.peer), std::to_string(c.ds),
+                       harness::TextTable::num(c.rtt_ms)});
+  }
+  cand_table.print(std::cout);
+
+  core::StrategyGraphOptions options;
+  options.timeout_ms = 4.0 * routing.rtt(u, topo.source);
+  const core::StrategyGraph graph(topo.tree.depth(u), candidates,
+                                  routing.rtt(u, topo.source), options);
+  std::cout << "\nStrategy graph (" << graph.numVertices() << " vertices, "
+            << graph.edges().size() << " edges; vertex 0 = u, vertex "
+            << graph.sourceVertex() << " = S):\n";
+  for (const auto& e : graph.edges()) {
+    std::cout << "  " << e.from << " -> " << e.to << "  w = "
+              << harness::TextTable::num(e.weight) << "\n";
+  }
+
+  const auto printStrategy = [&](const char* label,
+                                 const core::Strategy& s) {
+    std::cout << label << ": [";
+    for (std::size_t i = 0; i < s.peers.size(); ++i) {
+      std::cout << (i ? ", " : "") << s.peers[i].peer;
+    }
+    std::cout << "] -> S, expected delay "
+              << harness::TextTable::num(s.expected_delay_ms) << " ms\n";
+  };
+
+  printStrategy("\nAlgorithm 1 optimum", core::searchMinimalDelay(graph));
+
+  core::StrategyGraphOptions no_direct = options;
+  no_direct.allow_direct_source = false;
+  if (!candidates.empty()) {
+    printStrategy("Restricted (no direct source)",
+                  core::searchMinimalDelay(core::StrategyGraph(
+                      topo.tree.depth(u), candidates,
+                      routing.rtt(u, topo.source), no_direct)));
+  }
+  core::StrategyGraphOptions capped = options;
+  capped.max_list_length = 1;
+  printStrategy("Restricted (list capped at 1)",
+                core::searchMinimalDelay(core::StrategyGraph(
+                    topo.tree.depth(u), candidates,
+                    routing.rtt(u, topo.source), capped)));
+
+  printStrategy("Brute-force cross-check",
+                core::bruteForceMinimalDelay(topo.tree.depth(u), candidates,
+                                             routing.rtt(u, topo.source),
+                                             options));
+  return 0;
+}

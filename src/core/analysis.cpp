@@ -1,0 +1,66 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/loss_model.hpp"
+
+namespace rmrn::core {
+
+PlanSummary summarizePlan(const net::Topology& topology,
+                          const net::Routing& routing,
+                          const RpPlanner& planner) {
+  PlanSummary summary;
+  summary.clients = topology.clients.size();
+  if (summary.clients == 0) return summary;
+
+  summary.min_expected_delay_ms = std::numeric_limits<double>::infinity();
+  double delay_sum = 0.0;
+  double length_sum = 0.0;
+  double first_prob_sum = 0.0;
+  std::size_t first_prob_count = 0;
+  double vs_source_sum = 0.0;
+
+  for (const net::NodeId u : topology.clients) {
+    const Strategy& s = planner.strategyFor(u);
+    delay_sum += s.expected_delay_ms;
+    summary.min_expected_delay_ms =
+        std::min(summary.min_expected_delay_ms, s.expected_delay_ms);
+    summary.max_expected_delay_ms =
+        std::max(summary.max_expected_delay_ms, s.expected_delay_ms);
+
+    const std::size_t len = s.peers.size();
+    length_sum += static_cast<double>(len);
+    summary.max_list_length = std::max(summary.max_list_length, len);
+    if (summary.list_length_histogram.size() <= len) {
+      summary.list_length_histogram.resize(len + 1, 0);
+    }
+    ++summary.list_length_histogram[len];
+    if (len == 0) {
+      ++summary.direct_to_source;
+    } else {
+      first_prob_sum +=
+          probPeerHasPacket(s.peers.front().ds, topology.tree.depth(u));
+      ++first_prob_count;
+    }
+
+    const double source_rtt = routing.rtt(u, topology.source);
+    if (source_rtt > 0.0) {
+      vs_source_sum += s.expected_delay_ms / source_rtt;
+    } else {
+      vs_source_sum += 1.0;
+    }
+  }
+
+  const auto n = static_cast<double>(summary.clients);
+  summary.mean_expected_delay_ms = delay_sum / n;
+  summary.mean_list_length = length_sum / n;
+  summary.mean_first_success_prob =
+      first_prob_count == 0
+          ? 0.0
+          : first_prob_sum / static_cast<double>(first_prob_count);
+  summary.mean_delay_vs_source = vs_source_sum / n;
+  return summary;
+}
+
+}  // namespace rmrn::core

@@ -1,0 +1,44 @@
+// Plan analysis: aggregate statistics over a whole group's RP strategies.
+//
+// Answers the operational questions a deployment would ask — how long are
+// the lists, how many clients bypass peers entirely, what expected delay
+// does the plan promise, and how reliable is the first request — without
+// running the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace rmrn::core {
+
+struct PlanSummary {
+  std::size_t clients = 0;
+  /// Expected recovery delay (Eq. 2) statistics across clients.
+  double mean_expected_delay_ms = 0.0;
+  double min_expected_delay_ms = 0.0;
+  double max_expected_delay_ms = 0.0;
+  /// Prioritized-list lengths.
+  double mean_list_length = 0.0;
+  std::size_t max_list_length = 0;
+  /// Clients whose optimal strategy is the bare source fallback.
+  std::size_t direct_to_source = 0;
+  /// histogram[k] = number of clients with a k-peer list.
+  std::vector<std::size_t> list_length_histogram;
+  /// Mean Lemma-1 success probability of the FIRST request, over clients
+  /// with a non-empty list.
+  double mean_first_success_prob = 0.0;
+  /// Mean ratio of planned delay to the direct-source RTT (< 1 means the
+  /// plan beats naive source recovery).
+  double mean_delay_vs_source = 0.0;
+};
+
+/// Summarizes a planner's output for every client of `topology`.
+[[nodiscard]] PlanSummary summarizePlan(const net::Topology& topology,
+                                        const net::Routing& routing,
+                                        const RpPlanner& planner);
+
+}  // namespace rmrn::core

@@ -1,0 +1,73 @@
+// Load-balanced strategy planning — an extension beyond the paper.
+//
+// Algorithm 1 optimizes each client independently, so a well-placed peer
+// (short RTT, shallow first common router for many clients) ends up on
+// *everyone's* list and concentrates recovery load, exactly the congestion
+// concern §2.2 raises for the source.  BalancedPlanner iterates:
+//
+//   1. plan all clients (Algorithm 1) against effective RTTs,
+//   2. compute each peer's expected request load from the attempt
+//      distributions (P(that request is ever issued), summed over clients),
+//   3. inflate the effective RTT of overloaded peers by
+//      `load_penalty_ms` per expected request above the mean,
+//   4. repeat until the plan stops changing or `max_rounds` is hit.
+//
+// The result trades a bounded amount of expected delay for a flatter load
+// profile; bench/ablation_load_balance measures the frontier.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace rmrn::core {
+
+struct BalanceOptions {
+  PlannerOptions planner;
+  /// Effective-RTT penalty per expected request above the mean peer load.
+  double load_penalty_ms = 5.0;
+  std::size_t max_rounds = 8;
+};
+
+struct PeerLoad {
+  net::NodeId peer = net::kInvalidNode;
+  /// Expected requests this peer receives per uniformly chosen (client,
+  /// loss) event (sum over clients of P(the request to it is issued)).
+  double expected_requests = 0.0;
+};
+
+class BalancedPlanner {
+ public:
+  BalancedPlanner(const net::Topology& topology, const net::Routing& routing,
+                  BalanceOptions options);
+
+  [[nodiscard]] const Strategy& strategyFor(net::NodeId client) const;
+  /// Expected per-peer request loads under the final plan, descending.
+  [[nodiscard]] const std::vector<PeerLoad>& peerLoads() const {
+    return loads_;
+  }
+  /// Largest expected per-peer load under the final plan.
+  [[nodiscard]] double maxPeerLoad() const;
+  /// Mean expected delay across clients under the final plan, evaluated
+  /// with TRUE RTTs (the penalties only steer planning).
+  [[nodiscard]] double meanExpectedDelay() const { return mean_delay_; }
+  /// Rounds executed before the plan stabilized (or the cap).
+  [[nodiscard]] std::size_t roundsUsed() const { return rounds_; }
+
+ private:
+  std::unordered_map<net::NodeId, Strategy> strategies_;
+  std::vector<PeerLoad> loads_;
+  double mean_delay_ = 0.0;
+  std::size_t rounds_ = 0;
+};
+
+/// Expected per-peer request loads of an existing (unbalanced) plan; the
+/// comparison baseline for BalancedPlanner.
+[[nodiscard]] std::vector<PeerLoad> expectedPeerLoads(
+    const net::Topology& topology, const RpPlanner& planner);
+
+}  // namespace rmrn::core

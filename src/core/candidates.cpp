@@ -1,0 +1,111 @@
+#include "core/candidates.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace rmrn::core {
+
+namespace {
+
+using LcaFn = std::function<net::NodeId(net::NodeId, net::NodeId)>;
+
+std::vector<CompetitiveClass> classesImpl(
+    net::NodeId u, const net::MulticastTree& tree, const LcaFn& lca,
+    const std::vector<net::NodeId>& clients) {
+  if (!tree.contains(u)) {
+    throw std::invalid_argument("competitiveClasses: u not in tree");
+  }
+  // Every first common router with u lies on u's root path, so classes are
+  // keyed by DS depth; distinct routers on that path have distinct depths.
+  std::map<net::HopCount, CompetitiveClass, std::greater<>> by_depth;
+  for (const net::NodeId v : clients) {
+    if (v == u || v == tree.root()) continue;
+    if (!tree.contains(v)) {
+      throw std::invalid_argument("competitiveClasses: client not in tree");
+    }
+    const net::NodeId router = lca(u, v);
+    if (router == u) continue;  // v sits in u's own subtree (possible when
+                                // clients are internal nodes): if u lost the
+                                // packet, v surely lost it too — useless.
+    const net::HopCount ds = tree.depth(router);
+    auto& cls = by_depth[ds];
+    cls.common_router = router;
+    cls.ds = ds;
+    cls.peers.push_back(v);
+  }
+  std::vector<CompetitiveClass> result;
+  result.reserve(by_depth.size());
+  for (auto& [ds, cls] : by_depth) {
+    std::sort(cls.peers.begin(), cls.peers.end());
+    result.push_back(std::move(cls));
+  }
+  return result;
+}
+
+std::vector<Candidate> candidatesFromClasses(
+    net::NodeId u, const net::Routing& routing,
+    const std::vector<CompetitiveClass>& classes) {
+  std::vector<Candidate> result;
+  for (const CompetitiveClass& cls : classes) {
+    Candidate best;
+    bool have = false;
+    for (const net::NodeId peer : cls.peers) {
+      const double rtt = routing.rtt(u, peer);
+      // Min RTT wins; peers are visited in ascending id, so strict `<`
+      // breaks ties toward the lowest id.
+      if (!have || rtt < best.rtt_ms) {
+        best = Candidate{peer, cls.ds, rtt};
+        have = true;
+      }
+    }
+    if (have) result.push_back(best);
+  }
+  // Classes are already descending in DS; assert the invariant meaningful
+  // strategies rely on.
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    if (result[i - 1].ds <= result[i].ds) {
+      throw std::logic_error("selectCandidates: DS order violated");
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<CompetitiveClass> competitiveClasses(
+    net::NodeId u, const net::MulticastTree& tree,
+    const std::vector<net::NodeId>& clients) {
+  return classesImpl(
+      u, tree,
+      [&tree](net::NodeId a, net::NodeId b) {
+        return tree.firstCommonRouter(a, b);
+      },
+      clients);
+}
+
+std::vector<CompetitiveClass> competitiveClasses(
+    net::NodeId u, const net::MulticastTree& tree, const net::LcaIndex& index,
+    const std::vector<net::NodeId>& clients) {
+  return classesImpl(
+      u, tree,
+      [&index](net::NodeId a, net::NodeId b) { return index.lca(a, b); },
+      clients);
+}
+
+std::vector<Candidate> selectCandidates(
+    net::NodeId u, const net::MulticastTree& tree, const net::Routing& routing,
+    const std::vector<net::NodeId>& clients) {
+  return candidatesFromClasses(u, routing,
+                               competitiveClasses(u, tree, clients));
+}
+
+std::vector<Candidate> selectCandidates(
+    net::NodeId u, const net::MulticastTree& tree, const net::LcaIndex& index,
+    const net::Routing& routing, const std::vector<net::NodeId>& clients) {
+  return candidatesFromClasses(u, routing,
+                               competitiveClasses(u, tree, index, clients));
+}
+
+}  // namespace rmrn::core

@@ -1,0 +1,65 @@
+// Competitive clients and candidate selection — paper §4, Lemmas 4-5.
+//
+// Two peers are *competitive with respect to u* when their first common
+// router with u (on the multicast tree) is the same node.  Competitiveness
+// is an equivalence relation; Lemma 4 shows an optimal recovery strategy
+// contains at most one member per class, namely the one with the smallest
+// round-trip time.  Because every first common router with u lies on u's
+// root path, distinct classes have distinct DS depths, and Lemma 5 shows an
+// optimal strategy lists candidates in strictly descending DS order.
+#pragma once
+
+#include <vector>
+
+#include "net/lca.hpp"
+#include "net/multicast_tree.hpp"
+#include "net/routing.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::core {
+
+/// A peer considered for u's prioritized list.
+struct Candidate {
+  net::NodeId peer = net::kInvalidNode;
+  net::HopCount ds = 0;  // depth of the first common router with u (DS_j)
+  double rtt_ms = 0.0;   // round-trip time u <-> peer (d_j)
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+/// One competitive equivalence class: all peers sharing a first common
+/// router with u.
+struct CompetitiveClass {
+  net::NodeId common_router = net::kInvalidNode;
+  net::HopCount ds = 0;
+  std::vector<net::NodeId> peers;  // sorted by id
+};
+
+/// Partitions `clients` (excluding u and the source) into competitive
+/// classes w.r.t. u, ordered by descending DS.  Throws if u is not a tree
+/// member.
+[[nodiscard]] std::vector<CompetitiveClass> competitiveClasses(
+    net::NodeId u, const net::MulticastTree& tree,
+    const std::vector<net::NodeId>& clients);
+
+/// Same, with O(log n) LCA queries via a prebuilt index — the planner's
+/// whole-group pass issues O(k^2) queries, so it builds one index and
+/// reuses it.  `index` must be built over `tree`.
+[[nodiscard]] std::vector<CompetitiveClass> competitiveClasses(
+    net::NodeId u, const net::MulticastTree& tree, const net::LcaIndex& index,
+    const std::vector<net::NodeId>& clients);
+
+/// Selects the candidate (minimum RTT, ties by lowest id — the paper breaks
+/// ties at random; a deterministic rule keeps runs reproducible) from each
+/// competitive class.  Result is sorted by strictly descending DS, as
+/// required for meaningful strategies (Lemma 5).
+[[nodiscard]] std::vector<Candidate> selectCandidates(
+    net::NodeId u, const net::MulticastTree& tree, const net::Routing& routing,
+    const std::vector<net::NodeId>& clients);
+
+/// LCA-index-accelerated variant; identical output.
+[[nodiscard]] std::vector<Candidate> selectCandidates(
+    net::NodeId u, const net::MulticastTree& tree, const net::LcaIndex& index,
+    const net::Routing& routing, const std::vector<net::NodeId>& clients);
+
+}  // namespace rmrn::core

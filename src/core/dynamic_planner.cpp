@@ -1,0 +1,157 @@
+#include "core/dynamic_planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rmrn::core {
+
+DynamicPlanner::DynamicPlanner(const net::Topology& topology,
+                               const net::Routing& routing,
+                               PlannerOptions options)
+    : topology_(topology),
+      routing_(routing),
+      lca_(topology.tree),
+      options_(options),
+      clients_(topology.clients) {
+  if (options_.timeout_ms < 0.0) {
+    throw std::invalid_argument("DynamicPlanner: negative timeout");
+  }
+  if (options_.timeout_ms == 0.0 && options_.per_peer_timeout_factor == 0.0) {
+    double max_rtt = 0.0;
+    for (const net::NodeId c : clients_) {
+      max_rtt = std::max(max_rtt, routing_.rtt(c, topology_.source));
+    }
+    options_.timeout_ms = 2.0 * max_rtt;
+  }
+  graph_options_.timeout_ms = options_.timeout_ms;
+  graph_options_.per_peer_timeout_factor = options_.per_peer_timeout_factor;
+  graph_options_.min_timeout_ms = options_.min_timeout_ms;
+  graph_options_.cost_model = options_.cost_model;
+  graph_options_.allow_direct_source = options_.allow_direct_source;
+  graph_options_.max_list_length = options_.max_list_length;
+
+  std::sort(clients_.begin(), clients_.end());
+  for (const net::NodeId u : clients_) {
+    ClientState state;
+    state.candidates =
+        selectCandidates(u, topology_.tree, lca_, routing_, clients_);
+    replan(u, state);
+    state_.emplace(u, std::move(state));
+  }
+  last_replans_ = clients_.size();
+}
+
+void DynamicPlanner::replan(net::NodeId u, ClientState& state) {
+  const StrategyGraph graph(topology_.tree.depth(u), state.candidates,
+                            routing_.rtt(u, topology_.source),
+                            graph_options_);
+  state.strategy = searchMinimalDelay(graph);
+}
+
+Candidate DynamicPlanner::bestOfClass(net::NodeId u, net::HopCount ds) const {
+  Candidate best;
+  bool have = false;
+  for (const net::NodeId w : clients_) {
+    if (w == u || lca_.lcaDepth(u, w) != ds) continue;
+    const double rtt = routing_.rtt(u, w);
+    if (!have || rtt < best.rtt_ms) {
+      best = Candidate{w, ds, rtt};
+      have = true;
+    }
+  }
+  if (!have) best.peer = net::kInvalidNode;
+  return best;
+}
+
+void DynamicPlanner::addClient(net::NodeId v) {
+  if (v == topology_.source) {
+    throw std::invalid_argument("DynamicPlanner: source cannot be a client");
+  }
+  if (!topology_.tree.contains(v)) {
+    throw std::invalid_argument("DynamicPlanner: node not in tree");
+  }
+  if (std::binary_search(clients_.begin(), clients_.end(), v)) {
+    throw std::invalid_argument("DynamicPlanner: already a client");
+  }
+  last_replans_ = 0;
+
+  // The joiner can only displace the candidate of its own class w.r.t.
+  // each existing client.
+  for (auto& [u, state] : state_) {
+    if (lca_.lca(u, v) == u) continue;  // joiner inside u's subtree: useless
+    const net::HopCount ds = lca_.lcaDepth(u, v);
+    const double rtt = routing_.rtt(u, v);
+    const Candidate joiner{v, ds, rtt};
+    // Locate the class (descending DS order).
+    auto it = std::find_if(
+        state.candidates.begin(), state.candidates.end(),
+        [ds](const Candidate& c) { return c.ds <= ds; });
+    if (it != state.candidates.end() && it->ds == ds) {
+      // Existing class: replace only on a strict RTT improvement (RTT tie
+      // keeps the incumbent iff its id is lower, matching selectCandidates'
+      // lowest-id tie break).
+      const bool wins =
+          rtt < it->rtt_ms || (rtt == it->rtt_ms && v < it->peer);
+      if (!wins) continue;
+      *it = joiner;
+    } else {
+      state.candidates.insert(it, joiner);
+    }
+    replan(u, state);
+    ++last_replans_;
+  }
+
+  clients_.insert(
+      std::lower_bound(clients_.begin(), clients_.end(), v), v);
+  ClientState state;
+  state.candidates =
+      selectCandidates(v, topology_.tree, lca_, routing_, clients_);
+  replan(v, state);
+  state_.emplace(v, std::move(state));
+  ++last_replans_;
+}
+
+void DynamicPlanner::removeClient(net::NodeId v) {
+  const auto pos = std::lower_bound(clients_.begin(), clients_.end(), v);
+  if (pos == clients_.end() || *pos != v) {
+    throw std::invalid_argument("DynamicPlanner: not a client");
+  }
+  clients_.erase(pos);
+  state_.erase(v);
+  last_replans_ = 0;
+
+  // Only clients whose candidate was v need a new class representative.
+  for (auto& [u, state] : state_) {
+    const auto it = std::find_if(
+        state.candidates.begin(), state.candidates.end(),
+        [v](const Candidate& c) { return c.peer == v; });
+    if (it == state.candidates.end()) continue;
+    const Candidate replacement = bestOfClass(u, it->ds);
+    if (replacement.peer == net::kInvalidNode) {
+      state.candidates.erase(it);
+    } else {
+      *it = replacement;
+    }
+    replan(u, state);
+    ++last_replans_;
+  }
+}
+
+const Strategy& DynamicPlanner::strategyFor(net::NodeId client) const {
+  const auto it = state_.find(client);
+  if (it == state_.end()) {
+    throw std::out_of_range("DynamicPlanner: unknown client");
+  }
+  return it->second.strategy;
+}
+
+const std::vector<Candidate>& DynamicPlanner::candidatesFor(
+    net::NodeId client) const {
+  const auto it = state_.find(client);
+  if (it == state_.end()) {
+    throw std::out_of_range("DynamicPlanner: unknown client");
+  }
+  return it->second.candidates;
+}
+
+}  // namespace rmrn::core

@@ -1,0 +1,81 @@
+// Incremental strategy maintenance under membership churn.
+//
+// The paper computes strategies for a fixed client set; real multicast
+// groups churn.  A join/leave only perturbs another client u's plan when it
+// changes u's *candidate* for one competitive class (the joiner becomes the
+// new RTT minimum of its class, or the leaver was a candidate), so most
+// strategies survive unchanged and only the affected ones re-run
+// Algorithm 1.  `lastReplans()` exposes how much work the last change
+// actually caused; the test suite verifies equivalence with a from-scratch
+// RpPlanner after arbitrary churn sequences.
+//
+// The multicast tree itself is fixed (nodes keep forwarding as routers);
+// joining means a tree member starts acting as a receiver.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/planner.hpp"
+#include "core/strategy_graph.hpp"
+#include "net/lca.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace rmrn::core {
+
+class DynamicPlanner {
+ public:
+  /// Plans for `topology.clients`.  The topology and routing must outlive
+  /// the planner.  A zero timeout with a zero per-peer factor derives the
+  /// RpPlanner default (twice the max client-source RTT) from the INITIAL
+  /// membership and keeps it fixed across churn.
+  DynamicPlanner(const net::Topology& topology, const net::Routing& routing,
+                 PlannerOptions options);
+
+  /// Adds a receiver at tree member `v`.  Throws std::invalid_argument when
+  /// v is the source, not a tree member, or already a client.
+  void addClient(net::NodeId v);
+
+  /// Removes receiver `v`.  Throws std::invalid_argument when absent.
+  void removeClient(net::NodeId v);
+
+  [[nodiscard]] const std::vector<net::NodeId>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] const Strategy& strategyFor(net::NodeId client) const;
+  [[nodiscard]] const std::vector<Candidate>& candidatesFor(
+      net::NodeId client) const;
+
+  /// Options after timeout resolution — feed these to a fresh RpPlanner to
+  /// compare plans.
+  [[nodiscard]] const PlannerOptions& resolvedOptions() const {
+    return options_;
+  }
+
+  /// Strategies recomputed by the most recent addClient/removeClient
+  /// (including the joiner's own plan).
+  [[nodiscard]] std::size_t lastReplans() const { return last_replans_; }
+
+ private:
+  struct ClientState {
+    std::vector<Candidate> candidates;  // descending DS
+    Strategy strategy;
+  };
+
+  void replan(net::NodeId u, ClientState& state);
+  [[nodiscard]] Candidate bestOfClass(net::NodeId u, net::HopCount ds) const;
+
+  const net::Topology& topology_;
+  const net::Routing& routing_;
+  net::LcaIndex lca_;
+  PlannerOptions options_;
+  StrategyGraphOptions graph_options_;
+  std::vector<net::NodeId> clients_;  // sorted
+  std::unordered_map<net::NodeId, ClientState> state_;
+  std::size_t last_replans_ = 0;
+};
+
+}  // namespace rmrn::core

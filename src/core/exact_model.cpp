@@ -1,0 +1,169 @@
+#include "core/exact_model.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rmrn::core {
+
+double ExactParams::timeoutFor(double rtt_ms) const {
+  if (per_peer_timeout_factor <= 0.0) return timeout_ms;
+  const double t = per_peer_timeout_factor * rtt_ms;
+  return t < min_timeout_ms ? min_timeout_ms : t;
+}
+
+std::vector<ExactCandidate> annotateSuffixes(
+    const std::vector<Candidate>& candidates,
+    const net::MulticastTree& tree) {
+  std::vector<ExactCandidate> result;
+  result.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    const net::HopCount depth = tree.depth(c.peer);
+    if (depth < c.ds) {
+      throw std::invalid_argument("annotateSuffixes: peer above its LCA");
+    }
+    result.push_back({c, depth - c.ds});
+  }
+  return result;
+}
+
+namespace {
+
+void checkParams(net::HopCount ds_u, const ExactParams& params) {
+  if (ds_u == 0) {
+    throw std::invalid_argument("exact model: DS_u must be positive");
+  }
+  if (params.link_loss_prob < 0.0 || params.link_loss_prob >= 1.0) {
+    throw std::invalid_argument("exact model: p must be in [0, 1)");
+  }
+  if (params.rtt_source_ms < 0.0 || params.timeout_ms < 0.0) {
+    throw std::invalid_argument("exact model: negative delay parameter");
+  }
+}
+
+void checkDescending(std::span<const ExactCandidate> strategy,
+                     net::HopCount ds_u) {
+  net::HopCount prev = ds_u;
+  for (const ExactCandidate& c : strategy) {
+    if (c.base.ds >= prev) {
+      throw std::invalid_argument(
+          "exact model: strategy must be strictly descending in DS below "
+          "DS_u");
+    }
+    prev = c.base.ds;
+  }
+}
+
+}  // namespace
+
+double exactFirstRequestSuccess(const ExactCandidate& candidate,
+                                net::HopCount ds_u, double link_loss_prob) {
+  checkParams(ds_u, ExactParams{link_loss_prob, 0.0, 0.0});
+  if (candidate.base.ds >= ds_u) {
+    throw std::invalid_argument("exactFirstRequestSuccess: ds >= DS_u");
+  }
+  const double q = 1.0 - link_loss_prob;
+  const double p_u_lost = 1.0 - std::pow(q, ds_u);
+  if (p_u_lost == 0.0) return 0.0;  // p == 0: u never loses; convention 0
+  // P(peer ok AND u lost) = P(shared prefix ok) * P(suffix ok)
+  //                       * P(u's private part below the LCA fails).
+  const double joint = std::pow(q, candidate.base.ds) *
+                       std::pow(q, candidate.suffix_hops) *
+                       (1.0 - std::pow(q, ds_u - candidate.base.ds));
+  return joint / p_u_lost;
+}
+
+double exactExpectedDelay(std::span<const ExactCandidate> strategy,
+                          net::HopCount ds_u, const ExactParams& params) {
+  checkParams(ds_u, params);
+  checkDescending(strategy, ds_u);
+
+  const double q = 1.0 - params.link_loss_prob;
+  const std::size_t m = strategy.size();
+
+  // Segment decomposition of u's root path, from the source downward:
+  // boundaries at the candidates' DS values in ascending order, i.e. the
+  // strategy reversed.  Segment t (1-based) spans depths bounds[t-1] ..
+  // bounds[t]; a candidate with ds = bounds[i] has its prefix covered by
+  // segments 1..i.
+  std::vector<net::HopCount> bounds;
+  bounds.push_back(0);
+  for (std::size_t i = m; i-- > 0;) {
+    if (strategy[i].base.ds > 0) bounds.push_back(strategy[i].base.ds);
+  }
+  bounds.push_back(ds_u);
+  const std::size_t segments = bounds.size() - 1;
+
+  // Walk the prioritized list for a fixed "first failed segment" T = t
+  // (1-based; T <= segments always holds conditioned on u having lost).
+  // Given T = t, candidate i (ascending-ds index a_i) has the packet iff
+  // its prefix ends above the failure (ascending index < t's start) and its
+  // private suffix survived.
+  const auto delayGivenT = [&](std::size_t t) {
+    double reach = 1.0;
+    double delay = 0.0;
+    for (const ExactCandidate& c : strategy) {  // descending ds order
+      // Ascending index of this candidate's prefix boundary.
+      std::size_t prefix_segments = 0;
+      while (bounds[prefix_segments] != c.base.ds) ++prefix_segments;
+      const bool prefix_ok = prefix_segments < t;
+      const double p_ok = prefix_ok ? std::pow(q, c.suffix_hops) : 0.0;
+      const double wait = params.timeoutFor(c.base.rtt_ms);
+      delay += reach * (p_ok * c.base.rtt_ms + (1.0 - p_ok) * wait);
+      reach *= 1.0 - p_ok;
+    }
+    delay += reach * params.rtt_source_ms;
+    return delay;
+  };
+
+  if (params.link_loss_prob == 0.0) {
+    // Degenerate: u never loses; define the delay as the all-prefixes-ok
+    // walk (every candidate holds the packet subject to its suffix, which
+    // is also loss free) -> first candidate answers, or the source.
+    return delayGivenT(segments + 1);
+  }
+
+  // P(T = t | u lost) = q^{len(1..t-1)} (1 - q^{len(t)}) / (1 - q^{DS_u}).
+  const double p_lost = 1.0 - std::pow(q, ds_u);
+  double expected = 0.0;
+  double prefix_ok_prob = 1.0;
+  for (std::size_t t = 1; t <= segments; ++t) {
+    const net::HopCount len = bounds[t] - bounds[t - 1];
+    const double p_t = prefix_ok_prob * (1.0 - std::pow(q, len));
+    expected += p_t * delayGivenT(t);
+    prefix_ok_prob *= std::pow(q, len);
+  }
+  return expected / p_lost;
+}
+
+Strategy exactBruteForceMinimalDelay(
+    net::HopCount ds_u, const std::vector<ExactCandidate>& candidates,
+    const ExactParams& params) {
+  const std::size_t m = candidates.size();
+  if (m > 24) {
+    throw std::invalid_argument(
+        "exactBruteForceMinimalDelay: too many candidates");
+  }
+  checkParams(ds_u, params);
+  checkDescending(candidates, ds_u);
+
+  Strategy best;
+  best.expected_delay_ms = std::numeric_limits<double>::infinity();
+  std::vector<ExactCandidate> subset;
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    subset.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) subset.push_back(candidates[i]);
+    }
+    const double delay = exactExpectedDelay(subset, ds_u, params);
+    if (delay < best.expected_delay_ms) {
+      best.expected_delay_ms = delay;
+      best.peers.clear();
+      for (const ExactCandidate& c : subset) best.peers.push_back(c.base);
+    }
+  }
+  return best;
+}
+
+}  // namespace rmrn::core

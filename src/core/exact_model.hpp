@@ -1,0 +1,79 @@
+// Exact loss model — general per-link loss probability p, without the
+// paper's reliable-network approximation (p^2 ~ 0, single loss).
+//
+// With independent Bernoulli(p) losses per tree link, candidate peers (one
+// per competitive class, descending DS) have pairwise disjoint private
+// suffixes below u's root path, so the joint distribution factorizes over
+//   * the *segments* of u's root path between consecutive first common
+//     routers, and
+//   * each candidate's private suffix.
+// Conditioning on the first (closest to the source) segment containing a
+// failure makes every candidate's packet-possession independent, giving an
+// O(m^2) exact expected-delay evaluation for an m-candidate strategy.
+//
+// Under the exact model the strategy-graph edge weights are no longer
+// history-independent (the conditional success of v_j depends on every
+// earlier candidate's suffix, not just the previous DS), so Algorithm 1 is
+// a heuristic; `exactBruteForceMinimalDelay` provides the true optimum for
+// moderate candidate counts, and bench/ablation_exact_model quantifies the
+// gap — i.e. how much the paper's approximation costs as p grows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/strategy_graph.hpp"
+#include "net/multicast_tree.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::core {
+
+/// A candidate annotated with its private suffix length: the tree hops from
+/// the first common router down to the peer.
+struct ExactCandidate {
+  Candidate base;
+  net::HopCount suffix_hops = 0;
+
+  friend bool operator==(const ExactCandidate&,
+                         const ExactCandidate&) = default;
+};
+
+struct ExactParams {
+  double link_loss_prob = 0.0;  // p, in [0, 1)
+  double rtt_source_ms = 0.0;
+  double timeout_ms = 0.0;
+  /// See DelayParams::timeoutFor.
+  double per_peer_timeout_factor = 0.0;
+  double min_timeout_ms = 1.0;
+
+  [[nodiscard]] double timeoutFor(double rtt_ms) const;
+};
+
+/// Computes suffix lengths (depth(peer) - ds) for a candidate list.
+[[nodiscard]] std::vector<ExactCandidate> annotateSuffixes(
+    const std::vector<Candidate>& candidates, const net::MulticastTree& tree);
+
+/// Exact P(peer has the packet | u lost the packet) for a single request —
+/// no prior failures conditioned.  Used by tests to validate the
+/// factorization against Monte-Carlo.
+[[nodiscard]] double exactFirstRequestSuccess(const ExactCandidate& candidate,
+                                              net::HopCount ds_u,
+                                              double link_loss_prob);
+
+/// Exact expected recovery delay (conditioned on u having lost the packet)
+/// of a meaningful strategy: requests issued in order with the configured
+/// waits, source as the final fallback.  `strategy` must be strictly
+/// descending in DS below ds_u; throws std::invalid_argument otherwise, and
+/// for p outside [0, 1).
+[[nodiscard]] double exactExpectedDelay(
+    std::span<const ExactCandidate> strategy, net::HopCount ds_u,
+    const ExactParams& params);
+
+/// True optimum under the exact model: enumerates all descending-DS subsets
+/// (2^m evaluations; throws above 24 candidates).
+[[nodiscard]] Strategy exactBruteForceMinimalDelay(
+    net::HopCount ds_u, const std::vector<ExactCandidate>& candidates,
+    const ExactParams& params);
+
+}  // namespace rmrn::core

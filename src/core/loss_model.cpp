@@ -1,0 +1,32 @@
+#include "core/loss_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rmrn::core {
+
+double probPeerHasPacket(net::HopCount ds_peer, net::HopCount loss_window) {
+  if (loss_window == 0) {
+    throw std::invalid_argument(
+        "probPeerHasPacket: conditioning on loss in an empty window");
+  }
+  if (ds_peer >= loss_window) return 0.0;
+  return 1.0 - static_cast<double>(ds_peer) / static_cast<double>(loss_window);
+}
+
+double probAllPeersFail(net::HopCount ds_last, net::HopCount ds_u) {
+  if (ds_u == 0) {
+    throw std::invalid_argument("probAllPeersFail: DS_u must be positive");
+  }
+  if (ds_last > ds_u) {
+    throw std::invalid_argument("probAllPeersFail: ds_last exceeds DS_u");
+  }
+  return static_cast<double>(ds_last) / static_cast<double>(ds_u);
+}
+
+net::HopCount shrinkLossWindow(net::HopCount loss_window,
+                               net::HopCount ds_peer) {
+  return std::min(loss_window, ds_peer);
+}
+
+}  // namespace rmrn::core

@@ -1,0 +1,50 @@
+// Loss-correlation model of the paper (§3.2, Lemmas 1-3 and Observations).
+//
+// Setting: the source S multicasts over a tree; client u lost the packet.
+// In a *reliable* network the per-link loss probability p satisfies p^2 ~ 0,
+// so conditioned on u's loss exactly one tree link failed, uniformly among
+// the DS_u links on the path S -> u.  For a peer v_j whose first common
+// router with u is R_j at hop distance DS_j from S:
+//
+//   * v_j also lost the packet  <=>  the failed link lies on S -> R_j
+//     (v_j's private suffix below R_j is loss free under single-loss).
+//
+// This yields (Lemma 1, with DS_0 := DS_u):
+//     P(V_j | U-bar, V-bar_1 .. V-bar_{j-1}) = 1 - DS_j / DS_{j-1}
+// for a prioritized list with strictly descending DS, and (Lemma 3):
+//     P(V-bar_1 .. V-bar_k | U-bar) = DS_k / DS_u.
+//
+// Lemma 2 / Observation 1 cover out-of-order lists: once a peer with shared
+// prefix DS_i has failed, any later peer with DS_j >= DS_i fails surely.
+// The general form used throughout this library tracks the running minimum
+// shared-prefix length ("loss window"): after failures with minimum DS m,
+// the next peer with depth DS_j succeeds with probability
+//     max(0, (m - DS_j) / m).
+#pragma once
+
+#include "net/types.hpp"
+
+namespace rmrn::core {
+
+/// Lemma 1 (generalized): probability that a peer with first-common-router
+/// depth `ds_peer` HAS the packet, given the loss is known to lie uniformly
+/// on the `loss_window` links closest to the source on u's root path.
+/// Initially loss_window = DS_u; after failures it shrinks to the minimum DS
+/// seen.  Returns 0 when ds_peer >= loss_window (Lemma 2 / Observation 1).
+/// Throws std::invalid_argument when loss_window == 0 (conditioning on an
+/// impossible event: a zero-length shared prefix cannot lose the packet).
+[[nodiscard]] double probPeerHasPacket(net::HopCount ds_peer,
+                                       net::HopCount loss_window);
+
+/// Lemma 3: P(all of v_1..v_k fail | u lost) for a descending-DS list whose
+/// last entry has depth `ds_last`, relative to DS_u = `ds_u`.
+[[nodiscard]] double probAllPeersFail(net::HopCount ds_last,
+                                      net::HopCount ds_u);
+
+/// The loss window after an additional failed request at depth `ds_peer`:
+/// the failed link is now known to lie on the shared prefix, so the window
+/// shrinks to min(loss_window, ds_peer).
+[[nodiscard]] net::HopCount shrinkLossWindow(net::HopCount loss_window,
+                                             net::HopCount ds_peer);
+
+}  // namespace rmrn::core

@@ -1,0 +1,95 @@
+#include "core/objective.hpp"
+
+#include <stdexcept>
+
+#include "core/loss_model.hpp"
+
+namespace rmrn::core {
+
+namespace {
+
+void checkParams(const DelayParams& params) {
+  if (params.ds_u == 0) {
+    throw std::invalid_argument("expectedDelay: DS_u must be positive");
+  }
+  if (params.rtt_source_ms < 0.0 || params.timeout_ms < 0.0) {
+    throw std::invalid_argument("expectedDelay: negative delay parameter");
+  }
+}
+
+}  // namespace
+
+double expectedDelay(std::span<const Candidate> strategy,
+                     const DelayParams& params) {
+  checkParams(params);
+  net::HopCount window = params.ds_u;
+  double reach_prob = 1.0;  // P(all previous requests failed | u lost)
+  double delay = 0.0;
+  for (const Candidate& c : strategy) {
+    const double p_success = probPeerHasPacket(c.ds, window);
+    const double cost = requestCost(params.cost_model, c.rtt_ms,
+                                    params.timeoutFor(c.rtt_ms), c.ds, window);
+    delay += reach_prob * cost;
+    reach_prob *= 1.0 - p_success;
+    window = shrinkLossWindow(window, c.ds);
+  }
+  delay += reach_prob * params.rtt_source_ms;
+  return delay;
+}
+
+AttemptDistribution attemptDistribution(std::span<const Candidate> strategy,
+                                        net::HopCount ds_u) {
+  if (ds_u == 0) {
+    throw std::invalid_argument("attemptDistribution: DS_u must be positive");
+  }
+  AttemptDistribution dist;
+  dist.success_at.reserve(strategy.size());
+  net::HopCount window = ds_u;
+  double reach = 1.0;
+  for (const Candidate& c : strategy) {
+    const double p_success = probPeerHasPacket(c.ds, window);
+    dist.success_at.push_back(reach * p_success);
+    dist.expected_requests += reach;
+    reach *= 1.0 - p_success;
+    window = shrinkLossWindow(window, c.ds);
+  }
+  dist.fallback_to_source = reach;
+  dist.expected_requests += reach;  // the final request to the source
+  return dist;
+}
+
+double expectedDelayMeaningful(std::span<const Candidate> strategy,
+                               const DelayParams& params) {
+  checkParams(params);
+  const double ds_u = static_cast<double>(params.ds_u);
+  net::HopCount prev = params.ds_u;
+  double delay = 0.0;
+  for (const Candidate& c : strategy) {
+    if (c.ds >= prev) {
+      throw std::invalid_argument(
+          "expectedDelayMeaningful: DS not strictly descending below DS_u");
+    }
+    // Coefficient P(V-bar_1..V-bar_{j-1} | U-bar) = DS_{j-1} / DS_u times the
+    // conditional cost d(v_j); for the expected model the product collapses
+    // to [rtt_j (DS_{j-1} - DS_j) + t_0 DS_j] / DS_u.
+    const double timeout = params.timeoutFor(c.rtt_ms);
+    switch (params.cost_model) {
+      case CostModel::kExpected:
+        delay += (c.rtt_ms * static_cast<double>(prev - c.ds) +
+                  timeout * static_cast<double>(c.ds)) /
+                 ds_u;
+        break;
+      case CostModel::kTimeoutOnly:
+        delay += static_cast<double>(prev) / ds_u * timeout;
+        break;
+      case CostModel::kRttOnly:
+        delay += static_cast<double>(prev) / ds_u * c.rtt_ms;
+        break;
+    }
+    prev = c.ds;
+  }
+  delay += static_cast<double>(prev) / ds_u * params.rtt_source_ms;
+  return delay;
+}
+
+}  // namespace rmrn::core

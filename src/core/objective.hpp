@@ -1,0 +1,79 @@
+// Expected recovery delay of a prioritized list — paper §3.3, Eqs. (2)-(3).
+//
+// For a strategy L_u = {v_1, ..., v_k} the request to v_j is issued only
+// after v_1..v_{j-1} all failed, and the source is the final fallback:
+//
+//   Delay(L_u) = d(v_1) + P(V-bar_1 | U-bar) d(v_2) + ...
+//              + P(V-bar_1..V-bar_k | U-bar) d(S)                   (Eq. 2)
+//
+// which, for a meaningful (descending-DS) list under the reliable-network
+// lemmas, simplifies to
+//
+//   Delay(L_u) = d(v_1) + [ DS_1 d(v_2) + ... + DS_{k-1} d(v_k)
+//                         + DS_k d(S) ] / DS_u                      (Eq. 3)
+//
+// `expectedDelay` evaluates Eq. (2) for *any* order (using the generalized
+// loss window, so out-of-order entries get success probability 0 per
+// Lemma 2); for meaningful lists it coincides with Eq. (3), which
+// `expectedDelayMeaningful` computes directly.  The pair cross-checks in the
+// test suite.
+#pragma once
+
+#include <span>
+
+#include "core/candidates.hpp"
+#include "core/request_cost.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::core {
+
+/// Evaluation inputs shared by both forms.
+struct DelayParams {
+  net::HopCount ds_u = 0;      // DS_u: tree depth of the strategy owner
+  double rtt_source_ms = 0.0;  // d(S): RTT from u to the source
+  double timeout_ms = 0.0;     // t_0
+  CostModel cost_model = CostModel::kExpected;
+  /// When > 0, the failure cost of a request to peer j is
+  /// max(min_timeout_ms, per_peer_timeout_factor * rtt_j) instead of the
+  /// constant t_0 — matching a protocol that arms RTT-scaled timeouts
+  /// (paper §3.1 lists per-peer RTT-based estimation as an alternative to a
+  /// global timeout).
+  double per_peer_timeout_factor = 0.0;
+  double min_timeout_ms = 1.0;
+
+  /// The effective timeout for a request with round-trip time `rtt_ms`.
+  [[nodiscard]] double timeoutFor(double rtt_ms) const {
+    if (per_peer_timeout_factor <= 0.0) return timeout_ms;
+    const double t = per_peer_timeout_factor * rtt_ms;
+    return t < min_timeout_ms ? min_timeout_ms : t;
+  }
+};
+
+/// Eq. (2) for an arbitrary-order strategy list.
+[[nodiscard]] double expectedDelay(std::span<const Candidate> strategy,
+                                   const DelayParams& params);
+
+/// Eq. (3); requires strictly descending DS with every ds < ds_u (throws
+/// std::invalid_argument otherwise).
+[[nodiscard]] double expectedDelayMeaningful(
+    std::span<const Candidate> strategy, const DelayParams& params);
+
+/// Distribution of where a recovery completes under the reliable-network
+/// model, conditioned on u having lost the packet.
+struct AttemptDistribution {
+  /// success_at[j] = P(the j-th peer request succeeds); one entry per peer.
+  std::vector<double> success_at;
+  /// P(the list is exhausted and the source serves the recovery).
+  double fallback_to_source = 0.0;
+  /// Expected number of requests issued (peers tried + the source request
+  /// when reached).
+  double expected_requests = 0.0;
+};
+
+/// Computes the attempt distribution for a (not necessarily meaningful)
+/// strategy list; probabilities use the generalized loss window, so
+/// out-of-order entries contribute zero success mass.
+[[nodiscard]] AttemptDistribution attemptDistribution(
+    std::span<const Candidate> strategy, net::HopCount ds_u);
+
+}  // namespace rmrn::core

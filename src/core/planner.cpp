@@ -1,0 +1,66 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/lca.hpp"
+
+namespace rmrn::core {
+
+RpPlanner::RpPlanner(const net::Topology& topology,
+                     const net::Routing& routing, PlannerOptions options)
+    : options_(options) {
+  if (options_.timeout_ms < 0.0) {
+    throw std::invalid_argument("RpPlanner: negative timeout");
+  }
+  if (options_.timeout_ms == 0.0) {
+    double max_rtt = 0.0;
+    for (const net::NodeId c : topology.clients) {
+      max_rtt = std::max(max_rtt, routing.rtt(c, topology.source));
+    }
+    options_.timeout_ms = 2.0 * max_rtt;
+  }
+
+  StrategyGraphOptions graph_options;
+  graph_options.timeout_ms = options_.timeout_ms;
+  graph_options.per_peer_timeout_factor = options_.per_peer_timeout_factor;
+  graph_options.min_timeout_ms = options_.min_timeout_ms;
+  graph_options.cost_model = options_.cost_model;
+  graph_options.allow_direct_source = options_.allow_direct_source;
+  graph_options.max_list_length = options_.max_list_length;
+
+  // Excluded peers never serve, but still get their own strategies.
+  std::vector<net::NodeId> servers = topology.clients;
+  for (const net::NodeId banned : options_.excluded_peers) {
+    std::erase(servers, banned);
+  }
+
+  const net::LcaIndex lca_index(topology.tree);
+  for (const net::NodeId u : topology.clients) {
+    auto candidates =
+        selectCandidates(u, topology.tree, lca_index, routing, servers);
+    const StrategyGraph graph(topology.tree.depth(u), candidates,
+                              routing.rtt(u, topology.source), graph_options);
+    strategies_.emplace(u, searchMinimalDelay(graph));
+    candidates_.emplace(u, std::move(candidates));
+  }
+}
+
+const Strategy& RpPlanner::strategyFor(net::NodeId client) const {
+  const auto it = strategies_.find(client);
+  if (it == strategies_.end()) {
+    throw std::out_of_range("RpPlanner: unknown client");
+  }
+  return it->second;
+}
+
+const std::vector<Candidate>& RpPlanner::candidatesFor(
+    net::NodeId client) const {
+  const auto it = candidates_.find(client);
+  if (it == candidates_.end()) {
+    throw std::out_of_range("RpPlanner: unknown client");
+  }
+  return it->second;
+}
+
+}  // namespace rmrn::core

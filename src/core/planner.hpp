@@ -1,0 +1,64 @@
+// RpPlanner: the RP scheme's control-plane front end.
+//
+// Computes the optimal prioritized recovery list (paper §4) for every client
+// of a topology: candidate selection per Lemmas 4-5, strategy graph per
+// Definition 1, Algorithm 1 shortest path.  O(k * depth^2) overall for k
+// clients.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/strategy_graph.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace rmrn::core {
+
+struct PlannerOptions {
+  double timeout_ms = 0.0;  // t_0; see RpPlanner for the default heuristic
+  /// When > 0, plan against RTT-scaled per-peer timeouts (factor * rtt_j)
+  /// instead of the constant t_0 — use the protocol's timeout_factor here
+  /// so planned failure costs match the simulated waits.
+  double per_peer_timeout_factor = 0.0;
+  double min_timeout_ms = 1.0;
+  CostModel cost_model = CostModel::kExpected;
+  bool allow_direct_source = true;
+  std::size_t max_list_length = std::numeric_limits<std::size_t>::max();
+  /// Peers that must not appear on any list (§4: "many similar useful
+  /// restrictions of this graph are conceivable"), e.g. known-flaky or
+  /// resource-constrained receivers.  They remain protected clients
+  /// themselves.
+  std::vector<net::NodeId> excluded_peers;
+};
+
+class RpPlanner {
+ public:
+  /// Plans strategies for all clients of `topology`.  When
+  /// `options.timeout_ms` is zero a timeout is derived as twice the largest
+  /// client-source RTT (a conservative network-wide t_0).  The topology and
+  /// routing must outlive the planner only during construction.
+  RpPlanner(const net::Topology& topology, const net::Routing& routing,
+            PlannerOptions options);
+
+  /// The optimal strategy for `client`; throws std::out_of_range for
+  /// non-clients.
+  [[nodiscard]] const Strategy& strategyFor(net::NodeId client) const;
+
+  /// The candidate list (one per competitive class, descending DS).
+  [[nodiscard]] const std::vector<Candidate>& candidatesFor(
+      net::NodeId client) const;
+
+  [[nodiscard]] const PlannerOptions& options() const { return options_; }
+
+  /// The t_0 actually used (after defaulting).
+  [[nodiscard]] double timeoutMs() const { return options_.timeout_ms; }
+
+ private:
+  PlannerOptions options_;
+  std::unordered_map<net::NodeId, Strategy> strategies_;
+  std::unordered_map<net::NodeId, std::vector<Candidate>> candidates_;
+};
+
+}  // namespace rmrn::core

@@ -1,0 +1,30 @@
+#include "core/request_cost.hpp"
+
+#include <stdexcept>
+
+#include "core/loss_model.hpp"
+
+namespace rmrn::core {
+
+double requestCost(CostModel model, double rtt_ms, double timeout_ms,
+                   net::HopCount ds_peer, net::HopCount loss_window) {
+  if (rtt_ms < 0.0) {
+    throw std::invalid_argument("requestCost: negative rtt");
+  }
+  if (timeout_ms < 0.0) {
+    throw std::invalid_argument("requestCost: negative timeout");
+  }
+  switch (model) {
+    case CostModel::kTimeoutOnly:
+      return timeout_ms;
+    case CostModel::kRttOnly:
+      return rtt_ms;
+    case CostModel::kExpected: {
+      const double p_success = probPeerHasPacket(ds_peer, loss_window);
+      return rtt_ms * p_success + timeout_ms * (1.0 - p_success);
+    }
+  }
+  throw std::invalid_argument("requestCost: unknown cost model");
+}
+
+}  // namespace rmrn::core

@@ -1,0 +1,45 @@
+// Per-request decision cost d(v_j) — paper §3.1, Eq. (1).
+//
+// d(v_j) is the time u needs to decide whether a recovery request to v_j
+// succeeded.  The paper discusses three estimators:
+//   * timeout only            — d(v_j) = t_0 (a "gross overestimation"),
+//   * round-trip-time only    — d(v_j) = d_j (an underestimation),
+//   * the paper's Eq. (1) mix — d(v_j) = d_j P(success | history)
+//                                      + t_0 P(failure | history).
+// All three are implemented; the ablation bench compares the strategies
+// they induce.
+#pragma once
+
+#include <string_view>
+
+#include "net/types.hpp"
+
+namespace rmrn::core {
+
+enum class CostModel {
+  kExpected,     // Eq. (1): probability-weighted mix (the paper's choice)
+  kTimeoutOnly,  // always t_0
+  kRttOnly,      // always d_j
+};
+
+[[nodiscard]] constexpr std::string_view toString(CostModel m) {
+  switch (m) {
+    case CostModel::kExpected:
+      return "expected";
+    case CostModel::kTimeoutOnly:
+      return "timeout-only";
+    case CostModel::kRttOnly:
+      return "rtt-only";
+  }
+  return "?";
+}
+
+/// d(v_j) for a request to a peer with first-common-router depth `ds_peer`,
+/// issued while the loss is known to lie within `loss_window` links of the
+/// source (see loss_model.hpp).  `rtt_ms` is d_j, `timeout_ms` is t_0.
+/// Throws std::invalid_argument on negative rtt/timeout or zero loss window.
+[[nodiscard]] double requestCost(CostModel model, double rtt_ms,
+                                 double timeout_ms, net::HopCount ds_peer,
+                                 net::HopCount loss_window);
+
+}  // namespace rmrn::core

@@ -1,0 +1,236 @@
+#include "core/strategy_graph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/loss_model.hpp"
+
+namespace rmrn::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+StrategyGraph::StrategyGraph(net::HopCount ds_u,
+                             std::vector<Candidate> candidates,
+                             double rtt_source_ms,
+                             const StrategyGraphOptions& options)
+    : ds_u_(ds_u),
+      candidates_(std::move(candidates)),
+      rtt_source_ms_(rtt_source_ms),
+      options_(options) {
+  if (ds_u_ == 0) {
+    throw std::invalid_argument("StrategyGraph: DS_u must be positive");
+  }
+  if (rtt_source_ms_ < 0.0 || options_.timeout_ms < 0.0 ||
+      options_.per_peer_timeout_factor < 0.0) {
+    throw std::invalid_argument("StrategyGraph: negative delay parameter");
+  }
+  net::HopCount prev = ds_u_;
+  for (const Candidate& c : candidates_) {
+    if (c.ds >= prev) {
+      throw std::invalid_argument(
+          "StrategyGraph: candidates must be strictly descending in DS, "
+          "below DS_u");
+    }
+    if (c.rtt_ms < 0.0) {
+      throw std::invalid_argument("StrategyGraph: negative candidate RTT");
+    }
+    prev = c.ds;
+  }
+
+  // Materialize the edge list (Definition 1) in processing order.
+  const std::size_t n = candidates_.size();
+  const std::size_t s = sourceVertex();
+  edges_.reserve((n + 1) * (n + 2) / 2 + n + 1);
+  for (std::size_t from = 0; from <= n; ++from) {
+    for (std::size_t to = from + 1; to <= n; ++to) {
+      edges_.push_back({from, to, edgeWeight(from, to)});
+    }
+    const double to_source = edgeWeight(from, s);
+    if (std::isfinite(to_source)) {
+      edges_.push_back({from, s, to_source});
+    }
+  }
+}
+
+double StrategyGraph::edgeWeight(std::size_t from, std::size_t to) const {
+  const std::size_t n = candidates_.size();
+  const std::size_t s = sourceVertex();
+  if (from >= to || to > s || from > n) return kInf;
+
+  // History term: requests after v_i are reached with probability
+  // DS_i / DS_u (Lemma 3); u itself is reached with probability 1.
+  const net::HopCount window = from == 0 ? ds_u_ : candidates_[from - 1].ds;
+  const double reach =
+      from == 0 ? 1.0
+                : static_cast<double>(window) / static_cast<double>(ds_u_);
+
+  if (to == s) {
+    if (from == 0 && !options_.allow_direct_source) return kInf;
+    return reach * rtt_source_ms_;
+  }
+  const Candidate& c = candidates_[to - 1];
+  if (window == 0) {
+    // A zero-depth predecessor never fails, so this edge is unreachable in
+    // any positive-probability history; weight 0 keeps it harmless.
+    return 0.0;
+  }
+  double timeout = options_.timeout_ms;
+  if (options_.per_peer_timeout_factor > 0.0) {
+    timeout = std::max(options_.min_timeout_ms,
+                       options_.per_peer_timeout_factor * c.rtt_ms);
+  }
+  return reach * requestCost(options_.cost_model, c.rtt_ms, timeout, c.ds,
+                             window);
+}
+
+namespace {
+
+// Algorithm 1 verbatim: vertices processed in topological order
+// u, v_1, ..., v_N, S; each edge relaxed once; a vertex whose tentative
+// distance already meets S's is skipped (the paper's step 4 pruning).
+// O(N^2).
+Strategy unrestrictedShortestPath(const StrategyGraph& graph) {
+  const std::size_t s = graph.sourceVertex();
+  const std::size_t n = graph.candidates().size();
+
+  std::vector<double> dist(s + 1, kInf);
+  std::vector<std::size_t> parent(s + 1, s + 1);
+  dist[0] = 0.0;
+
+  for (std::size_t x = 0; x <= n; ++x) {
+    if (!std::isfinite(dist[x]) || dist[x] >= dist[s]) continue;
+    for (std::size_t y = x + 1; y <= s; ++y) {
+      const double w = graph.edgeWeight(x, y);
+      if (std::isfinite(w) && dist[x] + w < dist[y]) {
+        dist[y] = dist[x] + w;
+        parent[y] = x;
+      }
+    }
+  }
+  if (!std::isfinite(dist[s])) {
+    throw std::logic_error(
+        "searchMinimalDelay: no feasible strategy (restricted graph with no "
+        "path to S)");
+  }
+
+  Strategy result;
+  result.expected_delay_ms = dist[s];
+  for (std::size_t v = parent[s]; v != 0; v = parent[v]) {
+    result.peers.push_back(graph.candidates()[v - 1]);
+  }
+  std::reverse(result.peers.begin(), result.peers.end());
+  return result;
+}
+
+// Length-capped variant for restricted strategies: one DP layer per number
+// of peers used so far.  O(N^2 * cap).
+Strategy cappedShortestPath(const StrategyGraph& graph,
+                            std::size_t max_peers) {
+  const std::size_t s = graph.sourceVertex();
+  const std::size_t n = graph.candidates().size();
+  const std::size_t layers = max_peers + 1;  // peers used: 0..max_peers
+
+  const auto at = [s](std::size_t vertex, std::size_t layer) {
+    return layer * (s + 1) + vertex;
+  };
+  std::vector<double> dist((s + 1) * layers, kInf);
+  std::vector<std::size_t> parent_vertex((s + 1) * layers, s + 1);
+  std::vector<std::size_t> parent_layer((s + 1) * layers, 0);
+  dist[at(0, 0)] = 0.0;
+
+  for (std::size_t x = 0; x <= n; ++x) {
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+      const double dx = dist[at(x, layer)];
+      if (!std::isfinite(dx)) continue;
+      for (std::size_t y = x + 1; y <= s; ++y) {
+        const double w = graph.edgeWeight(x, y);
+        if (!std::isfinite(w)) continue;
+        const std::size_t next_layer = y == s ? layer : layer + 1;
+        if (next_layer >= layers) continue;  // peer budget exhausted
+        if (dx + w < dist[at(y, next_layer)]) {
+          dist[at(y, next_layer)] = dx + w;
+          parent_vertex[at(y, next_layer)] = x;
+          parent_layer[at(y, next_layer)] = layer;
+        }
+      }
+    }
+  }
+
+  std::size_t best_layer = 0;
+  for (std::size_t l = 1; l < layers; ++l) {
+    if (dist[at(s, l)] < dist[at(s, best_layer)]) best_layer = l;
+  }
+  if (!std::isfinite(dist[at(s, best_layer)])) {
+    throw std::logic_error(
+        "searchMinimalDelay: no feasible strategy (restricted graph with no "
+        "path to S)");
+  }
+
+  Strategy result;
+  result.expected_delay_ms = dist[at(s, best_layer)];
+  std::size_t vertex = s;
+  std::size_t layer = best_layer;
+  while (vertex != 0) {
+    const std::size_t pv = parent_vertex[at(vertex, layer)];
+    const std::size_t pl = parent_layer[at(vertex, layer)];
+    if (vertex != s) result.peers.push_back(graph.candidates()[vertex - 1]);
+    vertex = pv;
+    layer = pl;
+  }
+  std::reverse(result.peers.begin(), result.peers.end());
+  return result;
+}
+
+}  // namespace
+
+Strategy searchMinimalDelay(const StrategyGraph& graph) {
+  const std::size_t n = graph.candidates().size();
+  const std::size_t max_peers = graph.options().max_list_length;
+  if (max_peers >= n) return unrestrictedShortestPath(graph);
+  return cappedShortestPath(graph, max_peers);
+}
+
+Strategy bruteForceMinimalDelay(net::HopCount ds_u,
+                                const std::vector<Candidate>& candidates,
+                                double rtt_source_ms,
+                                const StrategyGraphOptions& options) {
+  const std::size_t n = candidates.size();
+  if (n > 24) {
+    throw std::invalid_argument("bruteForceMinimalDelay: too many candidates");
+  }
+  DelayParams params;
+  params.ds_u = ds_u;
+  params.rtt_source_ms = rtt_source_ms;
+  params.timeout_ms = options.timeout_ms;
+  params.cost_model = options.cost_model;
+  params.per_peer_timeout_factor = options.per_peer_timeout_factor;
+  params.min_timeout_ms = options.min_timeout_ms;
+  Strategy best;
+  best.expected_delay_ms = kInf;
+  std::vector<Candidate> subset;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const auto peer_count =
+        static_cast<std::size_t>(std::popcount(mask));
+    if (peer_count > options.max_list_length) continue;
+    if (mask == 0 && !options.allow_direct_source) continue;
+    subset.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(candidates[i]);
+    }
+    const double delay = expectedDelay(subset, params);
+    if (delay < best.expected_delay_ms) {
+      best.expected_delay_ms = delay;
+      best.peers = subset;
+    }
+  }
+  if (!std::isfinite(best.expected_delay_ms)) {
+    throw std::logic_error("bruteForceMinimalDelay: no feasible strategy");
+  }
+  return best;
+}
+
+}  // namespace rmrn::core

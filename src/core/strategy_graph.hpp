@@ -1,0 +1,113 @@
+// The strategy graph (paper §4, Definition 1) and Algorithm 1.
+//
+// Given u's candidate list {v_1, ..., v_N} sorted in descending DS, the
+// strategy graph is an edge-weighted DAG over {u, v_1, ..., v_N, S} with
+//   * edges u -> v_i, u -> S, v_i -> S, and v_i -> v_j for i < j,
+//   * weights chosen so every u -> S path's length equals the expected
+//     recovery delay (Eq. 2/3) of the strategy formed by its interior nodes:
+//       w(u -> S)    = d(S)
+//       w(u -> v_j)  = d(v_j)                       [history: DS_u]
+//       w(v_i -> v_j)= (DS_i / DS_u) d(v_j)         [history: DS_i]
+//       w(v_i -> S)  = (DS_i / DS_u) d(S)
+//
+// A shortest u -> S path therefore yields the minimum-delay strategy.
+// Algorithm 1 computes it by processing vertices in topological order
+// (u, v_1, ..., v_N, S), skipping any vertex whose tentative distance
+// already meets or exceeds S's, in O(N^2) total edge relaxations.
+//
+// Restricted strategies (end of §4): the `allow_direct_source` option drops
+// the u -> S edge so clients near the source do not converge on it, and
+// `max_list_length` caps the number of peers on the list.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/objective.hpp"
+#include "core/request_cost.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::core {
+
+struct StrategyGraphOptions {
+  double timeout_ms = 0.0;  // t_0
+  /// When > 0, per-request failure costs use
+  /// max(min_timeout_ms, per_peer_timeout_factor * rtt_j) instead of t_0
+  /// (see DelayParams::timeoutFor).
+  double per_peer_timeout_factor = 0.0;
+  double min_timeout_ms = 1.0;
+  CostModel cost_model = CostModel::kExpected;
+  /// When false, removes the u -> S edge: u may reach the source only after
+  /// at least one peer request (congestion relief near the source).
+  bool allow_direct_source = true;
+  /// Maximum number of peers on the list (source fallback excluded).
+  std::size_t max_list_length = std::numeric_limits<std::size_t>::max();
+};
+
+/// Explicit strategy-graph representation, exposed for tests, the ablation
+/// benches and the strategy_explorer example.
+class StrategyGraph {
+ public:
+  /// Vertex indices: 0 = u, 1..N = candidates in descending DS, N+1 = S.
+  struct Edge {
+    std::size_t from = 0;
+    std::size_t to = 0;
+    double weight = 0.0;
+  };
+
+  /// Builds the graph.  `candidates` must be strictly descending in DS with
+  /// every ds < ds_u (throws std::invalid_argument otherwise).
+  StrategyGraph(net::HopCount ds_u, std::vector<Candidate> candidates,
+                double rtt_source_ms, const StrategyGraphOptions& options);
+
+  [[nodiscard]] std::size_t numVertices() const {
+    return candidates_.size() + 2;
+  }
+  [[nodiscard]] std::size_t sourceVertex() const {
+    return candidates_.size() + 1;
+  }
+  [[nodiscard]] const std::vector<Candidate>& candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] net::HopCount dsU() const { return ds_u_; }
+  [[nodiscard]] double rttSource() const { return rtt_source_ms_; }
+  [[nodiscard]] const StrategyGraphOptions& options() const {
+    return options_;
+  }
+
+  /// All edges, grouped by source vertex in processing order.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge weight helper (also used to enumerate paths in tests).
+  /// `from`/`to` are vertex indices.  Returns +infinity for non-edges.
+  [[nodiscard]] double edgeWeight(std::size_t from, std::size_t to) const;
+
+ private:
+  net::HopCount ds_u_;
+  std::vector<Candidate> candidates_;
+  double rtt_source_ms_;
+  StrategyGraphOptions options_;
+  std::vector<Edge> edges_;
+};
+
+/// A computed recovery strategy: the prioritized peer list (request order)
+/// plus its expected delay.  The source fallback is implicit.
+struct Strategy {
+  std::vector<Candidate> peers;
+  double expected_delay_ms = 0.0;
+};
+
+/// Algorithm 1: DAG shortest path over the strategy graph in O(N^2).
+[[nodiscard]] Strategy searchMinimalDelay(const StrategyGraph& graph);
+
+/// Reference implementation for tests/ablations: enumerates every subset of
+/// the candidates (kept in descending-DS order, i.e. every meaningful
+/// strategy, Lemmas 4-5) and returns the best by Eq. (2).  Exponential in
+/// the candidate count; intended for small inputs.
+[[nodiscard]] Strategy bruteForceMinimalDelay(
+    net::HopCount ds_u, const std::vector<Candidate>& candidates,
+    double rtt_source_ms, const StrategyGraphOptions& options);
+
+}  // namespace rmrn::core

@@ -1,0 +1,28 @@
+// ExperimentConfig persistence: a line-oriented "key = value" format so
+// experiment campaigns can be versioned and re-run from files (and the rmrn
+// CLI can take --config).
+//
+//   # comments and blank lines allowed
+//   num_nodes = 500
+//   loss_prob = 0.05
+//   num_packets = 60
+//   rp.cost_model = expected | timeout-only | rtt-only
+//   ...
+#pragma once
+
+#include <iosfwd>
+
+#include "harness/experiment.hpp"
+
+namespace rmrn::harness {
+
+/// Writes every configurable field (including defaults) so the file is a
+/// complete record of the run.
+void writeConfig(std::ostream& out, const ExperimentConfig& config);
+
+/// Parses a config written by writeConfig (or hand-edited).  Unknown keys
+/// and malformed values throw std::runtime_error with the line number.
+/// Omitted keys keep their defaults.
+[[nodiscard]] ExperimentConfig readConfig(std::istream& in);
+
+}  // namespace rmrn::harness

@@ -1,0 +1,50 @@
+#include "harness/csv.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace rmrn::harness {
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void writeResultsCsv(std::ostream& out,
+                     const std::vector<ExperimentResult>& results) {
+  CsvWriter csv(out);
+  csv.row({"num_nodes", "clients", "loss_prob", "protocol", "losses",
+           "recoveries", "avg_latency_ms", "avg_bandwidth_hops",
+           "recovery_hops", "fully_recovered"});
+  const auto num = [](double v) {
+    std::ostringstream s;
+    s << v;
+    return s.str();
+  };
+  for (const ExperimentResult& r : results) {
+    for (const ProtocolResult& p : r.protocols) {
+      csv.row({std::to_string(r.num_nodes), num(r.num_clients),
+               num(r.loss_prob), std::string(toString(p.kind)),
+               std::to_string(p.losses), std::to_string(p.recoveries),
+               num(p.avg_latency_ms), num(p.avg_bandwidth_hops),
+               std::to_string(p.recovery_hops),
+               p.fully_recovered ? "true" : "false"});
+    }
+  }
+}
+
+}  // namespace rmrn::harness

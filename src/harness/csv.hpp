@@ -1,0 +1,34 @@
+// RFC-4180-style CSV output for experiment results, so figure data can be
+// post-processed / plotted outside the repo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace rmrn::harness {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields are quoted/escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Quotes a field if it contains a comma, quote or newline; embedded
+  /// quotes are doubled.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Writes one CSV row per (experiment, protocol) with a fixed header:
+/// num_nodes,clients,loss_prob,protocol,losses,recoveries,
+/// avg_latency_ms,avg_bandwidth_hops,recovery_hops,fully_recovered
+void writeResultsCsv(std::ostream& out,
+                     const std::vector<ExperimentResult>& results);
+
+}  // namespace rmrn::harness

@@ -1,0 +1,259 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "metrics/recovery_metrics.hpp"
+#include "net/routing.hpp"
+#include "protocols/rma_protocol.hpp"
+#include "sim/loss_process.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::harness {
+
+namespace {
+
+// Substream keys for the per-experiment RNG tree.
+constexpr std::uint64_t kTopologyStream = 1;
+constexpr std::uint64_t kDataLossStream = 2;
+constexpr std::uint64_t kProtocolStreamBase = 100;
+
+ProtocolResult runOneProtocol(const ExperimentConfig& config,
+                              ProtocolKind kind, const net::Topology& topology,
+                              const net::Routing& routing,
+                              const core::RpPlanner& planner,
+                              const std::vector<sim::LinkLossPattern>& losses,
+                              const util::Rng& root_rng) {
+  sim::Simulator simulator;
+  const double recovery_loss = config.lossy_recovery ? config.loss_prob : 0.0;
+  sim::SimNetwork network(
+      simulator, topology, routing, recovery_loss,
+      root_rng.fork(kProtocolStreamBase + static_cast<std::uint64_t>(kind)));
+  metrics::RecoveryMetrics recovery;
+  network.enableLinkAccounting(true);
+
+  std::unique_ptr<protocols::RecoveryProtocol> protocol;
+  std::unique_ptr<core::RpPlanner> degenerate_planner;
+  switch (kind) {
+    case ProtocolKind::kRp:
+      protocol = std::make_unique<protocols::RpProtocol>(
+          network, recovery, config.protocol, planner, config.rp_source_mode);
+      break;
+    case ProtocolKind::kSourceDirect: {
+      core::PlannerOptions direct = config.rp_planner;
+      direct.max_list_length = 0;  // empty peer lists: straight to the source
+      degenerate_planner =
+          std::make_unique<core::RpPlanner>(topology, routing, direct);
+      protocol = std::make_unique<protocols::RpProtocol>(
+          network, recovery, config.protocol, *degenerate_planner,
+          config.rp_source_mode);
+      break;
+    }
+    case ProtocolKind::kSrm:
+      protocol = std::make_unique<protocols::SrmProtocol>(
+          network, recovery, config.protocol, config.srm,
+          root_rng.fork(kProtocolStreamBase + 50 +
+                        static_cast<std::uint64_t>(kind)));
+      break;
+    case ProtocolKind::kRma:
+      protocol = std::make_unique<protocols::RmaProtocol>(network, recovery,
+                                                          config.protocol);
+      break;
+    case ProtocolKind::kParityFec:
+      protocol = std::make_unique<protocols::ParityProtocol>(
+          network, recovery, config.protocol, config.parity);
+      break;
+  }
+  protocol->attach();
+
+  for (std::uint32_t i = 0; i < config.num_packets; ++i) {
+    simulator.scheduleAt(
+        static_cast<double>(i) * config.data_interval_ms,
+        [&protocol, &losses, i] { protocol->sourceMulticast(i, losses[i]); });
+  }
+  simulator.run();
+
+  ProtocolResult result;
+  result.kind = kind;
+  result.losses = recovery.losses();
+  result.recoveries = recovery.recoveries();
+  result.avg_latency_ms = recovery.latency().mean();
+  result.recovery_hops = network.stats().recovery_hops;
+  result.data_hops = network.stats().data_hops;
+  result.avg_bandwidth_hops =
+      recovery.avgBandwidthHops(result.recovery_hops);
+  result.latency = recovery.latency().summarize();
+  result.fully_recovered = recovery.outstanding() == 0;
+  result.source_requests =
+      network.deliveriesAt(topology.source, sim::Packet::Type::kRequest);
+  result.max_link_load = network.maxRecoveryLinkLoad();
+  result.duplicate_deliveries = protocol->duplicateDeliveries();
+  return result;
+}
+
+}  // namespace
+
+const ProtocolResult& ExperimentResult::result(ProtocolKind kind) const {
+  for (const ProtocolResult& r : protocols) {
+    if (r.kind == kind) return r;
+  }
+  throw std::out_of_range("ExperimentResult: protocol not present");
+}
+
+ExperimentResult runExperiment(const ExperimentConfig& config,
+                               std::span<const ProtocolKind> kinds) {
+  if (config.num_packets == 0) {
+    throw std::invalid_argument("runExperiment: need at least one packet");
+  }
+  util::Rng root(config.seed);
+
+  net::TopologyConfig topo_config = config.topology;
+  topo_config.num_nodes = config.num_nodes;
+  util::Rng topo_rng = root.fork(kTopologyStream);
+  const net::Topology topology = net::generateTopology(topo_config, topo_rng);
+  const net::Routing routing(topology.graph);
+
+  // Identical data-loss draws for every protocol (DESIGN.md §6), drawn
+  // from the configured loss process (i.i.d. by default, Gilbert-Elliott
+  // bursts when mean_burst_packets > 1).
+  std::unique_ptr<sim::LossProcess> loss_process;
+  if (config.mean_burst_packets > 1.0 && config.loss_prob > 0.0) {
+    loss_process = std::make_unique<sim::GilbertElliottLossProcess>(
+        topology.tree.numMembers(),
+        sim::GilbertElliottConfig::calibrate(config.loss_prob,
+                                             config.mean_burst_packets),
+        root.fork(kDataLossStream));
+  } else {
+    loss_process = std::make_unique<sim::BernoulliLossProcess>(
+        topology.tree.numMembers(), config.loss_prob,
+        root.fork(kDataLossStream));
+  }
+  std::vector<sim::LinkLossPattern> losses(config.num_packets);
+  for (auto& pattern : losses) pattern = loss_process->nextPattern();
+
+  // Unless the caller pinned a planning timeout, plan against the
+  // protocol's actual RTT-scaled waits.
+  core::PlannerOptions planner_options = config.rp_planner;
+  if (planner_options.timeout_ms == 0.0 &&
+      planner_options.per_peer_timeout_factor == 0.0) {
+    planner_options.per_peer_timeout_factor = config.protocol.timeout_factor;
+    planner_options.min_timeout_ms = config.protocol.min_timeout_ms;
+  }
+  const core::RpPlanner planner(topology, routing, planner_options);
+
+  ExperimentResult result;
+  result.num_nodes = config.num_nodes;
+  result.num_clients = static_cast<double>(topology.clients.size());
+  result.loss_prob = config.loss_prob;
+  for (const ProtocolKind kind : kinds) {
+    result.protocols.push_back(runOneProtocol(config, kind, topology, routing,
+                                              planner, losses, root));
+  }
+  return result;
+}
+
+namespace {
+
+// Aggregates per-seed results in seed order (identical for sequential and
+// parallel execution).
+ExperimentResult aggregate(std::vector<ExperimentResult> results) {
+  // Cross-run dispersion of the per-run means, per protocol.
+  const std::size_t num_protocols = results.front().protocols.size();
+  std::vector<metrics::Accumulator> latency_runs(num_protocols);
+  std::vector<metrics::Accumulator> bandwidth_runs(num_protocols);
+  for (const ExperimentResult& one : results) {
+    for (std::size_t i = 0; i < num_protocols; ++i) {
+      latency_runs[i].add(one.protocols[i].avg_latency_ms);
+      bandwidth_runs[i].add(one.protocols[i].avg_bandwidth_hops);
+    }
+  }
+
+  ExperimentResult total = std::move(results.front());
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    const ExperimentResult& one = results[r];
+    total.num_clients += one.num_clients;
+    for (std::size_t i = 0; i < total.protocols.size(); ++i) {
+      ProtocolResult& acc = total.protocols[i];
+      const ProtocolResult& cur = one.protocols[i];
+      acc.losses += cur.losses;
+      acc.recoveries += cur.recoveries;
+      acc.recovery_hops += cur.recovery_hops;
+      acc.data_hops += cur.data_hops;
+      acc.avg_latency_ms += cur.avg_latency_ms;
+      acc.avg_bandwidth_hops += cur.avg_bandwidth_hops;
+      acc.fully_recovered = acc.fully_recovered && cur.fully_recovered;
+      acc.source_requests += cur.source_requests;
+      acc.max_link_load = std::max(acc.max_link_load, cur.max_link_load);
+      acc.duplicate_deliveries += cur.duplicate_deliveries;
+    }
+  }
+  const auto n = static_cast<double>(results.size());
+  total.num_clients /= n;
+  for (std::size_t i = 0; i < total.protocols.size(); ++i) {
+    total.protocols[i].avg_latency_ms /= n;
+    total.protocols[i].avg_bandwidth_hops /= n;
+    total.protocols[i].latency_run_stddev = latency_runs[i].summarize().stddev;
+    total.protocols[i].bandwidth_run_stddev =
+        bandwidth_runs[i].summarize().stddev;
+  }
+  return total;
+}
+
+}  // namespace
+
+ExperimentResult runAveragedExperiment(const ExperimentConfig& config,
+                                       std::uint32_t runs,
+                                       std::span<const ProtocolKind> kinds) {
+  if (runs == 0) {
+    throw std::invalid_argument("runAveragedExperiment: runs must be > 0");
+  }
+  std::vector<ExperimentResult> results(runs);
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    ExperimentConfig run_config = config;
+    run_config.seed = config.seed + r;
+    results[r] = runExperiment(run_config, kinds);
+  }
+  return aggregate(std::move(results));
+}
+
+ExperimentResult runAveragedExperimentParallel(
+    const ExperimentConfig& config, std::uint32_t runs,
+    std::span<const ProtocolKind> kinds, unsigned threads) {
+  if (runs == 0) {
+    throw std::invalid_argument(
+        "runAveragedExperimentParallel: runs must be > 0");
+  }
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads <= 1 || runs == 1) {
+    return runAveragedExperiment(config, runs, kinds);
+  }
+  threads = std::min<unsigned>(threads, runs);
+
+  // Static work queue: each worker claims the next seed index.  Per-seed
+  // experiments share nothing (every run builds its own topology, RNG tree
+  // and simulator), so no synchronization beyond the claim counter is
+  // needed.
+  std::vector<ExperimentResult> results(runs);
+  std::atomic<std::uint32_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::uint32_t r = next.fetch_add(1, std::memory_order_relaxed);
+      if (r >= runs) return;
+      ExperimentConfig run_config = config;
+      run_config.seed = config.seed + r;
+      results[r] = runExperiment(run_config, kinds);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return aggregate(std::move(results));
+}
+
+}  // namespace rmrn::harness

@@ -1,0 +1,27 @@
+// Minimal aligned text-table writer for bench/example output.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmrn::harness {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Formats a double with `precision` fraction digits.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rmrn::harness

@@ -1,0 +1,61 @@
+#include "metrics/recovery_metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rmrn::metrics {
+
+RecoveryMetrics::Key RecoveryMetrics::key(net::NodeId client,
+                                          std::uint64_t seq) {
+  if (seq > 0xffffffffULL) {
+    throw std::invalid_argument("RecoveryMetrics: seq exceeds 32 bits");
+  }
+  return (static_cast<Key>(client) << 32) | seq;
+}
+
+void RecoveryMetrics::recordLoss(net::NodeId client, std::uint64_t seq,
+                                 double detect_time_ms) {
+  const auto [it, inserted] =
+      pending_.emplace(key(client, seq), Pending{detect_time_ms, false});
+  if (!inserted) {
+    throw std::logic_error("RecoveryMetrics: duplicate loss record");
+  }
+  ++losses_;
+}
+
+bool RecoveryMetrics::recordRecovery(net::NodeId client, std::uint64_t seq,
+                                     double now_ms) {
+  const auto it = pending_.find(key(client, seq));
+  if (it == pending_.end() || it->second.recovered) return false;
+  it->second.recovered = true;
+  auto& last = last_recovery_[client];
+  last = std::max(last, now_ms);
+  const double latency = now_ms - it->second.detect_time_ms;
+  // A repair can arrive before the client even notices the loss (e.g. an
+  // SRM repair triggered by somebody else); the effective wait is zero.
+  latency_.add(latency > 0.0 ? latency : 0.0);
+  return true;
+}
+
+bool RecoveryMetrics::wasLost(net::NodeId client, std::uint64_t seq) const {
+  return pending_.contains(key(client, seq));
+}
+
+bool RecoveryMetrics::isRecovered(net::NodeId client,
+                                  std::uint64_t seq) const {
+  const auto it = pending_.find(key(client, seq));
+  return it != pending_.end() && it->second.recovered;
+}
+
+double RecoveryMetrics::lastRecoveryTime(net::NodeId client) const {
+  const auto it = last_recovery_.find(client);
+  return it == last_recovery_.end() ? 0.0 : it->second;
+}
+
+double RecoveryMetrics::avgBandwidthHops(std::uint64_t recovery_hops) const {
+  const std::size_t n = recoveries();
+  if (n == 0) return 0.0;
+  return static_cast<double>(recovery_hops) / static_cast<double>(n);
+}
+
+}  // namespace rmrn::metrics

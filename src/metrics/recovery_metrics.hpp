@@ -1,0 +1,67 @@
+// Recovery bookkeeping producing the paper's two headline metrics:
+//   * average delay per packet recovered (ms)            — Figs. 5 and 7
+//   * average bandwidth usage per packet recovered (hops) — Figs. 6 and 8
+//
+// A "recovery" is one (client, sequence) pair that lost the original
+// transmission and later obtained the packet.  Bandwidth is the total hop
+// count of all recovery traffic (requests, NACKs, repairs) divided by the
+// number of recoveries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "metrics/stats.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::metrics {
+
+class RecoveryMetrics {
+ public:
+  /// Registers that `client` lost data packet `seq`, detected at
+  /// `detect_time_ms`.  Duplicate registration throws std::logic_error.
+  void recordLoss(net::NodeId client, std::uint64_t seq,
+                  double detect_time_ms);
+
+  /// Registers the recovery of a previously recorded loss at `now_ms`.
+  /// Returns false (and records nothing) when the pair was never lost or was
+  /// already recovered — duplicate repairs are normal under multicast repair.
+  bool recordRecovery(net::NodeId client, std::uint64_t seq, double now_ms);
+
+  [[nodiscard]] bool wasLost(net::NodeId client, std::uint64_t seq) const;
+  [[nodiscard]] bool isRecovered(net::NodeId client, std::uint64_t seq) const;
+
+  [[nodiscard]] std::size_t losses() const { return losses_; }
+  [[nodiscard]] std::size_t recoveries() const {
+    return latency_.count();
+  }
+  [[nodiscard]] std::size_t outstanding() const {
+    return losses_ - latency_.count();
+  }
+
+  /// Latency samples (ms) of completed recoveries.
+  [[nodiscard]] const Accumulator& latency() const { return latency_; }
+
+  /// Average recovery bandwidth per recovery given the total recovery hop
+  /// count observed by the network.  Returns 0 when no recoveries happened.
+  [[nodiscard]] double avgBandwidthHops(std::uint64_t recovery_hops) const;
+
+  /// Time of `client`'s most recent completed recovery (0 when it never
+  /// recovered anything) — used for per-client completion times.
+  [[nodiscard]] double lastRecoveryTime(net::NodeId client) const;
+
+ private:
+  struct Pending {
+    double detect_time_ms = 0.0;
+    bool recovered = false;
+  };
+  using Key = std::uint64_t;
+  static Key key(net::NodeId client, std::uint64_t seq);
+
+  std::unordered_map<Key, Pending> pending_;
+  std::unordered_map<net::NodeId, double> last_recovery_;
+  Accumulator latency_;
+  std::size_t losses_ = 0;
+};
+
+}  // namespace rmrn::metrics

@@ -1,0 +1,58 @@
+#include "net/ghost.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rmrn::net {
+
+namespace {
+
+// Copy `g` into a fresh graph (Graph is move-only friendly but we need an
+// explicit edge copy because adjacency is private).
+Graph copyGraph(const Graph& g) {
+  Graph out(g.numNodes());
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    for (const HalfEdge& e : g.neighbors(v)) {
+      if (v < e.to) out.addEdge(v, e.to, e.delay);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GhostTransformResult applyGhostTransform(
+    const Graph& g, const std::vector<SharedLink>& shared_links) {
+  GhostTransformResult result{copyGraph(g), {}};
+  result.ghosts.reserve(shared_links.size());
+
+  for (const SharedLink& link : shared_links) {
+    if (link.members.size() < 2) {
+      throw std::invalid_argument(
+          "applyGhostTransform: shared link needs >= 2 members");
+    }
+    if (link.delay <= 0.0) {
+      throw std::invalid_argument(
+          "applyGhostTransform: shared link delay must be positive");
+    }
+    std::unordered_set<NodeId> seen;
+    for (const NodeId m : link.members) {
+      if (!g.hasNode(m)) {
+        throw std::invalid_argument(
+            "applyGhostTransform: shared link member out of range");
+      }
+      if (!seen.insert(m).second) {
+        throw std::invalid_argument(
+            "applyGhostTransform: duplicate member on shared link");
+      }
+    }
+    const NodeId ghost = result.graph.addNode();
+    result.ghosts.push_back(ghost);
+    for (const NodeId m : link.members) {
+      result.graph.addEdge(ghost, m, link.delay / 2.0);
+    }
+  }
+  return result;
+}
+
+}  // namespace rmrn::net

@@ -1,0 +1,37 @@
+// Shared-link (LAN segment) to ghost-node transformation, paper Fig. 2.
+//
+// The paper presents its algorithm over point-to-point links and notes that
+// "a shared link may be expressed as multiple point-to-point links using
+// ghost nodes": the broadcast segment becomes a zero-storage router (the
+// ghost) with a point-to-point link to each attached node, so that a partial
+// loss on the segment can be assigned to the individual ghost-to-member
+// links.  This module performs that graph rewrite.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::net {
+
+/// A broadcast segment attaching >= 2 nodes with a common one-way delay.
+struct SharedLink {
+  std::vector<NodeId> members;
+  DelayMs delay = 1.0;
+};
+
+struct GhostTransformResult {
+  Graph graph;                  // original edges + ghost stars
+  std::vector<NodeId> ghosts;   // ghost node id per input shared link
+};
+
+/// Rewrites `g` by adding one ghost node per shared link and a ghost-member
+/// edge of delay `link.delay / 2` for every member, so the member-to-member
+/// delay across the segment equals `link.delay`.  Throws
+/// std::invalid_argument if a shared link has fewer than two members, repeats
+/// a member, or references nodes outside `g`.
+[[nodiscard]] GhostTransformResult applyGhostTransform(
+    const Graph& g, const std::vector<SharedLink>& shared_links);
+
+}  // namespace rmrn::net

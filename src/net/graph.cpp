@@ -1,0 +1,87 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace rmrn::net {
+
+Graph::Graph(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+NodeId Graph::addNode() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Graph::checkNode(NodeId v) const {
+  if (!hasNode(v)) {
+    throw std::invalid_argument("Graph: node " + std::to_string(v) +
+                                " out of range (numNodes=" +
+                                std::to_string(adjacency_.size()) + ")");
+  }
+}
+
+void Graph::addEdge(NodeId a, NodeId b, DelayMs delay) {
+  checkNode(a);
+  checkNode(b);
+  if (a == b) {
+    throw std::invalid_argument("Graph: self loop at node " + std::to_string(a));
+  }
+  if (delay <= 0.0) {
+    throw std::invalid_argument("Graph: edge delay must be positive");
+  }
+  if (hasEdge(a, b)) {
+    throw std::invalid_argument("Graph: duplicate edge {" + std::to_string(a) +
+                                ", " + std::to_string(b) + "}");
+  }
+  adjacency_[a].push_back({b, delay});
+  adjacency_[b].push_back({a, delay});
+  ++num_edges_;
+}
+
+bool Graph::hasEdge(NodeId a, NodeId b) const {
+  if (!hasNode(a) || !hasNode(b)) return false;
+  const auto& adj = adjacency_[a];
+  return std::any_of(adj.begin(), adj.end(),
+                     [b](const HalfEdge& e) { return e.to == b; });
+}
+
+std::optional<DelayMs> Graph::edgeDelay(NodeId a, NodeId b) const {
+  if (!hasNode(a) || !hasNode(b)) return std::nullopt;
+  for (const HalfEdge& e : adjacency_[a]) {
+    if (e.to == b) return e.delay;
+  }
+  return std::nullopt;
+}
+
+std::span<const HalfEdge> Graph::neighbors(NodeId v) const {
+  checkNode(v);
+  return adjacency_[v];
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  checkNode(v);
+  return adjacency_[v].size();
+}
+
+bool Graph::isConnected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const HalfEdge& e : adjacency_[v]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace rmrn::net

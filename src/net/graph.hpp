@@ -1,0 +1,65 @@
+// Undirected weighted graph: the router backbone of the multicast network.
+//
+// Nodes are dense NodeIds; each undirected edge carries one expected delay
+// (milliseconds).  The graph is the substrate both for unicast routing
+// (Dijkstra over expected delays) and for spanning-subtree extraction (the
+// multicast tree of section 2.1 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace rmrn::net {
+
+/// One directed half of an undirected edge, as stored in adjacency lists.
+struct HalfEdge {
+  NodeId to;
+  DelayMs delay;
+};
+
+/// Undirected weighted multigraph-free graph.  Self loops and parallel edges
+/// are rejected.  Edge delays must be strictly positive.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit Graph(std::size_t num_nodes);
+
+  /// Appends a new isolated node and returns its id.
+  NodeId addNode();
+
+  /// Adds the undirected edge {a, b} with the given expected delay.
+  /// Throws std::invalid_argument on self loops, duplicate edges,
+  /// non-positive delays or out-of-range endpoints.
+  void addEdge(NodeId a, NodeId b, DelayMs delay);
+
+  [[nodiscard]] std::size_t numNodes() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t numEdges() const { return num_edges_; }
+
+  [[nodiscard]] bool hasNode(NodeId v) const { return v < adjacency_.size(); }
+  [[nodiscard]] bool hasEdge(NodeId a, NodeId b) const;
+
+  /// Expected delay of edge {a, b}; empty if the edge does not exist.
+  [[nodiscard]] std::optional<DelayMs> edgeDelay(NodeId a, NodeId b) const;
+
+  /// Neighbors of `v` with their link delays.  Throws on invalid node.
+  [[nodiscard]] std::span<const HalfEdge> neighbors(NodeId v) const;
+
+  [[nodiscard]] std::size_t degree(NodeId v) const;
+
+  /// True iff every node is reachable from node 0 (vacuously true if empty).
+  [[nodiscard]] bool isConnected() const;
+
+ private:
+  void checkNode(NodeId v) const;
+
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace rmrn::net

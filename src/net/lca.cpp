@@ -1,0 +1,65 @@
+#include "net/lca.hpp"
+
+#include <bit>
+
+namespace rmrn::net {
+
+LcaIndex::LcaIndex(const MulticastTree& tree) : tree_(tree) {
+  HopCount max_depth = 0;
+  for (const NodeId v : tree_.members()) {
+    max_depth = std::max(max_depth, tree_.depth(v));
+  }
+  levels_ = std::max<std::size_t>(1, std::bit_width(max_depth));
+
+  const std::size_t n = tree_.numMembers();
+  up_.assign(levels_, std::vector<NodeId>(n, kInvalidNode));
+  for (const NodeId v : tree_.members()) {
+    up_[0][tree_.memberIndex(v)] = tree_.parent(v);
+  }
+  for (std::size_t l = 1; l < levels_; ++l) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId half = up_[l - 1][i];
+      up_[l][i] =
+          half == kInvalidNode ? kInvalidNode
+                               : up_[l - 1][tree_.memberIndex(half)];
+    }
+  }
+}
+
+NodeId LcaIndex::ancestor(NodeId v, HopCount steps) const {
+  if (steps > tree_.depth(v)) return kInvalidNode;  // also checks membership
+  NodeId cur = v;
+  for (std::size_t l = 0; steps != 0 && cur != kInvalidNode;
+       ++l, steps >>= 1) {
+    if (steps & 1u) cur = up_[l][tree_.memberIndex(cur)];
+  }
+  return cur;
+}
+
+NodeId LcaIndex::lca(NodeId a, NodeId b) const {
+  HopCount da = tree_.depth(a);
+  const HopCount db = tree_.depth(b);
+  // Lift the deeper node to the shallower one's depth.
+  if (da > db) {
+    a = ancestor(a, da - db);
+    da = db;
+  } else if (db > da) {
+    b = ancestor(b, db - da);
+  }
+  if (a == b) return a;
+  for (std::size_t l = levels_; l-- > 0;) {
+    const NodeId ua = up_[l][tree_.memberIndex(a)];
+    const NodeId ub = up_[l][tree_.memberIndex(b)];
+    if (ua != ub) {
+      a = ua;
+      b = ub;
+    }
+  }
+  return up_[0][tree_.memberIndex(a)];
+}
+
+HopCount LcaIndex::lcaDepth(NodeId a, NodeId b) const {
+  return tree_.depth(lca(a, b));
+}
+
+}  // namespace rmrn::net

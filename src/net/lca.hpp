@@ -1,0 +1,40 @@
+// Binary-lifting lowest-common-ancestor index over a MulticastTree.
+//
+// MulticastTree::firstCommonRouter walks parents in O(depth); planning runs
+// k clients x k peers LCA queries, so RpPlanner and the candidate machinery
+// use this O(n log n)-build / O(log n)-query index instead.
+#pragma once
+
+#include <vector>
+
+#include "net/multicast_tree.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::net {
+
+class LcaIndex {
+ public:
+  /// Builds the ancestor tables.  The tree must outlive the index.
+  explicit LcaIndex(const MulticastTree& tree);
+
+  /// Lowest common ancestor (the paper's first common router).  Agrees with
+  /// MulticastTree::firstCommonRouter on all member pairs; throws
+  /// std::invalid_argument on non-members.
+  [[nodiscard]] NodeId lca(NodeId a, NodeId b) const;
+
+  /// Depth of the LCA — the paper's DS value for a (client, peer) pair.
+  [[nodiscard]] HopCount lcaDepth(NodeId a, NodeId b) const;
+
+  /// The ancestor of `v` exactly `steps` levels up; kInvalidNode when the
+  /// walk leaves the tree.  Throws on non-members.
+  [[nodiscard]] NodeId ancestor(NodeId v, HopCount steps) const;
+
+ private:
+  const MulticastTree& tree_;
+  std::size_t levels_ = 0;
+  // up_[l][memberIndex(v)] = ancestor of v at distance 2^l (kInvalidNode
+  // when above the root).
+  std::vector<std::vector<NodeId>> up_;
+};
+
+}  // namespace rmrn::net

@@ -1,0 +1,90 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rmrn::net {
+
+namespace {
+constexpr DelayMs kInf = std::numeric_limits<DelayMs>::infinity();
+}  // namespace
+
+Routing::Routing(const Graph& g) : n_(g.numNodes()) {
+  dist_.assign(n_ * n_, kInf);
+  pred_.assign(n_ * n_, kInvalidNode);
+
+  using QueueEntry = std::pair<DelayMs, NodeId>;
+  for (NodeId src = 0; src < n_; ++src) {
+    DelayMs* dist = &dist_[static_cast<std::size_t>(src) * n_];
+    NodeId* pred = &pred_[static_cast<std::size_t>(src) * n_];
+    dist[src] = 0.0;
+
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        queue;
+    queue.push({0.0, src});
+    while (!queue.empty()) {
+      const auto [d, v] = queue.top();
+      queue.pop();
+      if (d > dist[v]) continue;  // stale entry
+      for (const HalfEdge& e : g.neighbors(v)) {
+        const DelayMs nd = d + e.delay;
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          pred[e.to] = v;
+          queue.push({nd, e.to});
+        }
+      }
+    }
+  }
+}
+
+void Routing::checkNode(NodeId v) const {
+  if (v >= n_) {
+    throw std::invalid_argument("Routing: node " + std::to_string(v) +
+                                " out of range");
+  }
+}
+
+DelayMs Routing::distance(NodeId a, NodeId b) const {
+  checkNode(a);
+  checkNode(b);
+  return dist_[static_cast<std::size_t>(a) * n_ + b];
+}
+
+DelayMs Routing::rtt(NodeId a, NodeId b) const { return 2.0 * distance(a, b); }
+
+std::vector<NodeId> Routing::path(NodeId a, NodeId b) const {
+  checkNode(a);
+  checkNode(b);
+  if (dist_[static_cast<std::size_t>(a) * n_ + b] == kInf) return {};
+  std::vector<NodeId> result;
+  const NodeId* pred = &pred_[static_cast<std::size_t>(a) * n_];
+  for (NodeId cur = b; cur != kInvalidNode; cur = pred[cur]) {
+    result.push_back(cur);
+    if (cur == a) break;
+  }
+  std::reverse(result.begin(), result.end());
+  return result;
+}
+
+NodeId Routing::nextHop(NodeId from, NodeId to) const {
+  checkNode(from);
+  checkNode(to);
+  if (from == to) return kInvalidNode;
+  if (dist_[static_cast<std::size_t>(from) * n_ + to] == kInf) {
+    return kInvalidNode;
+  }
+  // Walk predecessors from `to` back until the node whose predecessor is
+  // `from`.
+  const NodeId* pred = &pred_[static_cast<std::size_t>(from) * n_];
+  NodeId cur = to;
+  while (pred[cur] != from) cur = pred[cur];
+  return cur;
+}
+
+}  // namespace rmrn::net

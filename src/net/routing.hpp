@@ -1,0 +1,50 @@
+// Unicast routing over the backbone graph.
+//
+// The paper (§3.1) assumes link-state routing (OSPF) with link delay as link
+// cost, so that round-trip times between peers can be read off the routing
+// tables.  We implement that: all-pairs shortest paths over expected link
+// delays via one Dijkstra run per source, with next-hop extraction so the
+// simulator can forward packets hop by hop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::net {
+
+class Routing {
+ public:
+  /// Runs Dijkstra from every node of `g`.  O(n * (m + n) log n).
+  explicit Routing(const Graph& g);
+
+  /// One-way expected delay of the shortest path a -> b.  Infinity when
+  /// unreachable; 0 when a == b.
+  [[nodiscard]] DelayMs distance(NodeId a, NodeId b) const;
+
+  /// Round-trip time estimate between a and b (twice the one-way delay),
+  /// the paper's d_j.
+  [[nodiscard]] DelayMs rtt(NodeId a, NodeId b) const;
+
+  /// Shortest path a -> b as a node sequence including both endpoints.
+  /// Empty when unreachable; {a} when a == b.
+  [[nodiscard]] std::vector<NodeId> path(NodeId a, NodeId b) const;
+
+  /// First hop on the shortest path from `from` towards `to`.
+  /// kInvalidNode when unreachable or from == to.
+  [[nodiscard]] NodeId nextHop(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::size_t numNodes() const { return n_; }
+
+ private:
+  void checkNode(NodeId v) const;
+
+  std::size_t n_ = 0;
+  // Row-major [source][node] tables.
+  std::vector<DelayMs> dist_;
+  std::vector<NodeId> pred_;  // predecessor of node on the path from source
+};
+
+}  // namespace rmrn::net

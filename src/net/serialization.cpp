@@ -1,0 +1,150 @@
+#include "net/serialization.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rmrn::net {
+
+void writeTopology(std::ostream& out, const Topology& topo) {
+  // Round-trip-exact doubles.
+  const auto old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
+  out << "rmrn-topology 1\n";
+  out << "nodes " << topo.graph.numNodes() << "\n";
+  out << "source " << topo.source << "\n";
+  for (NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    for (const HalfEdge& e : topo.graph.neighbors(v)) {
+      if (v < e.to) out << "edge " << v << " " << e.to << " " << e.delay << "\n";
+    }
+  }
+  for (const NodeId v : topo.tree.members()) {
+    if (v != topo.tree.root()) {
+      out << "tree " << v << " " << topo.tree.parent(v) << "\n";
+    }
+  }
+  for (const NodeId c : topo.clients) out << "client " << c << "\n";
+  out.precision(old_precision);
+}
+
+Topology readTopology(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&line_no](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("readTopology: line " +
+                              std::to_string(line_no) + ": " + what);
+  };
+
+  bool header_seen = false;
+  std::size_t num_nodes = 0;
+  bool nodes_seen = false;
+  NodeId source = kInvalidNode;
+  struct EdgeRec {
+    NodeId a, b;
+    DelayMs delay;
+  };
+  std::vector<EdgeRec> edges;
+  std::vector<std::pair<NodeId, NodeId>> tree_links;  // child, parent
+  std::vector<NodeId> clients;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank / comment line
+
+    if (keyword == "rmrn-topology") {
+      int version = 0;
+      if (!(fields >> version) || version != 1) {
+        throw fail("unsupported format version");
+      }
+      header_seen = true;
+    } else if (!header_seen) {
+      throw fail("missing rmrn-topology header");
+    } else if (keyword == "nodes") {
+      if (!(fields >> num_nodes)) throw fail("bad nodes record");
+      nodes_seen = true;
+    } else if (keyword == "source") {
+      if (!(fields >> source)) throw fail("bad source record");
+    } else if (keyword == "edge") {
+      EdgeRec e{};
+      if (!(fields >> e.a >> e.b >> e.delay)) throw fail("bad edge record");
+      edges.push_back(e);
+    } else if (keyword == "tree") {
+      NodeId child = 0;
+      NodeId parent = 0;
+      if (!(fields >> child >> parent)) throw fail("bad tree record");
+      tree_links.emplace_back(child, parent);
+    } else if (keyword == "client") {
+      NodeId c = 0;
+      if (!(fields >> c)) throw fail("bad client record");
+      clients.push_back(c);
+    } else {
+      throw fail("unknown record '" + keyword + "'");
+    }
+  }
+  if (!header_seen) throw std::runtime_error("readTopology: empty input");
+  if (!nodes_seen) throw std::runtime_error("readTopology: missing nodes");
+  if (source == kInvalidNode) {
+    throw std::runtime_error("readTopology: missing source");
+  }
+
+  Topology topo;
+  topo.graph = Graph(num_nodes);
+  for (const auto& e : edges) topo.graph.addEdge(e.a, e.b, e.delay);
+
+  std::vector<NodeId> parent(num_nodes, kInvalidNode);
+  for (const auto& [child, par] : tree_links) {
+    if (child >= num_nodes || par >= num_nodes) {
+      throw std::invalid_argument("readTopology: tree link out of range");
+    }
+    if (!topo.graph.hasEdge(child, par)) {
+      throw std::invalid_argument(
+          "readTopology: tree link is not a graph edge");
+    }
+    if (parent[child] != kInvalidNode) {
+      throw std::invalid_argument("readTopology: duplicate tree parent");
+    }
+    parent[child] = par;
+  }
+  topo.tree = MulticastTree(source, std::move(parent));
+  topo.source = source;
+  topo.clients = std::move(clients);
+  std::sort(topo.clients.begin(), topo.clients.end());
+  for (const NodeId c : topo.clients) {
+    if (!topo.tree.contains(c)) {
+      throw std::invalid_argument("readTopology: client not in tree");
+    }
+  }
+  return topo;
+}
+
+void writeDot(std::ostream& out, const Topology& topo,
+              const std::string& graph_name) {
+  out << "graph " << graph_name << " {\n";
+  out << "  node [shape=circle];\n";
+  out << "  " << topo.source << " [shape=doublecircle, label=\"S\"];\n";
+  for (const NodeId c : topo.clients) {
+    out << "  " << c << " [shape=box];\n";
+  }
+  for (NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    for (const HalfEdge& e : topo.graph.neighbors(v)) {
+      if (v >= e.to) continue;
+      const bool on_tree =
+          topo.tree.contains(v) && topo.tree.contains(e.to) &&
+          (topo.tree.parent(v) == e.to || topo.tree.parent(e.to) == v);
+      out << "  " << v << " -- " << e.to << " [label=\"" << e.delay << "\"";
+      if (!on_tree) out << ", style=dashed";
+      out << "];\n";
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace rmrn::net

@@ -1,0 +1,33 @@
+// Topology persistence: a line-oriented text format for reproducible
+// experiment inputs, plus Graphviz DOT export for visual inspection.
+//
+// Format (one record per line, '#' comments allowed):
+//   rmrn-topology 1          header with format version
+//   nodes <n>
+//   source <id>
+//   edge <a> <b> <delay>     one per backbone link
+//   tree <child> <parent>    one per multicast-tree link
+//   client <id>              one per client
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace rmrn::net {
+
+/// Writes `topo` in the rmrn-topology text format.
+void writeTopology(std::ostream& out, const Topology& topo);
+
+/// Parses a topology written by writeTopology.  Throws std::runtime_error
+/// with a line number on malformed input, and std::invalid_argument when the
+/// records are inconsistent (e.g. a tree link that is not a graph edge).
+[[nodiscard]] Topology readTopology(std::istream& in);
+
+/// Graphviz DOT rendering: tree links solid, extra backbone links dashed,
+/// source double-circled, clients boxed.
+void writeDot(std::ostream& out, const Topology& topo,
+              const std::string& graph_name = "rmrn");
+
+}  // namespace rmrn::net

@@ -1,0 +1,84 @@
+// Random topology generation following paper §5.1:
+//
+//   "Network topology for use in the simulator is randomly generated ...
+//    links are randomly generated to connect m backbone routers.  The
+//    multicast tree is just a spanning subtree generated in the network
+//    topology. ... the typical delay for each link i is d(i) and a uniformly
+//    distributed number between d(i) and 2d(i) is generated as the expected
+//    delay ... n is an input to the program and k [the client count] is
+//    decided by the randomly generated spanning subtree."
+//
+// We realise that as: a uniform random labelled tree (Prüfer) over n nodes
+// plus a configurable fraction of extra random links forms the backbone; the
+// multicast tree is a uniform spanning tree of the backbone (Wilson's
+// loop-erased-random-walk algorithm) rooted at a random source; the leaves of
+// that tree are the clients.  A uniform random tree has ~n/e leaves, which
+// matches the paper's published n -> k pairs (e.g. 500 -> 208).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/multicast_tree.hpp"
+#include "net/types.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::net {
+
+/// Backbone random-graph model.
+enum class BackboneModel {
+  /// Uniform random tree (Prüfer) plus extra random links — matches the
+  /// paper's published n -> k client counts (default).
+  kTreePlusEdges,
+  /// Waxman (1988) geometric random graph: nodes uniform in the unit
+  /// square, P(edge) = alpha * exp(-dist / (beta * sqrt(2))), link delay
+  /// proportional to distance; disconnected components are stitched by
+  /// nearest-pair links.  The standard topology model of 1990s/2000s
+  /// multicast simulations.
+  kWaxman,
+};
+
+struct TopologyConfig {
+  /// Total node count n (source + routers + clients).  Must be >= 3.
+  std::uint32_t num_nodes = 100;
+  BackboneModel model = BackboneModel::kTreePlusEdges;
+  /// kTreePlusEdges: extra random links beyond the spanning backbone, as a
+  /// fraction of n.
+  double extra_edge_fraction = 0.5;
+  /// kWaxman: edge probability scale and distance decay.
+  double waxman_alpha = 0.2;
+  double waxman_beta = 0.3;
+  /// Range of the per-link "typical delay" d(i) in milliseconds; the expected
+  /// delay used everywhere is then uniform in [d(i), 2 d(i)].  For Waxman,
+  /// d(i) maps the euclidean link length into this range.
+  DelayMs min_base_delay = 1.0;
+  DelayMs max_base_delay = 10.0;
+};
+
+/// A generated network: backbone graph, multicast tree, source and clients.
+struct Topology {
+  Graph graph;
+  MulticastTree tree;
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> clients;  // leaves of the multicast tree, sorted
+
+  [[nodiscard]] bool isClient(NodeId v) const;
+};
+
+/// Generates a random topology.  Deterministic in (config, rng state).
+[[nodiscard]] Topology generateTopology(const TopologyConfig& config,
+                                        util::Rng& rng);
+
+/// Uniform random labelled tree on n >= 2 nodes via a random Prüfer sequence.
+/// Returned as an edge list (parentless representation).
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> randomPruferTree(
+    std::uint32_t n, util::Rng& rng);
+
+/// Uniform spanning tree of a connected graph via Wilson's algorithm, rooted
+/// at `root`; returns the parent array (kInvalidNode for the root).
+[[nodiscard]] std::vector<NodeId> wilsonSpanningTree(const Graph& g,
+                                                     NodeId root,
+                                                     util::Rng& rng);
+
+}  // namespace rmrn::net

@@ -1,0 +1,21 @@
+// Basic identifiers and units shared by every rmrn library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rmrn::net {
+
+/// Node identifier. Nodes are dense integers [0, numNodes).
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (absent parent, unreachable destination, ...).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Link/path delays are expressed in milliseconds.
+using DelayMs = double;
+
+/// Hop counts on the multicast tree (the paper's DS values).
+using HopCount = std::uint32_t;
+
+}  // namespace rmrn::net

@@ -1,0 +1,108 @@
+#include "protocols/parity_protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rmrn::protocols {
+
+ParityProtocol::ParityProtocol(sim::SimNetwork& network,
+                               metrics::RecoveryMetrics& metrics,
+                               const ProtocolConfig& config,
+                               const ParityConfig& parity_config)
+    : RecoveryProtocol(network, metrics, config), parity_(parity_config) {
+  if (parity_.block_size == 0 || parity_.gather_window_ms < 0.0) {
+    throw std::invalid_argument("ParityProtocol: bad parity config");
+  }
+}
+
+void ParityProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
+  const std::uint64_t block = blockOf(seq);
+  auto& state = client_blocks_[key(client, block)];
+  state.missing.insert(seq);
+  // Maybe parities from an earlier wave already cover the enlarged set.
+  if (tryDecode(client, block)) return;
+  sendNack(client, block);
+}
+
+void ParityProtocol::sendNack(net::NodeId client, std::uint64_t block) {
+  auto& state = client_blocks_.at(key(client, block));
+  const std::uint64_t needed =
+      state.missing.size() > state.parity_indices.size()
+          ? state.missing.size() - state.parity_indices.size()
+          : 0;
+  if (needed == 0) return;
+
+  ++nacks_sent_;
+  // REQUEST.seq carries the block id, REQUEST.tag the additional parities
+  // wanted.
+  network().unicast(client, source(),
+                    sim::Packet{sim::Packet::Type::kRequest, block, client,
+                                client, needed});
+
+  if (state.timer_armed) simulator().cancel(state.retry_timer);
+  const double wait = requestTimeout(client, source()) +
+                      parity_.gather_window_ms;
+  state.retry_timer = simulator().scheduleAfter(wait, [this, client, block] {
+    const auto it = client_blocks_.find(key(client, block));
+    if (it == client_blocks_.end() || it->second.missing.empty()) return;
+    it->second.timer_armed = false;
+    sendNack(client, block);
+  });
+  state.timer_armed = true;
+}
+
+void ParityProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
+  if (at != source()) return;  // NACKs are addressed to the source only
+  const std::uint64_t block = packet.seq;
+  auto& state = source_blocks_[block];
+  state.wave_request = std::max(
+      state.wave_request, static_cast<std::uint32_t>(packet.tag));
+  if (state.gathering) return;
+  state.gathering = true;
+  state.gather_timer =
+      simulator().scheduleAfter(parity_.gather_window_ms, [this, block] {
+        auto& src = source_blocks_.at(block);
+        src.gathering = false;
+        const std::uint32_t count = src.wave_request;
+        src.wave_request = 0;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          ++parities_sent_;
+          // REPAIR.seq = block id, REPAIR.tag = fresh parity index.
+          network().multicastFromSource(
+              sim::Packet{sim::Packet::Type::kParity, block, source(),
+                          net::kInvalidNode, src.next_parity_index++});
+        }
+      });
+}
+
+void ParityProtocol::onParity(net::NodeId at, const sim::Packet& packet) {
+  const std::uint64_t block = packet.seq;
+  const auto it = client_blocks_.find(key(at, block));
+  if (it == client_blocks_.end()) return;  // nothing missing here
+  it->second.parity_indices.insert(packet.tag);
+  tryDecode(at, block);
+}
+
+bool ParityProtocol::tryDecode(net::NodeId client, std::uint64_t block) {
+  auto& state = client_blocks_.at(key(client, block));
+  if (state.missing.empty() ||
+      state.parity_indices.size() < state.missing.size()) {
+    return false;
+  }
+  // Enough innovative parities: every missing packet of the block decodes.
+  const std::vector<std::uint64_t> decoded(state.missing.begin(),
+                                           state.missing.end());
+  state.missing.clear();
+  if (state.timer_armed) {
+    simulator().cancel(state.retry_timer);
+    state.timer_armed = false;
+  }
+  for (const std::uint64_t seq : decoded) markHasPacket(client, seq);
+  return true;
+}
+
+void ParityProtocol::onPacketObtained(net::NodeId, std::uint64_t) {
+  // Decoding is driven by tryDecode; nothing extra per packet.
+}
+
+}  // namespace rmrn::protocols

@@ -1,0 +1,120 @@
+#include "protocols/protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rmrn::protocols {
+
+namespace {
+
+std::uint64_t haveKey(net::NodeId node, std::uint64_t seq) {
+  if (seq > 0xffffffffULL) {
+    throw std::invalid_argument("RecoveryProtocol: seq exceeds 32 bits");
+  }
+  return (static_cast<std::uint64_t>(node) << 32) | seq;
+}
+
+}  // namespace
+
+RecoveryProtocol::RecoveryProtocol(sim::SimNetwork& network,
+                                   metrics::RecoveryMetrics& metrics,
+                                   const ProtocolConfig& config)
+    : network_(network), metrics_(metrics), config_(config) {
+  if (config_.detection_delay_ms < 0.0 || config_.timeout_factor <= 0.0 ||
+      config_.min_timeout_ms <= 0.0) {
+    throw std::invalid_argument("RecoveryProtocol: bad config");
+  }
+}
+
+void RecoveryProtocol::attach() {
+  if (attached_) throw std::logic_error("RecoveryProtocol: already attached");
+  attached_ = true;
+  network_.setDeliveryHandler(
+      [this](net::NodeId at, const sim::Packet& packet) {
+        dispatch(at, packet);
+      });
+}
+
+double RecoveryProtocol::requestTimeout(net::NodeId a, net::NodeId b) const {
+  return std::max(config_.min_timeout_ms,
+                  config_.timeout_factor * routing().rtt(a, b));
+}
+
+bool RecoveryProtocol::hasPacket(net::NodeId node, std::uint64_t seq) const {
+  if (node == topology().source) return seq < next_seq_;
+  return have_.contains(haveKey(node, seq));
+}
+
+void RecoveryProtocol::markHasPacket(net::NodeId node, std::uint64_t seq) {
+  if (node == topology().source) return;  // the source holds everything
+  if (!have_.insert(haveKey(node, seq)).second) return;  // duplicate
+  metrics_.recordRecovery(node, seq, simulator().now());
+  onPacketObtained(node, seq);
+}
+
+void RecoveryProtocol::sourceMulticast(std::uint64_t seq,
+                                       const sim::LinkLossPattern& losses) {
+  if (!attached_) throw std::logic_error("RecoveryProtocol: not attached");
+  if (seq != next_seq_) {
+    throw std::invalid_argument("RecoveryProtocol: out-of-order sequence");
+  }
+  ++next_seq_;
+
+  const auto& tree = topology().tree;
+  if (losses.size() != tree.numMembers()) {
+    throw std::invalid_argument("RecoveryProtocol: loss pattern size");
+  }
+
+  // A client misses the packet iff any tree link on its root path drops it.
+  // Crashed receivers run no protocol and carry no reliability obligation.
+  const double now = simulator().now();
+  for (const net::NodeId client : topology().clients) {
+    if (network_.isAgentFailed(client)) continue;
+    bool lost = false;
+    for (net::NodeId v = client; v != tree.root(); v = tree.parent(v)) {
+      if (losses[tree.memberIndex(v)]) {
+        lost = true;
+        break;
+      }
+    }
+    if (!lost) continue;
+    const double detect_at = now + network_.treeArrivalDelay(client) +
+                             config_.detection_delay_ms;
+    metrics_.recordLoss(client, seq, detect_at);
+    simulator().scheduleAt(detect_at, [this, client, seq] {
+      // A repair may beat the detection (e.g. a flooded SRM repair).
+      if (!hasPacket(client, seq)) onLossDetected(client, seq);
+    });
+  }
+
+  sim::Packet data{sim::Packet::Type::kData, seq, topology().source,
+                   net::kInvalidNode, 0};
+  network_.multicastFromSource(data, &losses);
+}
+
+void RecoveryProtocol::dispatch(net::NodeId at, const sim::Packet& packet) {
+  switch (packet.type) {
+    case sim::Packet::Type::kData:
+      markHasPacket(at, packet.seq);
+      onData(at, packet);
+      break;
+    case sim::Packet::Type::kRequest:
+      onRequest(at, packet);
+      break;
+    case sim::Packet::Type::kRepair:
+      if (hasPacket(at, packet.seq)) ++duplicate_deliveries_;
+      markHasPacket(at, packet.seq);
+      onRepair(at, packet);
+      break;
+    case sim::Packet::Type::kParity:
+      onParity(at, packet);
+      break;
+  }
+}
+
+void RecoveryProtocol::onRepair(net::NodeId, const sim::Packet&) {}
+void RecoveryProtocol::onParity(net::NodeId, const sim::Packet&) {}
+void RecoveryProtocol::onData(net::NodeId, const sim::Packet&) {}
+void RecoveryProtocol::onPacketObtained(net::NodeId, std::uint64_t) {}
+
+}  // namespace rmrn::protocols

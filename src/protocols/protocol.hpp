@@ -1,0 +1,127 @@
+// Recovery protocol framework.
+//
+// A protocol instance owns the loss-recovery behaviour of every agent
+// (source + clients) of one simulation run.  The base class provides the
+// parts all three schemes share:
+//   * data multicast with externally supplied per-link loss draws (so RP,
+//    SRM and RMA recover identical losses — DESIGN.md §6),
+//   * loss detection (a client notices a missing packet one detection delay
+//     after the data would have arrived),
+//   * the per-agent "has packet" store, and
+//   * metric recording (a repair that supplies a missing packet completes a
+//     recovery regardless of which scheme delivered it).
+//
+// Subclasses implement the scheme-specific reactions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/recovery_metrics.hpp"
+#include "net/types.hpp"
+#include "sim/network.hpp"
+#include "sim/packet.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::protocols {
+
+struct ProtocolConfig {
+  /// Lag between the (would-be) arrival of a data packet and the client
+  /// noticing the loss, e.g. via a sequence gap.  Identical across schemes,
+  /// so it cancels out of latency comparisons.
+  double detection_delay_ms = 10.0;
+  /// Request timeout = timeout_factor * RTT(requester, target), floored at
+  /// min_timeout_ms; covers queueing slack on top of the routed RTT.
+  double timeout_factor = 1.5;
+  double min_timeout_ms = 1.0;
+};
+
+class RecoveryProtocol {
+ public:
+  RecoveryProtocol(sim::SimNetwork& network, metrics::RecoveryMetrics& metrics,
+                   const ProtocolConfig& config);
+  virtual ~RecoveryProtocol() = default;
+
+  RecoveryProtocol(const RecoveryProtocol&) = delete;
+  RecoveryProtocol& operator=(const RecoveryProtocol&) = delete;
+
+  /// Installs this protocol as the network's delivery handler.  Must be
+  /// called exactly once before the first transmission.
+  void attach();
+
+  /// Multicasts data packet `seq` from the source now.  `losses` are the
+  /// per-tree-link drop draws (see sim::LinkLossPattern); clients cut off by
+  /// a dropped ancestor link get a loss registered and a detection event
+  /// scheduled.  Sequences must be issued in order starting at 0.
+  void sourceMulticast(std::uint64_t seq, const sim::LinkLossPattern& losses);
+
+  [[nodiscard]] bool hasPacket(net::NodeId node, std::uint64_t seq) const;
+  [[nodiscard]] std::uint64_t packetsSent() const { return next_seq_; }
+
+  /// True when every registered loss has been recovered.
+  [[nodiscard]] bool allRecovered() const {
+    return metrics_.outstanding() == 0;
+  }
+
+  /// Repairs delivered for packets the receiver already held — the classic
+  /// duplicate-suppression overhead metric (large for flooding schemes).
+  [[nodiscard]] std::uint64_t duplicateDeliveries() const {
+    return duplicate_deliveries_;
+  }
+
+ protected:
+  /// Scheme-specific reaction to a client noticing a missing packet.
+  virtual void onLossDetected(net::NodeId client, std::uint64_t seq) = 0;
+  /// A REQUEST packet reached agent `at`.
+  virtual void onRequest(net::NodeId at, const sim::Packet& packet) = 0;
+  /// A REPAIR packet reached agent `at` (after the has-packet store and the
+  /// metrics were updated).
+  virtual void onRepair(net::NodeId at, const sim::Packet& packet);
+  /// A PARITY packet reached agent `at`.  Unlike repairs, parity packets
+  /// carry block ids, so the base class does NOT touch the has-packet
+  /// store; FEC subclasses decode and call markHasPacket themselves.
+  virtual void onParity(net::NodeId at, const sim::Packet& packet);
+  /// The original DATA transmission reached `at`.
+  virtual void onData(net::NodeId at, const sim::Packet& packet);
+  /// `client` obtained a previously missing packet (via any repair path);
+  /// subclasses cancel timers / close sessions here.
+  virtual void onPacketObtained(net::NodeId client, std::uint64_t seq);
+
+  /// Records that `node` now holds `seq`; completes a pending recovery and
+  /// fires onPacketObtained() on first receipt.
+  void markHasPacket(net::NodeId node, std::uint64_t seq);
+
+  /// Scheme-facing accessors.
+  [[nodiscard]] sim::SimNetwork& network() { return network_; }
+  [[nodiscard]] sim::Simulator& simulator() { return network_.simulator(); }
+  [[nodiscard]] const net::Topology& topology() const {
+    return network_.topology();
+  }
+  [[nodiscard]] const net::Routing& routing() const {
+    return network_.routing();
+  }
+  [[nodiscard]] metrics::RecoveryMetrics& recoveryMetrics() {
+    return metrics_;
+  }
+  [[nodiscard]] const ProtocolConfig& config() const { return config_; }
+  [[nodiscard]] net::NodeId source() const { return topology().source; }
+
+  /// timeout_factor * RTT(a, b), floored at min_timeout_ms.
+  [[nodiscard]] double requestTimeout(net::NodeId a, net::NodeId b) const;
+
+ private:
+  void dispatch(net::NodeId at, const sim::Packet& packet);
+
+  sim::SimNetwork& network_;
+  metrics::RecoveryMetrics& metrics_;
+  ProtocolConfig config_;
+  std::uint64_t next_seq_ = 0;
+  bool attached_ = false;
+  std::uint64_t duplicate_deliveries_ = 0;
+  /// (node << 32 | seq) pairs a client holds; the source implicitly holds
+  /// every sent sequence.
+  std::unordered_set<std::uint64_t> have_;
+};
+
+}  // namespace rmrn::protocols

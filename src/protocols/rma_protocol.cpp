@@ -1,0 +1,85 @@
+#include "protocols/rma_protocol.hpp"
+
+#include <stdexcept>
+
+namespace rmrn::protocols {
+
+RmaProtocol::RmaProtocol(sim::SimNetwork& network,
+                         metrics::RecoveryMetrics& metrics,
+                         const ProtocolConfig& config)
+    : RecoveryProtocol(network, metrics, config) {
+  // Precompute each client's nearest-upstream search order: one receiver
+  // per competitive class, descending DS = nearest level first.
+  for (const net::NodeId u : topology().clients) {
+    order_.emplace(u, core::selectCandidates(u, topology().tree, routing(),
+                                             topology().clients));
+  }
+}
+
+const std::vector<core::Candidate>& RmaProtocol::searchOrder(
+    net::NodeId client) const {
+  const auto it = order_.find(client);
+  if (it == order_.end()) {
+    throw std::out_of_range("RmaProtocol: unknown client");
+  }
+  return it->second;
+}
+
+void RmaProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
+  searches_.emplace(key(client, seq), Search{});
+  ++searches_started_;
+  advanceSearch(client, seq);
+}
+
+void RmaProtocol::advanceSearch(net::NodeId client, std::uint64_t seq) {
+  auto& search = searches_.at(key(client, seq));
+  const auto& order = order_.at(client);
+
+  const bool at_source = search.next_level >= order.size();
+  const net::NodeId target =
+      at_source ? source() : order[search.next_level].peer;
+  if (!at_source) ++search.next_level;  // retries stay at the source
+
+  ++requests_sent_;
+  network().unicast(client, target,
+                    sim::Packet{sim::Packet::Type::kRequest, seq, client,
+                                client, /*tag=*/0});
+
+  search.timer = simulator().scheduleAfter(
+      requestTimeout(client, target), [this, client, seq] {
+        const auto it = searches_.find(key(client, seq));
+        if (it == searches_.end()) return;  // recovered meanwhile
+        it->second.timer_armed = false;
+        advanceSearch(client, seq);
+      });
+  search.timer_armed = true;
+}
+
+void RmaProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
+  if (!hasPacket(at, packet.seq)) return;  // requester's timeout moves on
+
+  // Repair the subtree covering the requester and every receiver the search
+  // visited: the subtree rooted at the first common router of repairer and
+  // requester (the source repairs the requester's whole source-side branch).
+  const auto& tree = topology().tree;
+  const net::NodeId client = packet.requester;
+  const sim::Packet repair{sim::Packet::Type::kRepair, packet.seq, at, client,
+                           /*tag=*/0};
+  ++repairs_multicast_;
+  if (at == source()) {
+    net::NodeId branch = client;
+    while (tree.parent(branch) != source()) branch = tree.parent(branch);
+    network().multicastDownInto(branch, repair);
+  } else {
+    network().multicastSubtree(tree.firstCommonRouter(at, client), at, repair);
+  }
+}
+
+void RmaProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
+  const auto it = searches_.find(key(client, seq));
+  if (it == searches_.end()) return;
+  if (it->second.timer_armed) simulator().cancel(it->second.timer);
+  searches_.erase(it);
+}
+
+}  // namespace rmrn::protocols

@@ -1,0 +1,69 @@
+#include "protocols/rp_protocol.hpp"
+
+namespace rmrn::protocols {
+
+RpProtocol::RpProtocol(sim::SimNetwork& network,
+                       metrics::RecoveryMetrics& metrics,
+                       const ProtocolConfig& config,
+                       const core::RpPlanner& planner,
+                       SourceRecoveryMode source_mode)
+    : RecoveryProtocol(network, metrics, config),
+      planner_(planner),
+      source_mode_(source_mode) {}
+
+void RpProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
+  sessions_[sessionKey(client, seq)] = Session{};
+  advanceSession(client, seq);
+}
+
+void RpProtocol::advanceSession(net::NodeId client, std::uint64_t seq) {
+  auto& session = sessions_.at(sessionKey(client, seq));
+  const auto& peers = planner_.strategyFor(client).peers;
+
+  // Next target: the prioritized list, then the source (where the session
+  // index stays so retries keep hitting the source until a repair lands).
+  const bool at_source = session.next_index >= peers.size();
+  const net::NodeId target =
+      at_source ? source() : peers[session.next_index].peer;
+  if (!at_source) ++session.next_index;
+
+  ++requests_sent_;
+  network().unicast(client, target,
+                    sim::Packet{sim::Packet::Type::kRequest, seq, client,
+                                client, /*tag=*/0});
+
+  session.timer = simulator().scheduleAfter(
+      requestTimeout(client, target), [this, client, seq] {
+        auto it = sessions_.find(sessionKey(client, seq));
+        if (it == sessions_.end()) return;  // already recovered
+        it->second.timer_armed = false;
+        advanceSession(client, seq);
+      });
+  session.timer_armed = true;
+}
+
+void RpProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
+  if (!hasPacket(at, packet.seq)) return;  // requester's timeout handles it
+  const sim::Packet repair{sim::Packet::Type::kRepair, packet.seq, at,
+                           packet.requester, /*tag=*/0};
+  if (at == source() && source_mode_ == SourceRecoveryMode::kSubgroupMulticast) {
+    // Repair the whole branch the request came from (paper ref [4]): the
+    // subgroup is the subtree under the source's child that is the
+    // requester's depth-1 ancestor.
+    const auto& tree = topology().tree;
+    net::NodeId branch = packet.requester;
+    while (tree.parent(branch) != source()) branch = tree.parent(branch);
+    network().multicastDownInto(branch, repair);
+  } else {
+    network().unicast(at, packet.requester, repair);
+  }
+}
+
+void RpProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
+  const auto it = sessions_.find(sessionKey(client, seq));
+  if (it == sessions_.end()) return;
+  if (it->second.timer_armed) simulator().cancel(it->second.timer);
+  sessions_.erase(it);
+}
+
+}  // namespace rmrn::protocols

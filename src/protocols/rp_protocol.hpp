@@ -1,0 +1,66 @@
+// RP — Recovery strategy with Prioritized list (the paper's scheme, §2.2).
+//
+// Each client u holds the optimal prioritized list L_u = {v_1, ..., v_k}
+// computed by core::RpPlanner.  On loss detection u unicasts a REQUEST to
+// v_1; a peer holding the packet unicasts a REPAIR back, otherwise u's
+// timeout fires and it proceeds to v_2, and so on; after the list is
+// exhausted u requests from the source, retrying until success (requests
+// and repairs themselves traverse lossy links).
+//
+// Source recovery supports the two modes of §2.2: plain unicast repair, or
+// the subgroup multicast of the paper's ref [4], where the source repairs
+// down the whole source-side branch the request came from.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/planner.hpp"
+#include "protocols/protocol.hpp"
+
+namespace rmrn::protocols {
+
+enum class SourceRecoveryMode {
+  kUnicast,            // source unicasts the repair to the requester
+  kSubgroupMulticast,  // source multicasts into the requester's branch
+};
+
+class RpProtocol final : public RecoveryProtocol {
+ public:
+  /// `planner` supplies each client's prioritized list and must outlive the
+  /// protocol.
+  RpProtocol(sim::SimNetwork& network, metrics::RecoveryMetrics& metrics,
+             const ProtocolConfig& config, const core::RpPlanner& planner,
+             SourceRecoveryMode source_mode = SourceRecoveryMode::kUnicast);
+
+  [[nodiscard]] SourceRecoveryMode sourceMode() const { return source_mode_; }
+
+  /// Total REQUEST packets issued (first attempts + retries); exposed for
+  /// tests and the ablation benches.
+  [[nodiscard]] std::uint64_t requestsSent() const { return requests_sent_; }
+
+ private:
+  void onLossDetected(net::NodeId client, std::uint64_t seq) override;
+  void onRequest(net::NodeId at, const sim::Packet& packet) override;
+  void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
+
+  /// Issues the next request of the session (peer list first, then the
+  /// source) and arms the timeout that advances the session on silence.
+  void advanceSession(net::NodeId client, std::uint64_t seq);
+
+  struct Session {
+    std::size_t next_index = 0;  // into the peer list; beyond it -> source
+    sim::EventId timer = 0;
+    bool timer_armed = false;
+  };
+  static std::uint64_t sessionKey(net::NodeId client, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(client) << 32) | seq;
+  }
+
+  const core::RpPlanner& planner_;
+  SourceRecoveryMode source_mode_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  std::uint64_t requests_sent_ = 0;
+};
+
+}  // namespace rmrn::protocols

@@ -1,0 +1,108 @@
+#include "protocols/srm_protocol.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rmrn::protocols {
+
+SrmProtocol::SrmProtocol(sim::SimNetwork& network,
+                         metrics::RecoveryMetrics& metrics,
+                         const ProtocolConfig& config,
+                         const SrmConfig& srm_config, util::Rng rng)
+    : RecoveryProtocol(network, metrics, config), srm_(srm_config), rng_(rng) {
+  if (srm_.c1 < 0.0 || srm_.c2 <= 0.0 || srm_.d1 < 0.0 || srm_.d2 <= 0.0 ||
+      srm_.hold_factor < 0.0) {
+    throw std::invalid_argument("SrmProtocol: bad SRM config");
+  }
+}
+
+void SrmProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
+  want_.emplace(key(client, seq), WantState{});
+  armRequestTimer(client, seq);
+}
+
+void SrmProtocol::armRequestTimer(net::NodeId client, std::uint64_t seq) {
+  auto& state = want_.at(key(client, seq));
+  if (state.armed) simulator().cancel(state.timer);
+
+  const double d = routing().distance(client, source());
+  const double scale =
+      static_cast<double>(1u << std::min(state.backoff, srm_.max_backoff));
+  const double delay =
+      std::max(config().min_timeout_ms,
+               scale * rng_.uniformReal(srm_.c1, srm_.c1 + srm_.c2) * d);
+
+  state.timer = simulator().scheduleAfter(delay, [this, client, seq] {
+    const auto it = want_.find(key(client, seq));
+    if (it == want_.end()) return;  // recovered meanwhile
+    it->second.armed = false;
+    ++requests_multicast_;
+    network().multicastGroup(client,
+                             sim::Packet{sim::Packet::Type::kRequest, seq,
+                                         client, client, /*tag=*/0});
+    // Re-arm with backoff in case the request or every repair is lost.
+    it->second.backoff = std::min(it->second.backoff + 1, srm_.max_backoff);
+    armRequestTimer(client, seq);
+  });
+  state.armed = true;
+}
+
+void SrmProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
+  if (at == packet.origin) return;  // own flooded request looped around
+
+  if (hasPacket(at, packet.seq)) {
+    // Holder: schedule a repair unless one is pending or recently seen.
+    const auto hold = hold_until_.find(key(at, packet.seq));
+    if (hold != hold_until_.end() && simulator().now() < hold->second) return;
+    auto [it, inserted] = repairing_.try_emplace(key(at, packet.seq));
+    if (!inserted && it->second.armed) return;  // repair timer already runs
+
+    const double d = routing().distance(at, packet.requester);
+    const double delay =
+        std::max(config().min_timeout_ms,
+                 rng_.uniformReal(srm_.d1, srm_.d1 + srm_.d2) * d);
+    const std::uint64_t seq = packet.seq;
+    it->second.timer = simulator().scheduleAfter(delay, [this, at, seq] {
+      const auto rit = repairing_.find(key(at, seq));
+      if (rit == repairing_.end() || !rit->second.armed) return;
+      rit->second.armed = false;
+      const auto h = hold_until_.find(key(at, seq));
+      if (h != hold_until_.end() && simulator().now() < h->second) return;
+      ++repairs_multicast_;
+      network().multicastGroup(
+          at, sim::Packet{sim::Packet::Type::kRepair, seq, at,
+                          net::kInvalidNode, /*tag=*/0});
+      hold_until_[key(at, seq)] =
+          simulator().now() +
+          srm_.hold_factor * routing().distance(at, source());
+    });
+    it->second.armed = true;
+  } else {
+    // Fellow loser: suppress own request via exponential backoff.
+    const auto it = want_.find(key(at, packet.seq));
+    if (it != want_.end() && it->second.armed) {
+      it->second.backoff = std::min(it->second.backoff + 1, srm_.max_backoff);
+      armRequestTimer(at, packet.seq);
+    }
+  }
+}
+
+void SrmProtocol::onRepair(net::NodeId at, const sim::Packet& packet) {
+  // Suppress a pending repair of our own and hold further ones.
+  const auto it = repairing_.find(key(at, packet.seq));
+  if (it != repairing_.end() && it->second.armed) {
+    simulator().cancel(it->second.timer);
+    it->second.armed = false;
+  }
+  hold_until_[key(at, packet.seq)] =
+      simulator().now() + srm_.hold_factor * routing().distance(at, source());
+}
+
+void SrmProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
+  const auto it = want_.find(key(client, seq));
+  if (it == want_.end()) return;
+  if (it->second.armed) simulator().cancel(it->second.timer);
+  want_.erase(it);
+}
+
+}  // namespace rmrn::protocols

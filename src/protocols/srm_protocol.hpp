@@ -1,0 +1,84 @@
+// SRM — Scalable Reliable Multicast (Floyd et al., TON 1997), reconstructed
+// as the paper describes it (§1):
+//
+//   * A receiver that lost packet P sets a request-suppression timer drawn
+//     uniformly from [C1 d, (C1+C2) d] with d its one-way delay to the
+//     source; if the timer expires before it hears anyone else's request
+//     for P it MULTICASTS the request to the whole group.  Hearing another
+//     request while the timer runs triggers exponential backoff.
+//   * A member holding P that hears a request sets a repair-suppression
+//     timer uniform in [D1 d', (D1+D2) d'] with d' its one-way delay to the
+//     requester; if no repair is heard first it MULTICASTS the repair.
+//   * After sending a request, a receiver re-arms a backed-off request timer
+//     in case no repair ever arrives (requests/repairs can be lost).
+//
+// The whole-group multicasts are what give SRM its large bandwidth and the
+// suppression timers its large latency in Figs. 5-8.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "protocols/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::protocols {
+
+struct SrmConfig {
+  double c1 = 2.0;  // request timer window [C1 d, (C1+C2) d]
+  double c2 = 2.0;
+  double d1 = 1.0;  // repair timer window [D1 d', (D1+D2) d']
+  double d2 = 1.0;
+  /// After sending or hearing a repair for a sequence, a member ignores
+  /// further requests for it for hold_factor * (one-way delay to source).
+  double hold_factor = 3.0;
+  /// Cap on the exponential backoff exponent.
+  std::uint32_t max_backoff = 10;
+};
+
+class SrmProtocol final : public RecoveryProtocol {
+ public:
+  SrmProtocol(sim::SimNetwork& network, metrics::RecoveryMetrics& metrics,
+              const ProtocolConfig& config, const SrmConfig& srm_config,
+              util::Rng rng);
+
+  [[nodiscard]] std::uint64_t requestsMulticast() const {
+    return requests_multicast_;
+  }
+  [[nodiscard]] std::uint64_t repairsMulticast() const {
+    return repairs_multicast_;
+  }
+
+ private:
+  void onLossDetected(net::NodeId client, std::uint64_t seq) override;
+  void onRequest(net::NodeId at, const sim::Packet& packet) override;
+  void onRepair(net::NodeId at, const sim::Packet& packet) override;
+  void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
+
+  /// Arms (or re-arms) u's request timer for `seq` at the current backoff.
+  void armRequestTimer(net::NodeId client, std::uint64_t seq);
+
+  static std::uint64_t key(net::NodeId node, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(node) << 32) | seq;
+  }
+
+  struct WantState {
+    sim::EventId timer = 0;
+    bool armed = false;
+    std::uint32_t backoff = 0;
+  };
+  struct RepairState {
+    sim::EventId timer = 0;
+    bool armed = false;
+  };
+
+  SrmConfig srm_;
+  util::Rng rng_;
+  std::unordered_map<std::uint64_t, WantState> want_;          // loser state
+  std::unordered_map<std::uint64_t, RepairState> repairing_;   // holder state
+  std::unordered_map<std::uint64_t, double> hold_until_;       // repair hold
+  std::uint64_t requests_multicast_ = 0;
+  std::uint64_t repairs_multicast_ = 0;
+};
+
+}  // namespace rmrn::protocols

@@ -1,0 +1,53 @@
+#include "sim/event_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace rmrn::sim {
+
+EventId EventQueue::schedule(TimeMs at, std::function<void()> action) {
+  if (!std::isfinite(at)) {
+    throw std::invalid_argument("EventQueue: non-finite event time");
+  }
+  if (!action) {
+    throw std::invalid_argument("EventQueue: empty action");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(action)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
+
+void EventQueue::skipDead() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  skipDead();
+  return heap_.empty();
+}
+
+TimeMs EventQueue::nextTime() const {
+  skipDead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::nextTime on empty");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skipDead();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty");
+  // priority_queue::top() is const; the entry is about to be discarded, so a
+  // move via const_cast of the action is safe and avoids a copy.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, top.id, std::move(top.action)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+}  // namespace rmrn::sim

@@ -1,0 +1,67 @@
+// Cancellable discrete-event queue.
+//
+// Events are (time, insertion-sequence) ordered callbacks; ties in time
+// resolve in insertion order so runs are fully deterministic.  Cancellation
+// (needed for SRM's suppression timers and the protocols' request timeouts)
+// is lazy: cancelled entries stay in the heap, flagged dead, and are skipped
+// on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace rmrn::sim {
+
+using TimeMs = double;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `at`.  Returns a handle usable with
+  /// cancel().  Throws std::invalid_argument for non-finite times.
+  EventId schedule(TimeMs at, std::function<void()> action);
+
+  /// Cancels a pending event.  Returns true if the event was pending (i.e.
+  /// not yet fired and not already cancelled).
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the next live event.  Requires !empty().
+  [[nodiscard]] TimeMs nextTime() const;
+
+  /// Pops and returns the next live event.  Requires !empty().
+  struct Fired {
+    TimeMs time;
+    EventId id;
+    std::function<void()> action;
+  };
+  Fired pop();
+
+  /// Live (scheduled, not cancelled, not fired) event count.
+  [[nodiscard]] std::size_t pendingCount() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    TimeMs time;
+    EventId id;  // doubles as the insertion sequence for tie-breaking
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void skipDead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace rmrn::sim

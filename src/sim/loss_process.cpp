@@ -1,0 +1,82 @@
+#include "sim/loss_process.hpp"
+
+#include <stdexcept>
+
+namespace rmrn::sim {
+
+BernoulliLossProcess::BernoulliLossProcess(std::size_t num_links,
+                                           double loss_prob, util::Rng rng)
+    : num_links_(num_links), loss_prob_(loss_prob), rng_(rng) {
+  if (loss_prob_ < 0.0 || loss_prob_ >= 1.0) {
+    throw std::invalid_argument("BernoulliLossProcess: bad loss_prob");
+  }
+}
+
+LinkLossPattern BernoulliLossProcess::nextPattern() {
+  LinkLossPattern pattern(num_links_);
+  for (std::size_t i = 0; i < num_links_; ++i) {
+    pattern[i] = rng_.bernoulli(loss_prob_);
+  }
+  return pattern;
+}
+
+GilbertElliottConfig GilbertElliottConfig::calibrate(
+    double target_loss, double mean_burst_packets) {
+  if (target_loss <= 0.0 || target_loss >= 1.0) {
+    throw std::invalid_argument("GilbertElliott: target_loss out of (0, 1)");
+  }
+  if (mean_burst_packets < 1.0) {
+    throw std::invalid_argument("GilbertElliott: mean burst below 1 packet");
+  }
+  GilbertElliottConfig config;
+  config.loss_in_bad = 1.0;
+  // Mean Bad-state sojourn = 1 / p_bad_to_good packets; stationary
+  // P(Bad) = p_gb / (p_gb + p_bg) must equal target_loss.
+  config.p_bad_to_good = 1.0 / mean_burst_packets;
+  config.p_good_to_bad =
+      config.p_bad_to_good * target_loss / (1.0 - target_loss);
+  if (config.p_good_to_bad >= 1.0) {
+    throw std::invalid_argument(
+        "GilbertElliott: target_loss too high for this burst length");
+  }
+  return config;
+}
+
+double GilbertElliottConfig::stationaryBad() const {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  return denom == 0.0 ? 0.0 : p_good_to_bad / denom;
+}
+
+double GilbertElliottConfig::stationaryLoss() const {
+  return stationaryBad() * loss_in_bad;
+}
+
+GilbertElliottLossProcess::GilbertElliottLossProcess(
+    std::size_t num_links, const GilbertElliottConfig& config, util::Rng rng)
+    : config_(config), bad_(num_links, false), rng_(rng) {
+  if (config_.p_good_to_bad < 0.0 || config_.p_good_to_bad > 1.0 ||
+      config_.p_bad_to_good <= 0.0 || config_.p_bad_to_good > 1.0 ||
+      config_.loss_in_bad < 0.0 || config_.loss_in_bad > 1.0) {
+    throw std::invalid_argument("GilbertElliottLossProcess: bad config");
+  }
+  const double stationary = config_.stationaryBad();
+  for (std::size_t i = 0; i < num_links; ++i) {
+    bad_[i] = rng_.bernoulli(stationary);
+  }
+}
+
+LinkLossPattern GilbertElliottLossProcess::nextPattern() {
+  LinkLossPattern pattern(bad_.size());
+  for (std::size_t i = 0; i < bad_.size(); ++i) {
+    pattern[i] = bad_[i] && rng_.bernoulli(config_.loss_in_bad);
+    // Advance the chain after emitting this packet's draw.
+    if (bad_[i]) {
+      if (rng_.bernoulli(config_.p_bad_to_good)) bad_[i] = false;
+    } else {
+      if (rng_.bernoulli(config_.p_good_to_bad)) bad_[i] = true;
+    }
+  }
+  return pattern;
+}
+
+}  // namespace rmrn::sim

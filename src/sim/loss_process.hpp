@@ -1,0 +1,72 @@
+// Data-loss processes for generating per-packet tree-link loss patterns.
+//
+// The paper's simulator draws i.i.d. Bernoulli(p) losses per link per
+// packet.  Real links lose in bursts; the classic two-state Gilbert-Elliott
+// chain is provided as an extension so the benches can test whether RP's
+// advantage survives temporally correlated loss (it stresses exactly RP's
+// weak spot: consecutive packets failing over the same strategy prefix).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::sim {
+
+/// Generates one LinkLossPattern per data packet over `num_links` tree
+/// links.  Call nextPattern() once per packet, in order.
+class LossProcess {
+ public:
+  virtual ~LossProcess() = default;
+  [[nodiscard]] virtual LinkLossPattern nextPattern() = 0;
+};
+
+/// The paper's model: independent Bernoulli(p) per link per packet.
+class BernoulliLossProcess final : public LossProcess {
+ public:
+  BernoulliLossProcess(std::size_t num_links, double loss_prob,
+                       util::Rng rng);
+  [[nodiscard]] LinkLossPattern nextPattern() override;
+
+ private:
+  std::size_t num_links_;
+  double loss_prob_;
+  util::Rng rng_;
+};
+
+/// Two-state Gilbert-Elliott chain per link: loss-free in Good, lossy with
+/// probability `loss_in_bad` in Bad.  Transitions advance once per packet.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 0.0;
+  double loss_in_bad = 1.0;
+
+  /// Calibrates the chain so the stationary loss rate equals `target_loss`
+  /// and a Bad-state excursion lasts `mean_burst_packets` packets on
+  /// average.  Throws std::invalid_argument for infeasible targets.
+  [[nodiscard]] static GilbertElliottConfig calibrate(
+      double target_loss, double mean_burst_packets);
+
+  /// Stationary probability of being in the Bad state.
+  [[nodiscard]] double stationaryBad() const;
+  /// Long-run per-packet loss probability.
+  [[nodiscard]] double stationaryLoss() const;
+};
+
+class GilbertElliottLossProcess final : public LossProcess {
+ public:
+  /// Each link starts in its stationary state distribution.
+  GilbertElliottLossProcess(std::size_t num_links,
+                            const GilbertElliottConfig& config, util::Rng rng);
+  [[nodiscard]] LinkLossPattern nextPattern() override;
+
+ private:
+  GilbertElliottConfig config_;
+  std::vector<bool> bad_;  // per-link state
+  util::Rng rng_;
+};
+
+}  // namespace rmrn::sim

@@ -1,0 +1,256 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rmrn::sim {
+
+SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
+                       const net::Routing& routing, double loss_prob,
+                       util::Rng rng)
+    : simulator_(simulator),
+      topology_(topology),
+      routing_(routing),
+      loss_prob_(loss_prob),
+      rng_(rng) {
+  if (loss_prob_ < 0.0 || loss_prob_ >= 1.0) {
+    throw std::invalid_argument("SimNetwork: loss_prob must be in [0, 1)");
+  }
+  is_agent_.assign(topology_.graph.numNodes(), false);
+  is_agent_[topology_.source] = true;
+  for (const net::NodeId c : topology_.clients) is_agent_[c] = true;
+  agent_failed_.assign(topology_.graph.numNodes(), false);
+
+  // Precompute loss-free arrival delays down the tree (preorder guarantees
+  // parents are computed before children).
+  const auto& tree = topology_.tree;
+  arrival_delay_.assign(tree.numMembers(), 0.0);
+  for (const net::NodeId v : tree.members()) {
+    if (v == tree.root()) continue;
+    arrival_delay_[tree.memberIndex(v)] =
+        arrival_delay_[tree.memberIndex(tree.parent(v))] + treeLinkDelay(v);
+  }
+}
+
+void SimNetwork::setDeliveryHandler(DeliveryHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void SimNetwork::setTraceSink(TraceSink sink) { trace_sink_ = std::move(sink); }
+
+void SimNetwork::setAgentFailed(net::NodeId agent, bool failed) {
+  if (agent >= is_agent_.size() || !is_agent_[agent]) {
+    throw std::invalid_argument("SimNetwork: not an agent");
+  }
+  agent_failed_[agent] = failed;
+}
+
+bool SimNetwork::isAgentFailed(net::NodeId agent) const {
+  return agent < agent_failed_.size() && agent_failed_[agent];
+}
+
+void SimNetwork::trace(TraceEvent::Kind kind, net::NodeId from,
+                       net::NodeId to, const Packet& packet) {
+  if (trace_sink_) {
+    trace_sink_(TraceEvent{simulator_.now(), kind, from, to, packet});
+  }
+}
+
+net::DelayMs SimNetwork::treeLinkDelay(net::NodeId child) const {
+  const net::NodeId parent = topology_.tree.parent(child);
+  const auto delay = topology_.graph.edgeDelay(parent, child);
+  if (!delay) {
+    throw std::logic_error("SimNetwork: tree link " + std::to_string(parent) +
+                           "->" + std::to_string(child) +
+                           " missing from graph");
+  }
+  return *delay;
+}
+
+net::DelayMs SimNetwork::treeArrivalDelay(net::NodeId v) const {
+  return arrival_delay_[topology_.tree.memberIndex(v)];
+}
+
+void SimNetwork::countHop(const Packet& packet, net::NodeId from,
+                          net::NodeId to) {
+  if (packet.type == Packet::Type::kData) {
+    ++stats_.data_hops;
+    return;
+  }
+  ++stats_.recovery_hops;
+  if (link_accounting_) {
+    ++link_load_[LinkId{std::min(from, to), std::max(from, to)}];
+  }
+}
+
+void SimNetwork::resetStats() {
+  stats_ = {};
+  deliveries_by_type_.clear();
+  link_load_.clear();
+}
+
+std::uint64_t SimNetwork::deliveriesAt(net::NodeId v,
+                                       Packet::Type type) const {
+  const std::size_t index =
+      static_cast<std::size_t>(v) * 4 + static_cast<std::size_t>(type);
+  return index < deliveries_by_type_.size() ? deliveries_by_type_[index] : 0;
+}
+
+void SimNetwork::enableLinkAccounting(bool enabled) {
+  link_accounting_ = enabled;
+}
+
+std::uint64_t SimNetwork::maxRecoveryLinkLoad() const {
+  std::uint64_t best = 0;
+  for (const auto& [link, count] : link_load_) best = std::max(best, count);
+  return best;
+}
+
+void SimNetwork::deliver(net::NodeId at, const Packet& packet) {
+  if (!is_agent_[at] || !handler_ || agent_failed_[at]) return;
+  ++stats_.deliveries;
+  const std::size_t index =
+      static_cast<std::size_t>(at) * 4 + static_cast<std::size_t>(packet.type);
+  if (deliveries_by_type_.size() <= index) {
+    deliveries_by_type_.resize(topology_.graph.numNodes() * 4, 0);
+  }
+  ++deliveries_by_type_[index];
+  trace(TraceEvent::Kind::kDeliver, net::kInvalidNode, at, packet);
+  handler_(at, packet);
+}
+
+void SimNetwork::unicast(net::NodeId from, net::NodeId to, Packet packet) {
+  ++stats_.packets_sent;
+  if (from == to) {
+    simulator_.scheduleAfter(0.0, [this, to, packet] { deliver(to, packet); });
+    return;
+  }
+  auto path = routing_.path(from, to);
+  if (path.size() < 2) {
+    throw std::invalid_argument("SimNetwork::unicast: no route " +
+                                std::to_string(from) + " -> " +
+                                std::to_string(to));
+  }
+  forwardUnicast(std::move(path), 0, packet);
+}
+
+void SimNetwork::forwardUnicast(std::vector<net::NodeId> path, std::size_t hop,
+                                Packet packet) {
+  const net::NodeId a = path[hop];
+  const net::NodeId b = path[hop + 1];
+  countHop(packet, a, b);
+  trace(TraceEvent::Kind::kHopSend, a, b, packet);
+  if (rng_.bernoulli(loss_prob_)) {
+    ++stats_.packets_lost;
+    trace(TraceEvent::Kind::kHopDrop, a, b, packet);
+    return;
+  }
+  const auto delay = topology_.graph.edgeDelay(a, b);
+  if (!delay) {
+    throw std::logic_error("SimNetwork: routing used a missing edge");
+  }
+  const bool final_hop = hop + 2 == path.size();
+  simulator_.scheduleAfter(
+      *delay, [this, path = std::move(path), hop, packet, final_hop]() mutable {
+        if (final_hop) {
+          deliver(path[hop + 1], packet);
+        } else {
+          forwardUnicast(std::move(path), hop + 1, packet);
+        }
+      });
+}
+
+void SimNetwork::multicastFromSource(Packet packet,
+                                     const LinkLossPattern* forced_loss) {
+  ++stats_.packets_sent;
+  if (forced_loss && forced_loss->size() != topology_.tree.numMembers()) {
+    throw std::invalid_argument(
+        "SimNetwork: forced loss pattern size mismatch");
+  }
+  // Copy the pattern: the flood's scheduled events outlive the caller's
+  // argument.
+  std::shared_ptr<const LinkLossPattern> shared_loss =
+      forced_loss ? std::make_shared<const LinkLossPattern>(*forced_loss)
+                  : nullptr;
+  floodTree(topology_.tree.root(), net::kInvalidNode, packet,
+            /*down_only=*/true, /*boundary=*/net::kInvalidNode,
+            std::move(shared_loss));
+}
+
+void SimNetwork::multicastGroup(net::NodeId from, Packet packet) {
+  ++stats_.packets_sent;
+  floodTree(from, net::kInvalidNode, packet, /*down_only=*/false,
+            /*boundary=*/net::kInvalidNode, nullptr);
+}
+
+void SimNetwork::multicastSubtree(net::NodeId subtree_root, net::NodeId from,
+                                  Packet packet) {
+  if (!topology_.tree.isAncestor(subtree_root, from)) {
+    throw std::invalid_argument(
+        "SimNetwork::multicastSubtree: sender outside subtree");
+  }
+  ++stats_.packets_sent;
+  floodTree(from, net::kInvalidNode, packet, /*down_only=*/false,
+            /*boundary=*/subtree_root, nullptr);
+}
+
+void SimNetwork::multicastDownInto(net::NodeId subtree_root, Packet packet) {
+  ++stats_.packets_sent;
+  const auto& tree = topology_.tree;
+  if (subtree_root == tree.root()) {
+    floodTree(subtree_root, net::kInvalidNode, packet, /*down_only=*/true,
+              /*boundary=*/net::kInvalidNode, nullptr);
+    return;
+  }
+  const net::NodeId parent = tree.parent(subtree_root);
+  countHop(packet, parent, subtree_root);
+  trace(TraceEvent::Kind::kHopSend, parent, subtree_root, packet);
+  if (rng_.bernoulli(loss_prob_)) {
+    ++stats_.packets_lost;
+    trace(TraceEvent::Kind::kHopDrop, parent, subtree_root, packet);
+    return;
+  }
+  simulator_.scheduleAfter(
+      treeLinkDelay(subtree_root), [this, subtree_root, parent, packet] {
+        deliver(subtree_root, packet);
+        floodTree(subtree_root, parent, packet, /*down_only=*/true,
+                  /*boundary=*/net::kInvalidNode, nullptr);
+      });
+}
+
+void SimNetwork::floodTree(net::NodeId node, net::NodeId came_from,
+                           Packet packet, bool down_only, net::NodeId boundary,
+                           std::shared_ptr<const LinkLossPattern> forced_loss) {
+  const auto& tree = topology_.tree;
+
+  const auto sendAcross = [&](net::NodeId next, net::NodeId link_child) {
+    countHop(packet, node, next);
+    trace(TraceEvent::Kind::kHopSend, node, next, packet);
+    const bool lost =
+        forced_loss ? (*forced_loss)[tree.memberIndex(link_child)]
+                    : rng_.bernoulli(loss_prob_);
+    if (lost) {
+      ++stats_.packets_lost;
+      trace(TraceEvent::Kind::kHopDrop, node, next, packet);
+      return;
+    }
+    simulator_.scheduleAfter(
+        treeLinkDelay(link_child),
+        [this, next, node, packet, down_only, boundary, forced_loss] {
+          deliver(next, packet);
+          floodTree(next, node, packet, down_only, boundary, forced_loss);
+        });
+  };
+
+  if (!down_only && node != boundary && node != tree.root()) {
+    const net::NodeId up = tree.parent(node);
+    if (up != came_from) sendAcross(up, /*link_child=*/node);
+  }
+  for (const net::NodeId child : tree.children(node)) {
+    if (child != came_from) sendAcross(child, /*link_child=*/child);
+  }
+}
+
+}  // namespace rmrn::sim

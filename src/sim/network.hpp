@@ -1,0 +1,166 @@
+// Packet-level network runtime on top of the discrete-event simulator.
+//
+// Unicast packets are forwarded hop by hop along shortest (expected-delay)
+// routing paths; multicasts flood over the multicast tree.  Every link
+// traversal samples an independent Bernoulli(p) loss and is accounted as one
+// "hop" of bandwidth, matching the paper's "average bandwidth usage per
+// packet recovered (hops)" metric.  Per §5.1 of the paper, link delay and
+// loss are independent of load.
+//
+// Protocol agents live at the source and the clients; the network invokes the
+// delivery handler only at those nodes (routers forward but never process).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::sim {
+
+/// Per-tree-link loss draws for one data multicast: `loss[tree.memberIndex(v)]`
+/// is true when the link parent(v) -> v drops the packet.  The root entry is
+/// ignored.  Shared across protocols so all three recover identical losses.
+using LinkLossPattern = std::vector<bool>;
+
+struct NetworkStats {
+  std::uint64_t data_hops = 0;      // link traversals of DATA packets
+  std::uint64_t recovery_hops = 0;  // link traversals of REQUEST/REPAIR
+  std::uint64_t packets_sent = 0;   // send operations (unicast or multicast)
+  std::uint64_t packets_lost = 0;   // individual link drops
+  std::uint64_t deliveries = 0;     // handler invocations
+};
+
+/// Identifies an undirected link by its normalized endpoint pair.
+struct LinkId {
+  net::NodeId a = net::kInvalidNode;  // min endpoint
+  net::NodeId b = net::kInvalidNode;  // max endpoint
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+};
+
+struct LinkIdHash {
+  [[nodiscard]] std::size_t operator()(const LinkId& link) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(link.a) << 32) | link.b);
+  }
+};
+
+class SimNetwork {
+ public:
+  using DeliveryHandler =
+      std::function<void(net::NodeId at, const Packet& packet)>;
+
+  /// `loss_prob` applies per link traversal to every packet.  The topology
+  /// and routing must outlive the network.
+  SimNetwork(Simulator& simulator, const net::Topology& topology,
+             const net::Routing& routing, double loss_prob, util::Rng rng);
+
+  void setDeliveryHandler(DeliveryHandler handler);
+
+  /// Installs a packet-trace sink (see sim/trace.hpp); pass an empty
+  /// function to disable.  No overhead when unset.
+  void setTraceSink(TraceSink sink);
+
+  /// Failure injection: a failed agent stops receiving deliveries (so it
+  /// never answers requests); the underlying router keeps forwarding.
+  /// Protocol timeouts route around it.  Throws on non-agent nodes.
+  void setAgentFailed(net::NodeId agent, bool failed);
+  [[nodiscard]] bool isAgentFailed(net::NodeId agent) const;
+
+  /// Sends `packet` from `from` to `to` along the shortest path, hop by hop.
+  /// Loss on any hop silently drops the packet (recovery relies on timeouts).
+  void unicast(net::NodeId from, net::NodeId to, Packet packet);
+
+  /// Source multicast down the tree.  When `forced_loss` is non-null it
+  /// overrides random sampling on the tree links (fairness across protocols);
+  /// recovery multicasts pass nullptr.
+  void multicastFromSource(Packet packet,
+                           const LinkLossPattern* forced_loss = nullptr);
+
+  /// SRM-style group multicast: floods from a member over every tree link
+  /// (up through the parent as well as down), reaching the whole group.
+  void multicastGroup(net::NodeId from, Packet packet);
+
+  /// RMA-style scoped multicast: floods from `from` but never crosses out of
+  /// the subtree rooted at `subtree_root`.  `from` must be inside it.
+  void multicastSubtree(net::NodeId subtree_root, net::NodeId from,
+                        Packet packet);
+
+  /// Source-style scoped multicast for the subgroup recovery mode (paper
+  /// ref [4]): the packet crosses the tree link into `subtree_root` from its
+  /// parent and then floods downward only.  With `subtree_root` equal to the
+  /// tree root this is a plain source multicast.
+  void multicastDownInto(net::NodeId subtree_root, Packet packet);
+
+  /// Sum of tree-link delays from the source down to member `v` (the time a
+  /// loss-free data packet takes to arrive).
+  [[nodiscard]] net::DelayMs treeArrivalDelay(net::NodeId v) const;
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void resetStats();
+
+  /// Deliveries (handler invocations) at agent `v`, by packet type — e.g.
+  /// REQUESTs delivered at the source measure the recovery load §2.2 of the
+  /// paper worries about.
+  [[nodiscard]] std::uint64_t deliveriesAt(net::NodeId v,
+                                           Packet::Type type) const;
+
+  /// Per-link traversal accounting for RECOVERY traffic (requests, repairs,
+  /// parities); off by default because of its per-hop map cost.
+  void enableLinkAccounting(bool enabled);
+  [[nodiscard]] const std::unordered_map<LinkId, std::uint64_t, LinkIdHash>&
+  recoveryLinkLoad() const {
+    return link_load_;
+  }
+  /// Heaviest-loaded link's recovery traversal count (0 when accounting is
+  /// off or no recovery traffic flowed).
+  [[nodiscard]] std::uint64_t maxRecoveryLinkLoad() const;
+
+  [[nodiscard]] double lossProb() const { return loss_prob_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] const net::Routing& routing() const { return routing_; }
+  [[nodiscard]] Simulator& simulator() { return simulator_; }
+
+ private:
+  void deliver(net::NodeId at, const Packet& packet);
+  void forwardUnicast(std::vector<net::NodeId> path, std::size_t hop,
+                      Packet packet);
+  /// Floods from `node` over tree links, skipping `came_from`.  `down_only`
+  /// restricts to child links; `boundary` (kInvalidNode = none) is a node
+  /// whose parent link must not be crossed upward.  The loss pattern is
+  /// shared-owned because the flood outlives the caller's argument.
+  void floodTree(net::NodeId node, net::NodeId came_from, Packet packet,
+                 bool down_only, net::NodeId boundary,
+                 std::shared_ptr<const LinkLossPattern> forced_loss);
+  void countHop(const Packet& packet, net::NodeId from, net::NodeId to);
+  [[nodiscard]] net::DelayMs treeLinkDelay(net::NodeId child) const;
+  void trace(TraceEvent::Kind kind, net::NodeId from, net::NodeId to,
+             const Packet& packet);
+
+  Simulator& simulator_;
+  const net::Topology& topology_;
+  const net::Routing& routing_;
+  double loss_prob_;
+  util::Rng rng_;
+  DeliveryHandler handler_;
+  TraceSink trace_sink_;
+  std::vector<bool> is_agent_;               // clients + source, by NodeId
+  std::vector<bool> agent_failed_;           // crash injection, by NodeId
+  std::vector<net::DelayMs> arrival_delay_;  // by memberIndex
+  NetworkStats stats_;
+  // deliveries_by_type_[node * 4 + type]; sized lazily on first delivery.
+  std::vector<std::uint64_t> deliveries_by_type_;
+  bool link_accounting_ = false;
+  std::unordered_map<LinkId, std::uint64_t, LinkIdHash> link_load_;
+};
+
+}  // namespace rmrn::sim

@@ -1,0 +1,44 @@
+// Packet model shared by all recovery protocols.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/types.hpp"
+
+namespace rmrn::sim {
+
+struct Packet {
+  enum class Type : std::uint8_t {
+    kData,     // original multicast transmission from the source
+    kRequest,  // recovery request / NACK
+    kRepair,   // retransmission of a lost data packet
+    kParity,   // FEC parity packet (seq = block id, tag = parity index)
+  };
+
+  Type type = Type::kData;
+  /// Sequence number of the data packet this concerns.
+  std::uint64_t seq = 0;
+  /// Logical sender of this packet (not the current hop).
+  net::NodeId origin = net::kInvalidNode;
+  /// Client being served, for requests and unicast repairs.
+  net::NodeId requester = net::kInvalidNode;
+  /// Protocol-defined tag (e.g. an RMA search hop index).
+  std::uint64_t tag = 0;
+};
+
+[[nodiscard]] constexpr std::string_view toString(Packet::Type t) {
+  switch (t) {
+    case Packet::Type::kData:
+      return "DATA";
+    case Packet::Type::kRequest:
+      return "REQUEST";
+    case Packet::Type::kRepair:
+      return "REPAIR";
+    case Packet::Type::kParity:
+      return "PARITY";
+  }
+  return "?";
+}
+
+}  // namespace rmrn::sim

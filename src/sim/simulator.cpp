@@ -1,0 +1,41 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rmrn::sim {
+
+EventId Simulator::scheduleAt(TimeMs at, std::function<void()> action) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator: scheduling into the past");
+  }
+  return queue_.schedule(at, std::move(action));
+}
+
+EventId Simulator::scheduleAfter(TimeMs delay, std::function<void()> action) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulator: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+std::uint64_t Simulator::run(TimeMs until) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.nextTime() <= until) {
+    auto event = queue_.pop();
+    now_ = event.time;
+    event.action();
+    ++fired;
+  }
+  return fired;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto event = queue_.pop();
+  now_ = event.time;
+  event.action();
+  return true;
+}
+
+}  // namespace rmrn::sim

@@ -1,0 +1,42 @@
+// Discrete-event simulation driver: the clock plus the event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace rmrn::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] TimeMs now() const { return now_; }
+
+  /// Schedules at absolute simulated time; must not be in the past.
+  EventId scheduleAt(TimeMs at, std::function<void()> action);
+
+  /// Schedules `delay >= 0` after now().
+  EventId scheduleAfter(TimeMs delay, std::function<void()> action);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or the clock would pass `until`
+  /// (infinity = run to completion).  Returns the number of events fired.
+  std::uint64_t run(TimeMs until = kForever);
+
+  /// Fires exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pendingEvents() const {
+    return queue_.pendingCount();
+  }
+
+  static constexpr TimeMs kForever = 1e300;
+
+ private:
+  TimeMs now_ = 0.0;
+  EventQueue queue_;
+};
+
+}  // namespace rmrn::sim

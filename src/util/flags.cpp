@@ -1,0 +1,113 @@
+#include "util/flags.hpp"
+
+#include <stdexcept>
+
+namespace rmrn::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("Flags: bare '--' is not a flag");
+    }
+    const auto eq = body.find('=');
+    if (eq == 0) {
+      throw std::invalid_argument("Flags: missing flag name in '" + arg +
+                                  "'");
+    }
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" unless the next token is another flag (then a switch).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  consumed_[name] = true;
+  return values_.contains(name);
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::getString(const std::string& name,
+                             const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double Flags::getDouble(const std::string& name, double fallback) const {
+  const auto raw = get(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: --" + name +
+                                " expects a number, got '" + *raw + "'");
+  }
+}
+
+std::int64_t Flags::getInt(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto raw = get(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Flags: --" + name +
+                                " expects an integer, got '" + *raw + "'");
+  }
+}
+
+std::uint64_t Flags::getUnsigned(const std::string& name,
+                                 std::uint64_t fallback) const {
+  const std::int64_t value =
+      getInt(name, static_cast<std::int64_t>(fallback));
+  if (value < 0) {
+    throw std::invalid_argument("Flags: --" + name + " must be >= 0");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+bool Flags::getBool(const std::string& name, bool fallback) const {
+  const auto raw = get(name);
+  if (!raw) return fallback;
+  if (*raw == "true" || *raw == "1" || *raw == "yes" || *raw == "on") {
+    return true;
+  }
+  if (*raw == "false" || *raw == "0" || *raw == "no" || *raw == "off") {
+    return false;
+  }
+  throw std::invalid_argument("Flags: --" + name +
+                              " expects a boolean, got '" + *raw + "'");
+}
+
+std::vector<std::string> Flags::unconsumed() const {
+  std::vector<std::string> result;
+  for (const auto& [name, value] : values_) {
+    if (!consumed_.contains(name)) result.push_back(name);
+  }
+  return result;
+}
+
+}  // namespace rmrn::util

@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the examples and the rmrn CLI.
+//
+// Accepts "--key=value", "--key value", bare "--switch" (value "true") and
+// positional arguments.  Typed getters validate and report errors with the
+// flag name.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rmrn::util {
+
+class Flags {
+ public:
+  /// Parses argv[1..).  Throws std::invalid_argument on malformed input
+  /// (e.g. "--=x").
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Raw value; empty when absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] std::string getString(const std::string& name,
+                                      const std::string& fallback) const;
+  [[nodiscard]] double getDouble(const std::string& name,
+                                 double fallback) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t getUnsigned(const std::string& name,
+                                          std::uint64_t fallback) const;
+  [[nodiscard]] bool getBool(const std::string& name, bool fallback) const;
+
+  /// Arguments that are not flags, in order (e.g. a subcommand).
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Flags that were parsed but never queried; call after all getters to
+  /// reject typos.  Returns the unknown names.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  mutable std::unordered_map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rmrn::util

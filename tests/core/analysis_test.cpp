@@ -1,0 +1,112 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+struct PlanFixture {
+  net::Topology topo;
+  net::Routing routing;
+  PlanFixture(std::uint64_t seed, std::uint32_t n, PlannerOptions options = {})
+      : topo(make(seed, n)), routing(topo.graph), planner(topo, routing,
+                                                          options) {}
+  RpPlanner planner;
+
+  static net::Topology make(std::uint64_t seed, std::uint32_t n) {
+    util::Rng rng(seed);
+    net::TopologyConfig config;
+    config.num_nodes = n;
+    return net::generateTopology(config, rng);
+  }
+};
+
+TEST(PlanSummaryTest, CountsAndHistogramAreConsistent) {
+  const PlanFixture s(1, 80);
+  const PlanSummary summary = summarizePlan(s.topo, s.routing, s.planner);
+  EXPECT_EQ(summary.clients, s.topo.clients.size());
+  // Histogram sums to the client count; bucket 0 equals direct_to_source.
+  const std::size_t total =
+      std::accumulate(summary.list_length_histogram.begin(),
+                      summary.list_length_histogram.end(), std::size_t{0});
+  EXPECT_EQ(total, summary.clients);
+  ASSERT_FALSE(summary.list_length_histogram.empty());
+  EXPECT_EQ(summary.list_length_histogram[0], summary.direct_to_source);
+  EXPECT_EQ(summary.list_length_histogram.size(),
+            summary.max_list_length + 1);
+}
+
+TEST(PlanSummaryTest, DelayStatsAreOrdered) {
+  const PlanFixture s(2, 80);
+  const PlanSummary summary = summarizePlan(s.topo, s.routing, s.planner);
+  EXPECT_LE(summary.min_expected_delay_ms, summary.mean_expected_delay_ms);
+  EXPECT_LE(summary.mean_expected_delay_ms, summary.max_expected_delay_ms);
+  EXPECT_GT(summary.min_expected_delay_ms, 0.0);
+}
+
+TEST(PlanSummaryTest, MeanDelayMatchesDirectAverage) {
+  const PlanFixture s(3, 60);
+  const PlanSummary summary = summarizePlan(s.topo, s.routing, s.planner);
+  double sum = 0.0;
+  for (const net::NodeId c : s.topo.clients) {
+    sum += s.planner.strategyFor(c).expected_delay_ms;
+  }
+  EXPECT_NEAR(summary.mean_expected_delay_ms,
+              sum / static_cast<double>(s.topo.clients.size()), 1e-9);
+}
+
+TEST(PlanSummaryTest, PlanNeverWorseThanSource) {
+  // mean_delay_vs_source <= 1: the optimum can always fall back to the
+  // bare source strategy.
+  const PlanFixture s(4, 100);
+  const PlanSummary summary = summarizePlan(s.topo, s.routing, s.planner);
+  EXPECT_LE(summary.mean_delay_vs_source, 1.0 + 1e-9);
+}
+
+TEST(PlanSummaryTest, CappedPlanHasShorterLists) {
+  PlannerOptions capped;
+  capped.max_list_length = 1;
+  const PlanFixture free_setup(5, 80);
+  const PlanFixture capped_setup(5, 80, capped);
+  const PlanSummary a =
+      summarizePlan(free_setup.topo, free_setup.routing, free_setup.planner);
+  const PlanSummary b = summarizePlan(capped_setup.topo, capped_setup.routing,
+                                      capped_setup.planner);
+  EXPECT_LE(b.max_list_length, 1u);
+  EXPECT_LE(b.mean_list_length, a.mean_list_length + 1e-12);
+  EXPECT_LE(a.mean_expected_delay_ms, b.mean_expected_delay_ms + 1e-9);
+}
+
+TEST(PlanSummaryTest, FirstSuccessProbabilityIsAProbability) {
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;  // makes peer lists non-trivial
+  const PlanFixture s(6, 120, options);
+  const PlanSummary summary = summarizePlan(s.topo, s.routing, s.planner);
+  EXPECT_GE(summary.mean_first_success_prob, 0.0);
+  EXPECT_LE(summary.mean_first_success_prob, 1.0);
+  if (summary.direct_to_source < summary.clients) {
+    EXPECT_GT(summary.mean_first_success_prob, 0.0);
+  }
+}
+
+TEST(PlanSummaryTest, PerPeerTimeoutPlanningUsesMorePeers) {
+  // Against the huge default global t_0, many clients go straight to the
+  // source; planning against realistic RTT-scaled waits should use peers
+  // at least as often.
+  PlannerOptions realistic;
+  realistic.per_peer_timeout_factor = 1.5;
+  const PlanFixture coarse(7, 120);
+  const PlanFixture fine(7, 120, realistic);
+  const PlanSummary a =
+      summarizePlan(coarse.topo, coarse.routing, coarse.planner);
+  const PlanSummary b = summarizePlan(fine.topo, fine.routing, fine.planner);
+  EXPECT_GE(b.mean_list_length, a.mean_list_length);
+}
+
+}  // namespace
+}  // namespace rmrn::core

@@ -1,0 +1,152 @@
+#include "core/balanced_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+net::Topology makeTopology(std::uint64_t seed, std::uint32_t n = 120) {
+  util::Rng rng(seed);
+  net::TopologyConfig config;
+  config.num_nodes = n;
+  return net::generateTopology(config, rng);
+}
+
+BalanceOptions balancedOptions(double penalty = 5.0) {
+  BalanceOptions options;
+  options.planner.per_peer_timeout_factor = 1.5;
+  options.load_penalty_ms = penalty;
+  return options;
+}
+
+TEST(BalancedPlannerTest, ZeroPenaltyMatchesRpPlanner) {
+  const net::Topology topo = makeTopology(1);
+  const net::Routing routing(topo.graph);
+  const BalancedPlanner balanced(topo, routing, balancedOptions(0.0));
+  PlannerOptions rp_options;
+  rp_options.per_peer_timeout_factor = 1.5;
+  const RpPlanner rp(topo, routing, rp_options);
+  for (const net::NodeId u : topo.clients) {
+    EXPECT_EQ(balanced.strategyFor(u).peers, rp.strategyFor(u).peers)
+        << "client " << u;
+    EXPECT_NEAR(balanced.strategyFor(u).expected_delay_ms,
+                rp.strategyFor(u).expected_delay_ms, 1e-9);
+  }
+}
+
+TEST(BalancedPlannerTest, ReducesMaxPeerLoad) {
+  const net::Topology topo = makeTopology(2, 200);
+  const net::Routing routing(topo.graph);
+  PlannerOptions rp_options;
+  rp_options.per_peer_timeout_factor = 1.5;
+  const RpPlanner rp(topo, routing, rp_options);
+  const auto unbalanced = expectedPeerLoads(topo, rp);
+  ASSERT_FALSE(unbalanced.empty());
+  const double unbalanced_max = unbalanced.front().expected_requests;
+
+  const BalancedPlanner balanced(topo, routing, balancedOptions(20.0));
+  EXPECT_LE(balanced.maxPeerLoad(), unbalanced_max + 1e-9);
+}
+
+TEST(BalancedPlannerTest, DelayCostIsBounded) {
+  // Balancing trades delay for load; the regression must stay modest.
+  const net::Topology topo = makeTopology(3, 200);
+  const net::Routing routing(topo.graph);
+  PlannerOptions rp_options;
+  rp_options.per_peer_timeout_factor = 1.5;
+  const RpPlanner rp(topo, routing, rp_options);
+  double rp_mean = 0.0;
+  for (const net::NodeId u : topo.clients) {
+    rp_mean += rp.strategyFor(u).expected_delay_ms;
+  }
+  rp_mean /= static_cast<double>(topo.clients.size());
+
+  const BalancedPlanner balanced(topo, routing, balancedOptions(10.0));
+  EXPECT_GE(balanced.meanExpectedDelay(), rp_mean - 1e-9);  // never better
+  EXPECT_LE(balanced.meanExpectedDelay(), rp_mean * 1.5);   // but bounded
+}
+
+TEST(BalancedPlannerTest, StrategiesStayValid) {
+  const net::Topology topo = makeTopology(4);
+  const net::Routing routing(topo.graph);
+  const BalancedPlanner balanced(topo, routing, balancedOptions(15.0));
+  for (const net::NodeId u : topo.clients) {
+    const Strategy& s = balanced.strategyFor(u);
+    net::HopCount prev = topo.tree.depth(u);
+    for (const Candidate& c : s.peers) {
+      EXPECT_LT(c.ds, prev);  // still strictly descending, below DS_u
+      prev = c.ds;
+      EXPECT_NE(c.peer, u);
+      EXPECT_NE(c.peer, topo.source);
+      EXPECT_TRUE(topo.isClient(c.peer));
+      // Reported RTTs are the TRUE ones, not the penalized planning values.
+      EXPECT_DOUBLE_EQ(c.rtt_ms, routing.rtt(u, c.peer));
+    }
+  }
+}
+
+TEST(BalancedPlannerTest, TerminatesWithinRoundCap) {
+  const net::Topology topo = makeTopology(5);
+  const net::Routing routing(topo.graph);
+  BalanceOptions options = balancedOptions(25.0);
+  options.max_rounds = 3;
+  const BalancedPlanner balanced(topo, routing, options);
+  EXPECT_LE(balanced.roundsUsed(), 3u);
+  EXPECT_GE(balanced.roundsUsed(), 1u);
+}
+
+TEST(BalancedPlannerTest, LoadsSumToExpectedRequests) {
+  // Total expected peer requests = sum over clients of (expected requests
+  // minus the guaranteed source request share)... simpler invariant: each
+  // client contributes reach probabilities in (0, 1]; totals are positive
+  // and bounded by total list length.
+  const net::Topology topo = makeTopology(6);
+  const net::Routing routing(topo.graph);
+  const BalancedPlanner balanced(topo, routing, balancedOptions(5.0));
+  double total = 0.0;
+  std::size_t list_total = 0;
+  for (const net::NodeId u : topo.clients) {
+    list_total += balanced.strategyFor(u).peers.size();
+  }
+  for (const PeerLoad& l : balanced.peerLoads()) {
+    EXPECT_GT(l.expected_requests, 0.0);
+    total += l.expected_requests;
+  }
+  EXPECT_LE(total, static_cast<double>(list_total) + 1e-9);
+}
+
+TEST(BalancedPlannerTest, LoadsSortedDescending) {
+  const net::Topology topo = makeTopology(7);
+  const net::Routing routing(topo.graph);
+  const BalancedPlanner balanced(topo, routing, balancedOptions(5.0));
+  const auto& loads = balanced.peerLoads();
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    EXPECT_GE(loads[i - 1].expected_requests, loads[i].expected_requests);
+  }
+}
+
+TEST(BalancedPlannerTest, ValidatesOptions) {
+  const net::Topology topo = makeTopology(8, 40);
+  const net::Routing routing(topo.graph);
+  BalanceOptions bad = balancedOptions();
+  bad.load_penalty_ms = -1.0;
+  EXPECT_THROW(BalancedPlanner(topo, routing, bad), std::invalid_argument);
+  bad = balancedOptions();
+  bad.max_rounds = 0;
+  EXPECT_THROW(BalancedPlanner(topo, routing, bad), std::invalid_argument);
+}
+
+TEST(BalancedPlannerTest, UnknownClientThrows) {
+  const net::Topology topo = makeTopology(9, 40);
+  const net::Routing routing(topo.graph);
+  const BalancedPlanner balanced(topo, routing, balancedOptions());
+  EXPECT_THROW((void)balanced.strategyFor(topo.source), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rmrn::core

@@ -1,0 +1,229 @@
+#include "core/dynamic_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+net::Topology makeTopology(std::uint64_t seed, std::uint32_t n = 80) {
+  util::Rng rng(seed);
+  net::TopologyConfig config;
+  config.num_nodes = n;
+  return net::generateTopology(config, rng);
+}
+
+// Fresh-plan reference: RpPlanner over a topology with the given clients.
+RpPlanner freshPlanner(const net::Topology& base,
+                       const std::vector<net::NodeId>& clients,
+                       const net::Routing& routing,
+                       const PlannerOptions& options) {
+  net::Topology copy = base;
+  copy.clients = clients;
+  std::sort(copy.clients.begin(), copy.clients.end());
+  return RpPlanner(copy, routing, options);
+}
+
+void expectSamePlans(const DynamicPlanner& dynamic, const RpPlanner& fresh) {
+  for (const net::NodeId u : dynamic.clients()) {
+    ASSERT_EQ(dynamic.candidatesFor(u), fresh.candidatesFor(u))
+        << "client " << u;
+    EXPECT_NEAR(dynamic.strategyFor(u).expected_delay_ms,
+                fresh.strategyFor(u).expected_delay_ms, 1e-9)
+        << "client " << u;
+    EXPECT_EQ(dynamic.strategyFor(u).peers, fresh.strategyFor(u).peers)
+        << "client " << u;
+  }
+}
+
+TEST(DynamicPlannerTest, InitialPlanMatchesRpPlanner) {
+  const net::Topology topo = makeTopology(1);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  const DynamicPlanner dynamic(topo, routing, options);
+  const RpPlanner fresh(topo, routing, options);
+  expectSamePlans(dynamic, fresh);
+}
+
+TEST(DynamicPlannerTest, ResolvedTimeoutMatchesRpPlannerDefault) {
+  const net::Topology topo = makeTopology(2);
+  const net::Routing routing(topo.graph);
+  const DynamicPlanner dynamic(topo, routing, PlannerOptions{});
+  const RpPlanner fresh(topo, routing, PlannerOptions{});
+  EXPECT_DOUBLE_EQ(dynamic.resolvedOptions().timeout_ms, fresh.timeoutMs());
+}
+
+TEST(DynamicPlannerTest, AddClientMatchesFreshPlan) {
+  const net::Topology topo = makeTopology(3);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  DynamicPlanner dynamic(topo, routing, options);
+
+  // Promote a non-client tree member (a router) to receiver.
+  net::NodeId joiner = net::kInvalidNode;
+  for (const net::NodeId v : topo.tree.members()) {
+    if (v != topo.source && !topo.isClient(v)) {
+      joiner = v;
+      break;
+    }
+  }
+  ASSERT_NE(joiner, net::kInvalidNode);
+  dynamic.addClient(joiner);
+
+  auto clients = topo.clients;
+  clients.push_back(joiner);
+  const RpPlanner fresh =
+      freshPlanner(topo, clients, routing, dynamic.resolvedOptions());
+  expectSamePlans(dynamic, fresh);
+}
+
+TEST(DynamicPlannerTest, RemoveClientMatchesFreshPlan) {
+  const net::Topology topo = makeTopology(4);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  DynamicPlanner dynamic(topo, routing, options);
+
+  const net::NodeId leaver = topo.clients[topo.clients.size() / 2];
+  dynamic.removeClient(leaver);
+
+  auto clients = topo.clients;
+  std::erase(clients, leaver);
+  const RpPlanner fresh =
+      freshPlanner(topo, clients, routing, dynamic.resolvedOptions());
+  expectSamePlans(dynamic, fresh);
+  EXPECT_THROW((void)dynamic.strategyFor(leaver), std::out_of_range);
+}
+
+TEST(DynamicPlannerTest, RemoveThenReAddRestoresPlans) {
+  const net::Topology topo = makeTopology(5);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  DynamicPlanner dynamic(topo, routing, options);
+  const RpPlanner original(topo, routing, options);
+
+  const net::NodeId v = topo.clients.front();
+  dynamic.removeClient(v);
+  dynamic.addClient(v);
+  expectSamePlans(dynamic, original);
+}
+
+TEST(DynamicPlannerTest, ValidatesMembershipOperations) {
+  const net::Topology topo = makeTopology(6);
+  const net::Routing routing(topo.graph);
+  DynamicPlanner dynamic(topo, routing, PlannerOptions{});
+  EXPECT_THROW(dynamic.addClient(topo.source), std::invalid_argument);
+  EXPECT_THROW(dynamic.addClient(topo.clients.front()),
+               std::invalid_argument);
+  EXPECT_THROW(dynamic.addClient(static_cast<net::NodeId>(100000)),
+               std::invalid_argument);
+  dynamic.removeClient(topo.clients.front());
+  EXPECT_THROW(dynamic.removeClient(topo.clients.front()),
+               std::invalid_argument);
+}
+
+TEST(DynamicPlannerTest, ReplansExactlyTheAffectedClients) {
+  // lastReplans must equal the number of clients whose candidate list
+  // actually changed (plus the joiner itself on a join) — the incremental
+  // accounting is exact, never "replan everything to be safe".
+  const net::Topology topo = makeTopology(7, 120);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  DynamicPlanner dynamic(topo, routing, options);
+
+  const net::NodeId leaver = topo.clients[1];
+  std::unordered_map<net::NodeId, std::vector<Candidate>> before;
+  for (const net::NodeId u : dynamic.clients()) {
+    if (u != leaver) before.emplace(u, dynamic.candidatesFor(u));
+  }
+  dynamic.removeClient(leaver);
+  std::size_t changed = 0;
+  for (const net::NodeId u : dynamic.clients()) {
+    if (dynamic.candidatesFor(u) != before.at(u)) ++changed;
+  }
+  EXPECT_EQ(dynamic.lastReplans(), changed);
+}
+
+TEST(DynamicPlannerTest, RemovingNonCandidateReplansNothing) {
+  // A leaver that never served as anyone's class candidate must not touch
+  // any other client's plan.
+  const net::Topology topo = makeTopology(8, 150);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  DynamicPlanner dynamic(topo, routing, options);
+
+  // Find a client that appears in nobody's candidate list.
+  net::NodeId unused = net::kInvalidNode;
+  for (const net::NodeId v : dynamic.clients()) {
+    bool referenced = false;
+    for (const net::NodeId u : dynamic.clients()) {
+      if (u == v) continue;
+      for (const Candidate& c : dynamic.candidatesFor(u)) {
+        if (c.peer == v) {
+          referenced = true;
+          break;
+        }
+      }
+      if (referenced) break;
+    }
+    if (!referenced) {
+      unused = v;
+      break;
+    }
+  }
+  if (unused == net::kInvalidNode) {
+    GTEST_SKIP() << "every client is some candidate on this topology";
+  }
+  dynamic.removeClient(unused);
+  EXPECT_EQ(dynamic.lastReplans(), 0u);
+}
+
+class DynamicChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicChurnTest, RandomChurnSequenceMatchesFreshPlans) {
+  const net::Topology topo = makeTopology(GetParam(), 60);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  DynamicPlanner dynamic(topo, routing, options);
+
+  util::Rng rng(GetParam() + 100);
+  std::vector<net::NodeId> members;  // churn pool: every non-source member
+  for (const net::NodeId v : topo.tree.members()) {
+    if (v != topo.source) members.push_back(v);
+  }
+  std::vector<net::NodeId> current = topo.clients;
+
+  for (int op = 0; op < 30; ++op) {
+    const net::NodeId v = members[static_cast<std::size_t>(
+        rng.uniformInt(members.size()))];
+    const bool is_client =
+        std::find(current.begin(), current.end(), v) != current.end();
+    if (is_client && current.size() > 2) {
+      dynamic.removeClient(v);
+      std::erase(current, v);
+    } else if (!is_client) {
+      dynamic.addClient(v);
+      current.push_back(v);
+    }
+  }
+  const RpPlanner fresh =
+      freshPlanner(topo, current, routing, dynamic.resolvedOptions());
+  expectSamePlans(dynamic, fresh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicChurnTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace rmrn::core

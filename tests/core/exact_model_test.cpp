@@ -1,0 +1,265 @@
+#include "core/exact_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <tuple>
+
+#include "core/objective.hpp"
+#include "core/planner.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+// Synthetic candidate chain with descending ds and given suffix lengths.
+std::vector<ExactCandidate> chain(
+    std::initializer_list<std::tuple<net::HopCount, net::HopCount, double>>
+        specs) {
+  // tuple = (ds, suffix_hops, rtt)
+  std::vector<ExactCandidate> result;
+  net::NodeId id = 1;
+  for (const auto& [ds, suffix, rtt] : specs) {
+    result.push_back({Candidate{id++, ds, rtt}, suffix});
+  }
+  return result;
+}
+
+ExactParams params(double p, double rtt_source = 40.0,
+                   double timeout = 100.0) {
+  ExactParams result;
+  result.link_loss_prob = p;
+  result.rtt_source_ms = rtt_source;
+  result.timeout_ms = timeout;
+  return result;
+}
+
+TEST(ExactModelTest, FirstRequestSuccessHandComputed) {
+  // ds_u = 3, peer ds = 1, suffix = 2, p = 0.1 (q = 0.9):
+  // P(peer ok, u lost) = q^1 * q^2 * (1 - q^2) = 0.9^3 * 0.19
+  // P(u lost) = 1 - q^3.
+  const ExactCandidate c{{1, 1, 10.0}, 2};
+  const double q = 0.9;
+  const double expected =
+      std::pow(q, 3) * (1.0 - q * q) / (1.0 - std::pow(q, 3));
+  EXPECT_NEAR(exactFirstRequestSuccess(c, 3, 0.1), expected, 1e-12);
+}
+
+TEST(ExactModelTest, FirstRequestSuccessMatchesMonteCarlo) {
+  util::Rng rng(3);
+  const ExactCandidate c{{1, 2, 10.0}, 3};
+  const net::HopCount ds_u = 5;
+  const double p = 0.15;
+
+  std::uint64_t u_lost = 0;
+  std::uint64_t both = 0;
+  for (int trial = 0; trial < 400000; ++trial) {
+    // Links: 2 shared, 3 private to u, 3 private to peer.
+    bool shared_fail = false;
+    for (int i = 0; i < 2; ++i) shared_fail |= rng.bernoulli(p);
+    bool u_suffix_fail = false;
+    for (int i = 0; i < 3; ++i) u_suffix_fail |= rng.bernoulli(p);
+    bool v_suffix_fail = false;
+    for (int i = 0; i < 3; ++i) v_suffix_fail |= rng.bernoulli(p);
+
+    if (shared_fail || u_suffix_fail) {
+      ++u_lost;
+      if (!shared_fail && !v_suffix_fail) ++both;
+    }
+  }
+  const double observed =
+      static_cast<double>(both) / static_cast<double>(u_lost);
+  EXPECT_NEAR(observed, exactFirstRequestSuccess(c, ds_u, p), 0.01);
+}
+
+TEST(ExactModelTest, ReducesToReliableModelAsPVanishes) {
+  // As p -> 0 at most one link fails, so the exact delay converges to the
+  // paper's reliable-network objective (with zero-length suffixes, whose
+  // loss is second order).
+  const auto strategy = chain({{4, 0, 12.0}, {2, 0, 18.0}, {1, 0, 25.0}});
+  std::vector<Candidate> plain;
+  for (const auto& c : strategy) plain.push_back(c.base);
+
+  const DelayParams reliable{6, 50.0, 100.0, CostModel::kExpected};
+  const double reliable_delay = expectedDelay(plain, reliable);
+  const double exact_delay =
+      exactExpectedDelay(strategy, 6, params(1e-6, 50.0, 100.0));
+  EXPECT_NEAR(exact_delay, reliable_delay, reliable_delay * 1e-4);
+}
+
+TEST(ExactModelTest, SuffixLossLowersSuccessAtHigherP) {
+  // With long suffixes the peer itself becomes unreliable: the exact delay
+  // must exceed the zero-suffix case.
+  const auto short_suffix = chain({{2, 0, 10.0}});
+  const auto long_suffix = chain({{2, 8, 10.0}});
+  const auto p = params(0.2);
+  EXPECT_GT(exactExpectedDelay(long_suffix, 5, p),
+            exactExpectedDelay(short_suffix, 5, p));
+}
+
+TEST(ExactModelTest, MatchesMonteCarloEndToEnd) {
+  // Full sequential-recovery process on a synthetic path structure.
+  util::Rng rng(11);
+  const net::HopCount ds_u = 6;
+  const auto strategy = chain({{4, 2, 12.0}, {2, 1, 18.0}, {1, 3, 25.0}});
+  const double p = 0.12;
+  const auto pr = params(p, 50.0, 100.0);
+
+  // Segments of u's path: depths 0-1, 1-2, 2-4, 4-6.
+  double total = 0.0;
+  std::uint64_t losses = 0;
+  for (int trial = 0; trial < 500000; ++trial) {
+    // Sample u's 6 path links individually.
+    std::array<bool, 6> link_fail{};
+    bool u_lost = false;
+    for (int i = 0; i < 6; ++i) {
+      link_fail[static_cast<std::size_t>(i)] = rng.bernoulli(p);
+      u_lost |= link_fail[static_cast<std::size_t>(i)];
+    }
+    // Candidate suffixes (independent).
+    const auto suffixOk = [&](net::HopCount hops) {
+      for (net::HopCount i = 0; i < hops; ++i) {
+        if (rng.bernoulli(p)) return false;
+      }
+      return true;
+    };
+    std::array<bool, 3> has{};
+    // Candidate ds 4: prefix links 0..3 must be fine.
+    has[0] = !link_fail[0] && !link_fail[1] && !link_fail[2] &&
+             !link_fail[3] && suffixOk(2);
+    has[1] = !link_fail[0] && !link_fail[1] && suffixOk(1);
+    has[2] = !link_fail[0] && suffixOk(3);
+    if (!u_lost) continue;
+    ++losses;
+    double delay = 0.0;
+    bool done = false;
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (has[i]) {
+        delay += strategy[i].base.rtt_ms;
+        done = true;
+        break;
+      }
+      delay += 100.0;  // timeout
+    }
+    if (!done) delay += 50.0;  // source rtt
+    total += delay;
+  }
+  const double observed = total / static_cast<double>(losses);
+  const double predicted = exactExpectedDelay(strategy, ds_u, pr);
+  EXPECT_NEAR(observed, predicted, predicted * 0.01);
+}
+
+TEST(ExactModelTest, ValidatesInput) {
+  const auto strategy = chain({{2, 0, 10.0}});
+  EXPECT_THROW((void)exactExpectedDelay(strategy, 0, params(0.1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)exactExpectedDelay(strategy, 5, params(-0.1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)exactExpectedDelay(strategy, 5, params(1.0)),
+               std::invalid_argument);
+  const auto ascending = chain({{1, 0, 10.0}, {2, 0, 10.0}});
+  EXPECT_THROW((void)exactExpectedDelay(ascending, 5, params(0.1)),
+               std::invalid_argument);
+  const auto too_deep = chain({{5, 0, 10.0}});
+  EXPECT_THROW((void)exactExpectedDelay(too_deep, 5, params(0.1)),
+               std::invalid_argument);
+}
+
+TEST(ExactModelTest, BruteForceNeverWorseThanAnySubset) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto ds_u = static_cast<net::HopCount>(4 + rng.uniformInt(8));
+    std::vector<ExactCandidate> candidates;
+    net::HopCount ds = ds_u;
+    while (ds > 0 && candidates.size() < 8) {
+      ds = static_cast<net::HopCount>(rng.uniformInt(ds));
+      candidates.push_back(
+          {Candidate{static_cast<net::NodeId>(candidates.size() + 1), ds,
+                     rng.uniformReal(1.0, 50.0)},
+           static_cast<net::HopCount>(rng.uniformInt(6))});
+      if (ds == 0) break;
+    }
+    const auto p = params(rng.uniformReal(0.01, 0.3),
+                          rng.uniformReal(10.0, 80.0), 100.0);
+    const Strategy best = exactBruteForceMinimalDelay(ds_u, candidates, p);
+    EXPECT_LE(best.expected_delay_ms,
+              exactExpectedDelay(candidates, ds_u, p) + 1e-9);
+    EXPECT_LE(best.expected_delay_ms,
+              exactExpectedDelay({}, ds_u, p) + 1e-9);
+  }
+}
+
+TEST(ExactModelTest, PerPeerTimeoutsRespected) {
+  // With per-peer timeouts, the failure cost of a cheap-RTT peer is small;
+  // the same strategy must cost strictly less than under a huge global t0.
+  const auto strategy = chain({{2, 1, 10.0}});
+  ExactParams global = params(0.2, 40.0, 500.0);
+  ExactParams per_peer = global;
+  per_peer.timeout_ms = 0.0;
+  per_peer.per_peer_timeout_factor = 1.5;
+  EXPECT_LT(exactExpectedDelay(strategy, 5, per_peer),
+            exactExpectedDelay(strategy, 5, global));
+  EXPECT_DOUBLE_EQ(per_peer.timeoutFor(10.0), 15.0);
+  EXPECT_DOUBLE_EQ(global.timeoutFor(10.0), 500.0);
+}
+
+TEST(ExactModelTest, AnnotateSuffixesFromTree) {
+  //      0
+  //      1
+  //     2 3     (2 and 3 under 1)
+  //     4       (4 under 2)
+  std::vector<net::NodeId> parent(5, net::kInvalidNode);
+  parent[1] = 0;
+  parent[2] = 1;
+  parent[3] = 1;
+  parent[4] = 2;
+  const net::MulticastTree tree(0, std::move(parent));
+  // Candidate 3 with LCA at node 1 (depth 1): suffix = depth(3) - 1 = 1.
+  // Candidate 4 with LCA at node 1: suffix = 3 - 1 = 2.
+  const std::vector<Candidate> candidates{{3, 1, 10.0}, {4, 1, 12.0}};
+  const auto annotated = annotateSuffixes(candidates, tree);
+  ASSERT_EQ(annotated.size(), 2u);
+  EXPECT_EQ(annotated[0].suffix_hops, 1u);
+  EXPECT_EQ(annotated[1].suffix_hops, 2u);
+}
+
+TEST(ExactModelTest, AlgorithmOneIsNearOptimalAtSmallP) {
+  // On real topologies, evaluate the paper's (reliable-model) strategy
+  // under the exact model and compare with the exact optimum: the gap must
+  // be tiny at p = 1%.
+  util::Rng rng(23);
+  net::TopologyConfig config;
+  config.num_nodes = 60;
+  const net::Topology topo = net::generateTopology(config, rng);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  const RpPlanner planner(topo, routing, options);
+
+  double heuristic_total = 0.0;
+  double optimal_total = 0.0;
+  for (const net::NodeId u : topo.clients) {
+    const auto exact_candidates =
+        annotateSuffixes(planner.candidatesFor(u), topo.tree);
+    if (exact_candidates.size() > 16) continue;  // keep 2^m affordable
+    ExactParams p;
+    p.link_loss_prob = 0.01;
+    p.rtt_source_ms = routing.rtt(u, topo.source);
+    p.per_peer_timeout_factor = 1.5;
+    const auto planned =
+        annotateSuffixes(planner.strategyFor(u).peers, topo.tree);
+    heuristic_total +=
+        exactExpectedDelay(planned, topo.tree.depth(u), p);
+    optimal_total +=
+        exactBruteForceMinimalDelay(topo.tree.depth(u), exact_candidates, p)
+            .expected_delay_ms;
+  }
+  EXPECT_LE(heuristic_total, optimal_total * 1.02);
+  EXPECT_GE(heuristic_total, optimal_total - 1e-9);
+}
+
+}  // namespace
+}  // namespace rmrn::core

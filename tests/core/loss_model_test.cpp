@@ -1,0 +1,117 @@
+#include "core/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+TEST(LossModelTest, Lemma1BasicValues) {
+  // P = 1 - DS_j / DS_{j-1}.
+  EXPECT_DOUBLE_EQ(probPeerHasPacket(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(probPeerHasPacket(1, 4), 0.75);
+  EXPECT_DOUBLE_EQ(probPeerHasPacket(2, 4), 0.5);
+  EXPECT_DOUBLE_EQ(probPeerHasPacket(3, 4), 0.25);
+}
+
+TEST(LossModelTest, Lemma2OutOfOrderPeersSurelyFail) {
+  // Observation 1: once the window shrank below the peer's depth, the peer
+  // has surely lost the packet too.
+  EXPECT_DOUBLE_EQ(probPeerHasPacket(4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(probPeerHasPacket(7, 4), 0.0);
+}
+
+TEST(LossModelTest, ThrowsOnEmptyWindow) {
+  EXPECT_THROW((void)probPeerHasPacket(0, 0), std::invalid_argument);
+}
+
+TEST(LossModelTest, Lemma3AllFailProbability) {
+  EXPECT_DOUBLE_EQ(probAllPeersFail(2, 4), 0.5);
+  EXPECT_DOUBLE_EQ(probAllPeersFail(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(probAllPeersFail(4, 4), 1.0);
+}
+
+TEST(LossModelTest, Lemma3Validation) {
+  EXPECT_THROW((void)probAllPeersFail(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)probAllPeersFail(5, 4), std::invalid_argument);
+}
+
+TEST(LossModelTest, Lemma3IsProductOfLemma1Failures) {
+  // P(all fail) must equal the telescoping product of per-step failure
+  // probabilities for any descending DS chain.
+  const std::vector<net::HopCount> chain{7, 5, 2, 1};
+  const net::HopCount ds_u = 10;
+  double product = 1.0;
+  net::HopCount window = ds_u;
+  for (const net::HopCount ds : chain) {
+    product *= 1.0 - probPeerHasPacket(ds, window);
+    window = shrinkLossWindow(window, ds);
+  }
+  EXPECT_NEAR(product, probAllPeersFail(chain.back(), ds_u), 1e-12);
+}
+
+TEST(LossModelTest, ShrinkLossWindow) {
+  EXPECT_EQ(shrinkLossWindow(5, 3), 3u);
+  EXPECT_EQ(shrinkLossWindow(3, 5), 3u);
+  EXPECT_EQ(shrinkLossWindow(4, 4), 4u);
+  EXPECT_EQ(shrinkLossWindow(4, 0), 0u);
+}
+
+// Monte-Carlo validation of Lemma 1 against the single-loss generative
+// model: the failed link is uniform among the DS_u links of u's root path;
+// a peer with first-common-router depth ds has the packet iff the failed
+// link index (0-based from the source) is >= ds.
+TEST(LossModelTest, Lemma1MatchesSingleLossSimulation) {
+  util::Rng rng(123);
+  constexpr net::HopCount kDsU = 8;
+  const std::vector<net::HopCount> peer_ds{6, 3, 1};
+
+  std::vector<int> reached(peer_ds.size(), 0);   // times step j was reached
+  std::vector<int> succeeded(peer_ds.size(), 0); // times peer j had packet
+  constexpr int kTrials = 200000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto failed_link = static_cast<net::HopCount>(rng.uniformInt(kDsU));
+    for (std::size_t j = 0; j < peer_ds.size(); ++j) {
+      ++reached[j];
+      if (failed_link >= peer_ds[j]) {
+        ++succeeded[j];
+        break;  // recovery done; later peers not consulted
+      }
+    }
+  }
+
+  net::HopCount window = kDsU;
+  for (std::size_t j = 0; j < peer_ds.size(); ++j) {
+    const double expected = probPeerHasPacket(peer_ds[j], window);
+    const double observed =
+        static_cast<double>(succeeded[j]) / static_cast<double>(reached[j]);
+    EXPECT_NEAR(observed, expected, 0.01) << "step " << j;
+    window = shrinkLossWindow(window, peer_ds[j]);
+  }
+}
+
+// Property sweep: for every (ds, window) pair, probability is in [0, 1] and
+// monotone (deeper shared prefix => more correlated => lower success).
+class LossModelPropertyTest
+    : public ::testing::TestWithParam<net::HopCount> {};
+
+TEST_P(LossModelPropertyTest, ProbabilitiesAreMonotoneInDs) {
+  const net::HopCount window = GetParam();
+  double prev = 1.1;
+  for (net::HopCount ds = 0; ds <= window + 2; ++ds) {
+    const double p = probPeerHasPacket(ds, window);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_LE(p, prev);  // non-increasing in ds
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LossModelPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 100));
+
+}  // namespace
+}  // namespace rmrn::core

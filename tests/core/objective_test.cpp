@@ -1,0 +1,257 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/loss_model.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+constexpr double kT0 = 100.0;
+
+DelayParams params(net::HopCount ds_u, double rtt_source,
+                   CostModel model = CostModel::kExpected) {
+  return DelayParams{ds_u, rtt_source, kT0, model};
+}
+
+TEST(ObjectiveTest, EmptyStrategyIsSourceRtt) {
+  EXPECT_DOUBLE_EQ(expectedDelay({}, params(4, 40.0)), 40.0);
+  EXPECT_DOUBLE_EQ(expectedDelayMeaningful({}, params(4, 40.0)), 40.0);
+}
+
+TEST(ObjectiveTest, SinglePeerHandComputed) {
+  // ds_u = 4, peer ds = 2, rtt = 10: P(success) = 1/2.
+  // Delay = [0.5*10 + 0.5*100] + 0.5 * 40 = 55 + 20 = 75.
+  const std::vector<Candidate> strategy{{1, 2, 10.0}};
+  EXPECT_DOUBLE_EQ(expectedDelay(strategy, params(4, 40.0)), 75.0);
+  EXPECT_DOUBLE_EQ(expectedDelayMeaningful(strategy, params(4, 40.0)), 75.0);
+}
+
+TEST(ObjectiveTest, TwoPeerHandComputed) {
+  // ds_u = 4; peers (ds 2, rtt 10), (ds 1, rtt 20); source rtt 40.
+  // step 1: cost 0.5*10 + 0.5*100 = 55; fail prob 1/2
+  // step 2 (window 2): P(success)=1/2, cost 0.5*20 + 0.5*100 = 60,
+  //                    weighted 0.5*60 = 30; reach source prob 1/4
+  // total = 55 + 30 + 0.25*40 = 95.
+  const std::vector<Candidate> strategy{{1, 2, 10.0}, {2, 1, 20.0}};
+  EXPECT_DOUBLE_EQ(expectedDelay(strategy, params(4, 40.0)), 95.0);
+  EXPECT_DOUBLE_EQ(expectedDelayMeaningful(strategy, params(4, 40.0)), 95.0);
+}
+
+TEST(ObjectiveTest, Equation3ClosedForm) {
+  // Eq. (3): Delay = d(v1) + [DS_1 d(v2) + DS_2 d(S)]/DS_u with the expected
+  // model's conditional d(v_j); cross-check the closed form symbolically.
+  const net::HopCount ds_u = 5;
+  const std::vector<Candidate> strategy{{1, 3, 8.0}, {2, 1, 12.0}};
+  const double rtt_s = 30.0;
+  // d(v1) = (1 - 3/5)*8 + (3/5)*100 = 3.2 + 60 = 63.2
+  // (DS_1/DS_u) d(v2) = [12*(3-1) + 100*1]/5 = 124/5 = 24.8
+  // (DS_2/DS_u) d(S) = (1/5)*30 = 6
+  EXPECT_NEAR(expectedDelayMeaningful(strategy, params(ds_u, rtt_s)),
+              63.2 + 24.8 + 6.0, 1e-12);
+}
+
+TEST(ObjectiveTest, GeneralAndMeaningfulAgreeOnDescendingLists) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto ds_u = static_cast<net::HopCount>(3 + rng.uniformInt(10));
+    std::vector<Candidate> strategy;
+    net::HopCount ds = ds_u;
+    while (ds > 0 && rng.bernoulli(0.7)) {
+      ds = static_cast<net::HopCount>(rng.uniformInt(ds));  // < previous
+      strategy.push_back(
+          {static_cast<net::NodeId>(strategy.size() + 1), ds,
+           rng.uniformReal(1.0, 50.0)});
+      if (ds == 0) break;
+    }
+    const double rtt_s = rng.uniformReal(10.0, 80.0);
+    for (const CostModel model :
+         {CostModel::kExpected, CostModel::kTimeoutOnly, CostModel::kRttOnly}) {
+      const DelayParams p{ds_u, rtt_s, kT0, model};
+      EXPECT_NEAR(expectedDelay(strategy, p),
+                  expectedDelayMeaningful(strategy, p), 1e-9)
+          << "trial " << trial << " model " << toString(model);
+    }
+  }
+}
+
+TEST(ObjectiveTest, Lemma4DroppingCompetitiveDuplicateNeverHurts) {
+  // Two candidates with the SAME ds are competitive; the general evaluator
+  // gives the second a success probability of 0, so dropping it can only
+  // reduce the delay.
+  const std::vector<Candidate> with{{1, 2, 10.0}, {2, 2, 12.0}, {3, 1, 20.0}};
+  const std::vector<Candidate> without{{1, 2, 10.0}, {3, 1, 20.0}};
+  const auto p = params(4, 40.0);
+  EXPECT_LE(expectedDelay(without, p), expectedDelay(with, p));
+}
+
+TEST(ObjectiveTest, Lemma5AscendingEntryNeverHelps) {
+  // An out-of-order (ascending DS) entry surely fails (Lemma 2) and only
+  // adds cost: dropping it can only help.
+  const std::vector<Candidate> with{{1, 1, 10.0}, {2, 3, 5.0}};
+  const std::vector<Candidate> without{{1, 1, 10.0}};
+  const auto p = params(4, 40.0);
+  EXPECT_LE(expectedDelay(without, p), expectedDelay(with, p));
+}
+
+TEST(ObjectiveTest, ZeroDsPeerEndsRecovery) {
+  // A peer sharing no links with u always has the packet: the source term
+  // and anything after it contribute nothing.
+  const std::vector<Candidate> strategy{{1, 0, 14.0}};
+  EXPECT_DOUBLE_EQ(expectedDelay(strategy, params(4, 1000.0)), 14.0);
+}
+
+TEST(ObjectiveTest, TimeoutOnlyModel) {
+  // Every request costs t0 regardless of RTT.
+  const std::vector<Candidate> strategy{{1, 2, 10.0}};
+  // 100 + (2/4)*40 = 120.
+  EXPECT_DOUBLE_EQ(
+      expectedDelay(strategy, params(4, 40.0, CostModel::kTimeoutOnly)),
+      120.0);
+}
+
+TEST(ObjectiveTest, RttOnlyModel) {
+  const std::vector<Candidate> strategy{{1, 2, 10.0}};
+  // 10 + (2/4)*40 = 30.
+  EXPECT_DOUBLE_EQ(
+      expectedDelay(strategy, params(4, 40.0, CostModel::kRttOnly)), 30.0);
+}
+
+TEST(ObjectiveTest, MeaningfulRejectsNonDescending) {
+  const auto p = params(4, 40.0);
+  EXPECT_THROW(
+      (void)expectedDelayMeaningful(
+          std::vector<Candidate>{{1, 1, 10.0}, {2, 2, 10.0}}, p),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)expectedDelayMeaningful(
+          std::vector<Candidate>{{1, 2, 10.0}, {2, 2, 10.0}}, p),
+      std::invalid_argument);
+  EXPECT_THROW((void)expectedDelayMeaningful(
+                   std::vector<Candidate>{{1, 4, 10.0}}, p),
+               std::invalid_argument);
+}
+
+TEST(ObjectiveTest, ValidatesParams) {
+  EXPECT_THROW((void)expectedDelay({}, params(0, 40.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)expectedDelay({}, DelayParams{4, -1.0, kT0,
+                                                   CostModel::kExpected}),
+               std::invalid_argument);
+}
+
+TEST(AttemptDistributionTest, SumsToOne) {
+  const std::vector<Candidate> strategy{{1, 4, 12.0}, {2, 2, 18.0},
+                                        {3, 1, 25.0}};
+  const AttemptDistribution dist = attemptDistribution(strategy, 6);
+  double total = dist.fallback_to_source;
+  for (const double p : dist.success_at) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(AttemptDistributionTest, HandComputed) {
+  // ds_u = 4, peers ds 2 then ds 1:
+  //   P(success at 1) = 1 - 2/4 = 1/2
+  //   P(success at 2) = (2/4)(1 - 1/2) = 1/4
+  //   P(source)       = 1/4
+  //   E[requests]     = 1 + 1/2 + 1/4 = 1.75
+  const std::vector<Candidate> strategy{{1, 2, 10.0}, {2, 1, 20.0}};
+  const AttemptDistribution dist = attemptDistribution(strategy, 4);
+  ASSERT_EQ(dist.success_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist.success_at[0], 0.5);
+  EXPECT_DOUBLE_EQ(dist.success_at[1], 0.25);
+  EXPECT_DOUBLE_EQ(dist.fallback_to_source, 0.25);
+  EXPECT_DOUBLE_EQ(dist.expected_requests, 1.75);
+}
+
+TEST(AttemptDistributionTest, EmptyStrategyAlwaysFallsBack) {
+  const AttemptDistribution dist = attemptDistribution({}, 5);
+  EXPECT_TRUE(dist.success_at.empty());
+  EXPECT_DOUBLE_EQ(dist.fallback_to_source, 1.0);
+  EXPECT_DOUBLE_EQ(dist.expected_requests, 1.0);
+}
+
+TEST(AttemptDistributionTest, FallbackMatchesLemma3) {
+  const std::vector<Candidate> strategy{{1, 5, 1.0}, {2, 3, 1.0},
+                                        {3, 2, 1.0}};
+  const AttemptDistribution dist = attemptDistribution(strategy, 8);
+  EXPECT_DOUBLE_EQ(dist.fallback_to_source, probAllPeersFail(2, 8));
+}
+
+TEST(AttemptDistributionTest, MatchesMonteCarlo) {
+  util::Rng rng(101);
+  const std::vector<Candidate> strategy{{1, 4, 1.0}, {2, 1, 1.0}};
+  const net::HopCount ds_u = 6;
+  std::vector<int> success(2, 0);
+  int fallback = 0;
+  std::uint64_t requests = 0;
+  constexpr int kTrials = 200000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto failed = static_cast<net::HopCount>(rng.uniformInt(ds_u));
+    bool done = false;
+    for (std::size_t j = 0; j < strategy.size(); ++j) {
+      ++requests;
+      if (failed >= strategy[j].ds) {
+        ++success[j];
+        done = true;
+        break;
+      }
+    }
+    if (!done) {
+      ++fallback;
+      ++requests;
+    }
+  }
+  const AttemptDistribution dist = attemptDistribution(strategy, ds_u);
+  EXPECT_NEAR(static_cast<double>(success[0]) / kTrials, dist.success_at[0],
+              0.01);
+  EXPECT_NEAR(static_cast<double>(success[1]) / kTrials, dist.success_at[1],
+              0.01);
+  EXPECT_NEAR(static_cast<double>(fallback) / kTrials,
+              dist.fallback_to_source, 0.01);
+  EXPECT_NEAR(static_cast<double>(requests) / kTrials,
+              dist.expected_requests, 0.02);
+}
+
+TEST(AttemptDistributionTest, RejectsZeroDepth) {
+  EXPECT_THROW((void)attemptDistribution({}, 0), std::invalid_argument);
+}
+
+// Monte-Carlo: simulate the single-loss + timeout process and compare the
+// empirical mean recovery delay with Eq. (2).
+TEST(ObjectiveTest, MatchesMonteCarloSimulationOfRecoveryProcess) {
+  util::Rng rng(99);
+  const net::HopCount ds_u = 6;
+  const std::vector<Candidate> strategy{{1, 4, 12.0}, {2, 2, 18.0},
+                                        {3, 1, 25.0}};
+  const double rtt_s = 50.0;
+
+  double total = 0.0;
+  constexpr int kTrials = 300000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto failed_link = static_cast<net::HopCount>(rng.uniformInt(ds_u));
+    double delay = 0.0;
+    bool recovered = false;
+    for (const Candidate& c : strategy) {
+      if (failed_link >= c.ds) {  // peer has the packet
+        delay += c.rtt_ms;
+        recovered = true;
+        break;
+      }
+      delay += kT0;  // timed out
+    }
+    if (!recovered) delay += rtt_s;
+    total += delay;
+  }
+  const double simulated = total / kTrials;
+  const double predicted =
+      expectedDelay(strategy, DelayParams{ds_u, rtt_s, kT0,
+                                          CostModel::kExpected});
+  EXPECT_NEAR(simulated, predicted, predicted * 0.01);
+}
+
+}  // namespace
+}  // namespace rmrn::core

@@ -1,0 +1,224 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/objective.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+net::Topology makeTopology(std::uint64_t seed, std::uint32_t n = 80) {
+  util::Rng rng(seed);
+  net::TopologyConfig config;
+  config.num_nodes = n;
+  return net::generateTopology(config, rng);
+}
+
+TEST(RpPlannerTest, ProducesStrategyForEveryClient) {
+  const net::Topology topo = makeTopology(1);
+  const net::Routing routing(topo.graph);
+  const RpPlanner planner(topo, routing, PlannerOptions{});
+  for (const net::NodeId c : topo.clients) {
+    const Strategy& s = planner.strategyFor(c);
+    EXPECT_GE(s.expected_delay_ms, 0.0);
+    // Peers must be actual clients, not u itself or the source.
+    for (const Candidate& peer : s.peers) {
+      EXPECT_NE(peer.peer, c);
+      EXPECT_NE(peer.peer, topo.source);
+      EXPECT_TRUE(topo.isClient(peer.peer));
+    }
+  }
+}
+
+TEST(RpPlannerTest, ThrowsForUnknownClient) {
+  const net::Topology topo = makeTopology(2);
+  const net::Routing routing(topo.graph);
+  const RpPlanner planner(topo, routing, PlannerOptions{});
+  EXPECT_THROW((void)planner.strategyFor(topo.source), std::out_of_range);
+  EXPECT_THROW((void)planner.candidatesFor(topo.source), std::out_of_range);
+}
+
+TEST(RpPlannerTest, AutoTimeoutIsTwiceMaxSourceRtt) {
+  const net::Topology topo = makeTopology(3);
+  const net::Routing routing(topo.graph);
+  const RpPlanner planner(topo, routing, PlannerOptions{});
+  double max_rtt = 0.0;
+  for (const net::NodeId c : topo.clients) {
+    max_rtt = std::max(max_rtt, routing.rtt(c, topo.source));
+  }
+  EXPECT_DOUBLE_EQ(planner.timeoutMs(), 2.0 * max_rtt);
+}
+
+TEST(RpPlannerTest, ExplicitTimeoutIsKept) {
+  const net::Topology topo = makeTopology(4);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.timeout_ms = 123.0;
+  const RpPlanner planner(topo, routing, options);
+  EXPECT_DOUBLE_EQ(planner.timeoutMs(), 123.0);
+}
+
+TEST(RpPlannerTest, RejectsNegativeTimeout) {
+  const net::Topology topo = makeTopology(5);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.timeout_ms = -1.0;
+  EXPECT_THROW(RpPlanner(topo, routing, options), std::invalid_argument);
+}
+
+TEST(RpPlannerTest, StrategyDelayMatchesObjective) {
+  const net::Topology topo = makeTopology(6);
+  const net::Routing routing(topo.graph);
+  const RpPlanner planner(topo, routing, PlannerOptions{});
+  for (const net::NodeId c : topo.clients) {
+    const Strategy& s = planner.strategyFor(c);
+    const DelayParams params{topo.tree.depth(c), routing.rtt(c, topo.source),
+                             planner.timeoutMs(), CostModel::kExpected};
+    EXPECT_NEAR(expectedDelay(s.peers, params), s.expected_delay_ms, 1e-9);
+  }
+}
+
+TEST(RpPlannerTest, StrategyIsSubsequenceOfCandidates) {
+  const net::Topology topo = makeTopology(7);
+  const net::Routing routing(topo.graph);
+  const RpPlanner planner(topo, routing, PlannerOptions{});
+  for (const net::NodeId c : topo.clients) {
+    const auto& candidates = planner.candidatesFor(c);
+    const auto& peers = planner.strategyFor(c).peers;
+    std::size_t pos = 0;
+    for (const Candidate& peer : peers) {
+      while (pos < candidates.size() && !(candidates[pos] == peer)) ++pos;
+      ASSERT_LT(pos, candidates.size())
+          << "strategy peer not in candidate order";
+      ++pos;
+    }
+  }
+}
+
+TEST(RpPlannerTest, MaxListLengthRespected) {
+  const net::Topology topo = makeTopology(8);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.max_list_length = 1;
+  const RpPlanner planner(topo, routing, options);
+  for (const net::NodeId c : topo.clients) {
+    EXPECT_LE(planner.strategyFor(c).peers.size(), 1u);
+  }
+}
+
+TEST(RpPlannerTest, NoDirectSourceForcesPeers) {
+  const net::Topology topo = makeTopology(9);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.allow_direct_source = false;
+  const RpPlanner planner(topo, routing, options);
+  for (const net::NodeId c : topo.clients) {
+    if (!planner.candidatesFor(c).empty()) {
+      EXPECT_FALSE(planner.strategyFor(c).peers.empty());
+    }
+  }
+}
+
+// Restricting the strategy space can never improve the optimum.
+TEST(RpPlannerTest, RestrictionMonotonicity) {
+  const net::Topology topo = makeTopology(10);
+  const net::Routing routing(topo.graph);
+  PlannerOptions unrestricted;
+  unrestricted.timeout_ms = 200.0;
+  PlannerOptions capped = unrestricted;
+  capped.max_list_length = 1;
+  const RpPlanner free_planner(topo, routing, unrestricted);
+  const RpPlanner capped_planner(topo, routing, capped);
+  for (const net::NodeId c : topo.clients) {
+    EXPECT_LE(free_planner.strategyFor(c).expected_delay_ms,
+              capped_planner.strategyFor(c).expected_delay_ms + 1e-9);
+  }
+}
+
+TEST(RpPlannerTest, ExcludedPeersNeverAppear) {
+  const net::Topology topo = makeTopology(11);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  // Ban the first half of the clients from serving.
+  options.excluded_peers.assign(topo.clients.begin(),
+                                topo.clients.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        topo.clients.size() / 2));
+  const RpPlanner planner(topo, routing, options);
+  for (const net::NodeId u : topo.clients) {
+    // Banned clients still get plans of their own.
+    const Strategy& s = planner.strategyFor(u);
+    for (const Candidate& c : s.peers) {
+      EXPECT_EQ(std::count(options.excluded_peers.begin(),
+                           options.excluded_peers.end(), c.peer),
+                0)
+          << "banned peer " << c.peer << " on " << u << "'s list";
+    }
+  }
+}
+
+TEST(RpPlannerTest, ExclusionNeverImprovesPlans) {
+  const net::Topology topo = makeTopology(12);
+  const net::Routing routing(topo.graph);
+  PlannerOptions free_options;
+  free_options.per_peer_timeout_factor = 1.5;
+  PlannerOptions banned = free_options;
+  banned.excluded_peers = {topo.clients.front(), topo.clients.back()};
+  const RpPlanner free_planner(topo, routing, free_options);
+  const RpPlanner banned_planner(topo, routing, banned);
+  for (const net::NodeId u : topo.clients) {
+    EXPECT_LE(free_planner.strategyFor(u).expected_delay_ms,
+              banned_planner.strategyFor(u).expected_delay_ms + 1e-9);
+  }
+}
+
+// End-to-end Algorithm 1 vs brute force on REAL topologies (candidates from
+// actual trees, per-peer timeouts), not just synthetic chains.
+class PlannerBruteForceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PlannerBruteForceTest, MatchesBruteForceOnRealTopologies) {
+  const net::Topology topo = makeTopology(GetParam(), 50);
+  const net::Routing routing(topo.graph);
+  PlannerOptions options;
+  options.per_peer_timeout_factor = 1.5;
+  const RpPlanner planner(topo, routing, options);
+
+  StrategyGraphOptions graph_options;
+  graph_options.timeout_ms = planner.timeoutMs();
+  graph_options.per_peer_timeout_factor = 1.5;
+  for (const net::NodeId u : topo.clients) {
+    const auto& candidates = planner.candidatesFor(u);
+    if (candidates.size() > 16) continue;
+    const Strategy brute = bruteForceMinimalDelay(
+        topo.tree.depth(u), candidates, routing.rtt(u, topo.source),
+        graph_options);
+    EXPECT_NEAR(planner.strategyFor(u).expected_delay_ms,
+                brute.expected_delay_ms, 1e-9)
+        << "client " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerBruteForceTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+// The planned optimum can never be worse than going straight to the source.
+TEST(RpPlannerTest, NeverWorseThanDirectSource) {
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    const net::Topology topo = makeTopology(seed);
+    const net::Routing routing(topo.graph);
+    const RpPlanner planner(topo, routing, PlannerOptions{});
+    for (const net::NodeId c : topo.clients) {
+      EXPECT_LE(planner.strategyFor(c).expected_delay_ms,
+                routing.rtt(c, topo.source) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmrn::core

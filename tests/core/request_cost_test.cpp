@@ -1,0 +1,75 @@
+#include "core/request_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmrn::core {
+namespace {
+
+TEST(RequestCostTest, TimeoutOnlyIgnoresRtt) {
+  EXPECT_DOUBLE_EQ(requestCost(CostModel::kTimeoutOnly, 5.0, 100.0, 2, 4),
+                   100.0);
+  EXPECT_DOUBLE_EQ(requestCost(CostModel::kTimeoutOnly, 999.0, 100.0, 0, 4),
+                   100.0);
+}
+
+TEST(RequestCostTest, RttOnlyIgnoresTimeout) {
+  EXPECT_DOUBLE_EQ(requestCost(CostModel::kRttOnly, 5.0, 100.0, 2, 4), 5.0);
+}
+
+TEST(RequestCostTest, ExpectedMixesByLemma1) {
+  // Eq. (1): d = rtt * P(success) + t0 * P(failure); with ds=2, window=4 the
+  // success probability is 1/2.
+  EXPECT_DOUBLE_EQ(requestCost(CostModel::kExpected, 10.0, 100.0, 2, 4),
+                   0.5 * 10.0 + 0.5 * 100.0);
+}
+
+TEST(RequestCostTest, ExpectedSureSuccessCostsRtt) {
+  EXPECT_DOUBLE_EQ(requestCost(CostModel::kExpected, 10.0, 100.0, 0, 4),
+                   10.0);
+}
+
+TEST(RequestCostTest, ExpectedSureFailureCostsTimeout) {
+  EXPECT_DOUBLE_EQ(requestCost(CostModel::kExpected, 10.0, 100.0, 4, 4),
+                   100.0);
+  EXPECT_DOUBLE_EQ(requestCost(CostModel::kExpected, 10.0, 100.0, 9, 4),
+                   100.0);
+}
+
+TEST(RequestCostTest, ExpectedBoundedByRttAndTimeout) {
+  for (net::HopCount ds = 0; ds <= 6; ++ds) {
+    const double c = requestCost(CostModel::kExpected, 10.0, 100.0, ds, 6);
+    EXPECT_GE(c, 10.0);
+    EXPECT_LE(c, 100.0);
+  }
+}
+
+TEST(RequestCostTest, ExpectedMonotoneInDs) {
+  // Deeper shared prefix => more likely failure => higher cost (t0 > rtt).
+  double prev = 0.0;
+  for (net::HopCount ds = 0; ds <= 6; ++ds) {
+    const double c = requestCost(CostModel::kExpected, 10.0, 100.0, ds, 6);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(RequestCostTest, ThrowsOnNegativeInputs) {
+  EXPECT_THROW((void)requestCost(CostModel::kExpected, -1.0, 100.0, 1, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)requestCost(CostModel::kExpected, 1.0, -100.0, 1, 4),
+               std::invalid_argument);
+}
+
+TEST(RequestCostTest, ExpectedThrowsOnEmptyWindow) {
+  EXPECT_THROW((void)requestCost(CostModel::kExpected, 1.0, 2.0, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(RequestCostTest, ToStringNames) {
+  EXPECT_EQ(toString(CostModel::kExpected), "expected");
+  EXPECT_EQ(toString(CostModel::kTimeoutOnly), "timeout-only");
+  EXPECT_EQ(toString(CostModel::kRttOnly), "rtt-only");
+}
+
+}  // namespace
+}  // namespace rmrn::core

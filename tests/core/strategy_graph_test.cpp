@@ -1,0 +1,290 @@
+#include "core/strategy_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+StrategyGraphOptions defaultOptions() {
+  StrategyGraphOptions options;
+  options.timeout_ms = 100.0;
+  return options;
+}
+
+// Random strictly-descending candidate list below ds_u.
+std::vector<Candidate> randomCandidates(util::Rng& rng, net::HopCount ds_u,
+                                        std::size_t max_count) {
+  std::vector<Candidate> result;
+  net::HopCount ds = ds_u;
+  while (result.size() < max_count && ds > 0) {
+    ds = static_cast<net::HopCount>(rng.uniformInt(ds));
+    result.push_back({static_cast<net::NodeId>(result.size() + 1), ds,
+                      rng.uniformReal(1.0, 60.0)});
+    if (ds == 0) break;
+  }
+  return result;
+}
+
+TEST(StrategyGraphTest, DefinitionOneWeights) {
+  // ds_u = 4; candidates (ds 2, rtt 10) and (ds 1, rtt 20); rtt(S) = 40.
+  const std::vector<Candidate> candidates{{1, 2, 10.0}, {2, 1, 20.0}};
+  const StrategyGraph g(4, candidates, 40.0, defaultOptions());
+
+  ASSERT_EQ(g.numVertices(), 4u);
+  ASSERT_EQ(g.sourceVertex(), 3u);
+  // w(u -> v_1) = d(v_1) = 0.5*10 + 0.5*100 = 55.
+  EXPECT_DOUBLE_EQ(g.edgeWeight(0, 1), 55.0);
+  // w(u -> v_2) = (1 - 1/4)*20 + (1/4)*100 = 40.
+  EXPECT_DOUBLE_EQ(g.edgeWeight(0, 2), 40.0);
+  // w(u -> S) = d(S) = 40.
+  EXPECT_DOUBLE_EQ(g.edgeWeight(0, 3), 40.0);
+  // w(v_1 -> v_2) = (DS_1/DS_u) d(v_2 | window 2) = (2/4)(0.5*20+0.5*100).
+  EXPECT_DOUBLE_EQ(g.edgeWeight(1, 2), 0.5 * 60.0);
+  // w(v_1 -> S) = (2/4)*40 = 20;  w(v_2 -> S) = (1/4)*40 = 10.
+  EXPECT_DOUBLE_EQ(g.edgeWeight(1, 3), 20.0);
+  EXPECT_DOUBLE_EQ(g.edgeWeight(2, 3), 10.0);
+  // Non-edges are infinite.
+  EXPECT_TRUE(std::isinf(g.edgeWeight(1, 1)));
+  EXPECT_TRUE(std::isinf(g.edgeWeight(2, 1)));
+  EXPECT_TRUE(std::isinf(g.edgeWeight(3, 0)));
+}
+
+TEST(StrategyGraphTest, EdgeCountMatchesDefinition) {
+  // |E| = (N+1) edges to S + edges u->v_i (N) + v_i->v_j (N(N-1)/2).
+  for (std::size_t n : {0u, 1u, 2u, 5u, 8u}) {
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < n; ++i) {
+      candidates.push_back({static_cast<net::NodeId>(i + 1),
+                            static_cast<net::HopCount>(n - i), 10.0});
+    }
+    const StrategyGraph g(static_cast<net::HopCount>(n + 1), candidates, 40.0,
+                          defaultOptions());
+    EXPECT_EQ(g.edges().size(), (n + 1) + n + n * (n - 1) / 2);
+  }
+}
+
+TEST(StrategyGraphTest, PathLengthEqualsObjective) {
+  // Any u -> ... -> S path's summed weight must equal Eq. (2) for the
+  // corresponding strategy (Definition 1's core property).
+  util::Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto ds_u = static_cast<net::HopCount>(4 + rng.uniformInt(8));
+    const auto candidates = randomCandidates(rng, ds_u, 6);
+    const double rtt_s = rng.uniformReal(10.0, 90.0);
+    const StrategyGraph g(ds_u, candidates, rtt_s, defaultOptions());
+    const DelayParams params{ds_u, rtt_s, 100.0, CostModel::kExpected};
+
+    // Enumerate subsets as paths.
+    const std::size_t n = candidates.size();
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<Candidate> strategy;
+      double path_weight = 0.0;
+      std::size_t prev = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          strategy.push_back(candidates[i]);
+          path_weight += g.edgeWeight(prev, i + 1);
+          prev = i + 1;
+        }
+      }
+      path_weight += g.edgeWeight(prev, g.sourceVertex());
+      EXPECT_NEAR(path_weight, expectedDelay(strategy, params), 1e-9);
+    }
+  }
+}
+
+TEST(StrategyGraphTest, RejectsBadInputs) {
+  EXPECT_THROW(StrategyGraph(0, {}, 40.0, defaultOptions()),
+               std::invalid_argument);
+  EXPECT_THROW(StrategyGraph(4, {{1, 4, 10.0}}, 40.0, defaultOptions()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      StrategyGraph(4, {{1, 2, 10.0}, {2, 2, 10.0}}, 40.0, defaultOptions()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      StrategyGraph(4, {{1, 2, 10.0}, {2, 3, 10.0}}, 40.0, defaultOptions()),
+      std::invalid_argument);
+  EXPECT_THROW(StrategyGraph(4, {{1, 2, -1.0}}, 40.0, defaultOptions()),
+               std::invalid_argument);
+  EXPECT_THROW(StrategyGraph(4, {}, -40.0, defaultOptions()),
+               std::invalid_argument);
+}
+
+TEST(Algorithm1Test, EmptyCandidatesGoStraightToSource) {
+  const StrategyGraph g(4, {}, 40.0, defaultOptions());
+  const Strategy s = searchMinimalDelay(g);
+  EXPECT_TRUE(s.peers.empty());
+  EXPECT_DOUBLE_EQ(s.expected_delay_ms, 40.0);
+}
+
+TEST(Algorithm1Test, PicksObviouslyGoodPeer) {
+  // A zero-shared-prefix peer with tiny RTT dominates everything.
+  const std::vector<Candidate> candidates{{1, 2, 80.0}, {2, 0, 5.0}};
+  const StrategyGraph g(4, candidates, 60.0, defaultOptions());
+  const Strategy s = searchMinimalDelay(g);
+  ASSERT_EQ(s.peers.size(), 1u);
+  EXPECT_EQ(s.peers[0].peer, 2u);
+  EXPECT_DOUBLE_EQ(s.expected_delay_ms, 5.0);
+}
+
+TEST(Algorithm1Test, SkipsUselessPeer) {
+  // Peer almost as deep as u (success prob 1/4) with a huge RTT: going
+  // straight to a cheap source is better.
+  const std::vector<Candidate> candidates{{1, 3, 90.0}};
+  const StrategyGraph g(4, candidates, 20.0, defaultOptions());
+  const Strategy s = searchMinimalDelay(g);
+  EXPECT_TRUE(s.peers.empty());
+  EXPECT_DOUBLE_EQ(s.expected_delay_ms, 20.0);
+}
+
+TEST(Algorithm1Test, MatchesBruteForceOnRandomInstances) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto ds_u = static_cast<net::HopCount>(3 + rng.uniformInt(12));
+    const auto candidates = randomCandidates(rng, ds_u, 10);
+    const double rtt_s = rng.uniformReal(5.0, 120.0);
+    StrategyGraphOptions options;
+    options.timeout_ms = rng.uniformReal(30.0, 200.0);
+
+    const StrategyGraph g(ds_u, candidates, rtt_s, options);
+    const Strategy fast = searchMinimalDelay(g);
+    const Strategy slow =
+        bruteForceMinimalDelay(ds_u, candidates, rtt_s, options);
+    EXPECT_NEAR(fast.expected_delay_ms, slow.expected_delay_ms, 1e-9)
+        << "trial " << trial;
+    // The returned list must evaluate to the claimed delay.
+    const DelayParams params{ds_u, rtt_s, options.timeout_ms,
+                             options.cost_model};
+    EXPECT_NEAR(expectedDelay(fast.peers, params), fast.expected_delay_ms,
+                1e-9);
+  }
+}
+
+TEST(Algorithm1Test, MatchesBruteForceUnderAllCostModels) {
+  util::Rng rng(78);
+  for (const CostModel model :
+       {CostModel::kExpected, CostModel::kTimeoutOnly, CostModel::kRttOnly}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const auto ds_u = static_cast<net::HopCount>(3 + rng.uniformInt(10));
+      const auto candidates = randomCandidates(rng, ds_u, 8);
+      const double rtt_s = rng.uniformReal(5.0, 120.0);
+      StrategyGraphOptions options;
+      options.timeout_ms = 90.0;
+      options.cost_model = model;
+      const StrategyGraph g(ds_u, candidates, rtt_s, options);
+      EXPECT_NEAR(
+          searchMinimalDelay(g).expected_delay_ms,
+          bruteForceMinimalDelay(ds_u, candidates, rtt_s, options)
+              .expected_delay_ms,
+          1e-9)
+          << toString(model) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Algorithm1Test, RestrictedNoDirectSource) {
+  // With the u->S edge removed the strategy must contain >= 1 peer even
+  // when the source is closest.
+  const std::vector<Candidate> candidates{{1, 2, 50.0}};
+  StrategyGraphOptions options = defaultOptions();
+  options.allow_direct_source = false;
+  const StrategyGraph g(4, candidates, 1.0, options);
+  const Strategy s = searchMinimalDelay(g);
+  ASSERT_EQ(s.peers.size(), 1u);
+  EXPECT_EQ(s.peers[0].peer, 1u);
+
+  // Unrestricted, going straight to the source wins.
+  const StrategyGraph g2(4, candidates, 1.0, defaultOptions());
+  EXPECT_TRUE(searchMinimalDelay(g2).peers.empty());
+}
+
+TEST(Algorithm1Test, RestrictedNoDirectSourceMatchesBruteForce) {
+  util::Rng rng(79);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto ds_u = static_cast<net::HopCount>(3 + rng.uniformInt(10));
+    auto candidates = randomCandidates(rng, ds_u, 8);
+    if (candidates.empty()) continue;  // no feasible restricted strategy
+    StrategyGraphOptions options = defaultOptions();
+    options.allow_direct_source = false;
+    const double rtt_s = rng.uniformReal(5.0, 120.0);
+    const StrategyGraph g(ds_u, candidates, rtt_s, options);
+    EXPECT_NEAR(searchMinimalDelay(g).expected_delay_ms,
+                bruteForceMinimalDelay(ds_u, candidates, rtt_s, options)
+                    .expected_delay_ms,
+                1e-9);
+  }
+}
+
+TEST(Algorithm1Test, RestrictedThrowsWhenInfeasible) {
+  StrategyGraphOptions options = defaultOptions();
+  options.allow_direct_source = false;
+  const StrategyGraph g(4, {}, 40.0, options);
+  EXPECT_THROW(searchMinimalDelay(g), std::logic_error);
+}
+
+TEST(Algorithm1Test, MaxListLengthCap) {
+  util::Rng rng(80);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto ds_u = static_cast<net::HopCount>(4 + rng.uniformInt(10));
+    const auto candidates = randomCandidates(rng, ds_u, 8);
+    for (const std::size_t cap : {0u, 1u, 2u, 3u}) {
+      StrategyGraphOptions options = defaultOptions();
+      options.max_list_length = cap;
+      const double rtt_s = rng.uniformReal(5.0, 120.0);
+      const StrategyGraph g(ds_u, candidates, rtt_s, options);
+      const Strategy fast = searchMinimalDelay(g);
+      EXPECT_LE(fast.peers.size(), cap);
+      EXPECT_NEAR(fast.expected_delay_ms,
+                  bruteForceMinimalDelay(ds_u, candidates, rtt_s, options)
+                      .expected_delay_ms,
+                  1e-9);
+    }
+  }
+}
+
+TEST(Algorithm1Test, CapZeroEqualsDirectSource) {
+  const std::vector<Candidate> candidates{{1, 2, 1.0}};
+  StrategyGraphOptions options = defaultOptions();
+  options.max_list_length = 0;
+  const StrategyGraph g(4, candidates, 33.0, options);
+  const Strategy s = searchMinimalDelay(g);
+  EXPECT_TRUE(s.peers.empty());
+  EXPECT_DOUBLE_EQ(s.expected_delay_ms, 33.0);
+}
+
+TEST(Algorithm1Test, OptimalNeverWorseThanAnySingleton) {
+  util::Rng rng(81);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto ds_u = static_cast<net::HopCount>(4 + rng.uniformInt(10));
+    const auto candidates = randomCandidates(rng, ds_u, 8);
+    const double rtt_s = rng.uniformReal(5.0, 120.0);
+    const StrategyGraph g(ds_u, candidates, rtt_s, defaultOptions());
+    const Strategy best = searchMinimalDelay(g);
+    const DelayParams params{ds_u, rtt_s, 100.0, CostModel::kExpected};
+    EXPECT_LE(best.expected_delay_ms, rtt_s + 1e-9);
+    for (const Candidate& c : candidates) {
+      const std::vector<Candidate> single{c};
+      EXPECT_LE(best.expected_delay_ms,
+                expectedDelay(single, params) + 1e-9);
+    }
+  }
+}
+
+TEST(BruteForceTest, RejectsHugeInstances) {
+  std::vector<Candidate> candidates;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    candidates.push_back({i + 1, 30 - i, 10.0});
+  }
+  EXPECT_THROW(
+      bruteForceMinimalDelay(31, candidates, 40.0, defaultOptions()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrn::core

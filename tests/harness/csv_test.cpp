@@ -1,0 +1,82 @@
+#include "harness/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rmrn::harness {
+namespace {
+
+TEST(CsvWriterTest, PlainFieldsUnquoted) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("123.45"), "123.45");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(CsvWriterTest, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriterTest, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriterTest, NewlineTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, RowJoinsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b,c", "d"});
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\n");
+}
+
+TEST(CsvWriterTest, ResultsCsvShape) {
+  ExperimentResult result;
+  result.num_nodes = 100;
+  result.num_clients = 37;
+  result.loss_prob = 0.05;
+  ProtocolResult rp;
+  rp.kind = ProtocolKind::kRp;
+  rp.losses = 10;
+  rp.recoveries = 10;
+  rp.avg_latency_ms = 42.5;
+  rp.avg_bandwidth_hops = 8.25;
+  rp.recovery_hops = 82;
+  rp.fully_recovered = true;
+  result.protocols.push_back(rp);
+
+  std::ostringstream out;
+  writeResultsCsv(out, {result});
+  std::istringstream lines(out.str());
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_EQ(header,
+            "num_nodes,clients,loss_prob,protocol,losses,recoveries,"
+            "avg_latency_ms,avg_bandwidth_hops,recovery_hops,"
+            "fully_recovered");
+  EXPECT_EQ(row, "100,37,0.05,RP,10,10,42.5,8.25,82,true");
+  std::string extra;
+  EXPECT_FALSE(std::getline(lines, extra));
+}
+
+TEST(CsvWriterTest, MultipleResultsMultipleRows) {
+  ExperimentResult result;
+  result.protocols.resize(3);
+  result.protocols[0].kind = ProtocolKind::kSrm;
+  result.protocols[1].kind = ProtocolKind::kRma;
+  result.protocols[2].kind = ProtocolKind::kRp;
+  std::ostringstream out;
+  writeResultsCsv(out, {result, result});
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 1 + 2 * 3);
+}
+
+}  // namespace
+}  // namespace rmrn::harness

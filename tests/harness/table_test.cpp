@@ -1,0 +1,65 @@
+#include "harness/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rmrn::harness {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"a", "long header", "x"});
+  table.addRow({"wide value", "b", "y"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // All lines equal length (same layout).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_NE(text.find("| a "), std::string::npos);
+  EXPECT_NE(text.find("wide value"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRow) {
+  TextTable table({"col"});
+  table.addRow({"v"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("|-"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RejectsWidthMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.addRow({"only one"}), std::invalid_argument);
+  EXPECT_THROW(table.addRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+  EXPECT_EQ(TextTable::num(2.0, 3), "2.000");
+}
+
+TEST(TextTableTest, EmptyTablePrintsHeaderOnly) {
+  TextTable table({"h1", "h2"});
+  std::ostringstream out;
+  table.print(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, 2);  // header + separator
+}
+
+}  // namespace
+}  // namespace rmrn::harness

@@ -1,0 +1,73 @@
+// Burst-loss (Gilbert-Elliott) extension: full reliability and sane metrics
+// must hold under temporally correlated data loss, and the configured
+// stationary rate must show up in the observed loss counts.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace rmrn::harness {
+namespace {
+
+ExperimentConfig burstConfig(std::uint64_t seed, double burst) {
+  ExperimentConfig c;
+  c.num_nodes = 80;
+  c.loss_prob = 0.05;
+  c.num_packets = 80;
+  c.seed = seed;
+  c.mean_burst_packets = burst;
+  return c;
+}
+
+TEST(BurstLossTest, AllProtocolsFullyRecoverUnderBursts) {
+  const ExperimentResult result = runExperiment(burstConfig(1, 5.0));
+  for (const ProtocolResult& r : result.protocols) {
+    EXPECT_TRUE(r.fully_recovered) << toString(r.kind);
+    EXPECT_EQ(r.losses, r.recoveries) << toString(r.kind);
+  }
+}
+
+TEST(BurstLossTest, BurstModeChangesLossPattern) {
+  const ExperimentResult iid = runExperiment(burstConfig(2, 1.0));
+  const ExperimentResult bursty = runExperiment(burstConfig(2, 5.0));
+  // Same topology (same seed) but different draws.
+  EXPECT_NE(iid.result(ProtocolKind::kRp).losses,
+            bursty.result(ProtocolKind::kRp).losses);
+}
+
+TEST(BurstLossTest, StationaryLossRateRoughlyPreserved) {
+  // Aggregate (client, packet) losses over several seeds: the burst model is
+  // calibrated to the same stationary rate as the i.i.d. model, so the two
+  // should agree within sampling noise.
+  std::size_t iid_losses = 0;
+  std::size_t burst_losses = 0;
+  const ProtocolKind kinds[] = {ProtocolKind::kRp};
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    iid_losses += runExperiment(burstConfig(seed, 1.0), kinds)
+                      .result(ProtocolKind::kRp)
+                      .losses;
+    burst_losses += runExperiment(burstConfig(seed, 5.0), kinds)
+                        .result(ProtocolKind::kRp)
+                        .losses;
+  }
+  ASSERT_GT(iid_losses, 0u);
+  const double ratio =
+      static_cast<double>(burst_losses) / static_cast<double>(iid_losses);
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(BurstLossTest, RpStillBeatsBaselinesUnderBursts) {
+  ExperimentConfig config = burstConfig(42, 6.0);
+  config.num_nodes = 120;
+  const ExperimentResult result = runAveragedExperiment(config, 3);
+  const auto& srm = result.result(ProtocolKind::kSrm);
+  const auto& rma = result.result(ProtocolKind::kRma);
+  const auto& rp = result.result(ProtocolKind::kRp);
+  EXPECT_LT(rp.avg_latency_ms, srm.avg_latency_ms);
+  EXPECT_LT(rp.avg_latency_ms, rma.avg_latency_ms);
+  EXPECT_LT(rp.avg_bandwidth_hops, srm.avg_bandwidth_hops);
+  EXPECT_LT(rp.avg_bandwidth_hops, rma.avg_bandwidth_hops);
+}
+
+}  // namespace
+}  // namespace rmrn::harness

@@ -1,0 +1,66 @@
+// The source-direct baseline (paper §1's "source-based recovery schemes"
+// and its ref [4] subgroup variant) versus RP.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace rmrn::harness {
+namespace {
+
+ExperimentConfig config(std::uint64_t seed) {
+  ExperimentConfig c;
+  c.num_nodes = 120;
+  c.loss_prob = 0.05;
+  c.num_packets = 60;
+  c.seed = seed;
+  return c;
+}
+
+TEST(SourceBaselineTest, RunsAndFullyRecovers) {
+  const ProtocolKind kinds[] = {ProtocolKind::kSourceDirect};
+  const ExperimentResult result = runExperiment(config(1), kinds);
+  const auto& src = result.result(ProtocolKind::kSourceDirect);
+  EXPECT_TRUE(src.fully_recovered);
+  EXPECT_EQ(src.losses, src.recoveries);
+  EXPECT_GT(src.losses, 0u);
+}
+
+TEST(SourceBaselineTest, SameLossesAsOtherProtocols) {
+  const ProtocolKind kinds[] = {ProtocolKind::kRp,
+                                ProtocolKind::kSourceDirect};
+  const ExperimentResult result = runExperiment(config(2), kinds);
+  EXPECT_EQ(result.result(ProtocolKind::kRp).losses,
+            result.result(ProtocolKind::kSourceDirect).losses);
+}
+
+TEST(SourceBaselineTest, RpLatencyNoWorseThanSourceDirect) {
+  // The optimal strategy always has the bare source fallback available, so
+  // planned delay <= direct-source delay; the simulated averages should
+  // reflect that (small tolerance for scheduling noise).
+  const ProtocolKind kinds[] = {ProtocolKind::kRp,
+                                ProtocolKind::kSourceDirect};
+  const ExperimentResult result =
+      runAveragedExperiment(config(3), 3, kinds);
+  const double rp = result.result(ProtocolKind::kRp).avg_latency_ms;
+  const double src =
+      result.result(ProtocolKind::kSourceDirect).avg_latency_ms;
+  EXPECT_LE(rp, src * 1.05);
+}
+
+TEST(SourceBaselineTest, SubgroupModeTradesBandwidthForSourceLoad) {
+  // Subgroup multicast repairs cost strictly more hops per recovery than
+  // unicast source repairs (whole branch vs one path).
+  ExperimentConfig unicast = config(4);
+  ExperimentConfig subgroup = config(4);
+  subgroup.rp_source_mode = protocols::SourceRecoveryMode::kSubgroupMulticast;
+  const ProtocolKind kinds[] = {ProtocolKind::kSourceDirect};
+  const ExperimentResult a = runExperiment(unicast, kinds);
+  const ExperimentResult b = runExperiment(subgroup, kinds);
+  EXPECT_TRUE(a.result(ProtocolKind::kSourceDirect).fully_recovered);
+  EXPECT_TRUE(b.result(ProtocolKind::kSourceDirect).fully_recovered);
+  EXPECT_GT(b.result(ProtocolKind::kSourceDirect).avg_bandwidth_hops,
+            a.result(ProtocolKind::kSourceDirect).avg_bandwidth_hops);
+}
+
+}  // namespace
+}  // namespace rmrn::harness

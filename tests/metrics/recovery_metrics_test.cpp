@@ -1,0 +1,99 @@
+#include "metrics/recovery_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmrn::metrics {
+namespace {
+
+TEST(RecoveryMetricsTest, InitiallyEmpty) {
+  const RecoveryMetrics m;
+  EXPECT_EQ(m.losses(), 0u);
+  EXPECT_EQ(m.recoveries(), 0u);
+  EXPECT_EQ(m.outstanding(), 0u);
+  EXPECT_DOUBLE_EQ(m.avgBandwidthHops(100), 0.0);
+}
+
+TEST(RecoveryMetricsTest, LossThenRecovery) {
+  RecoveryMetrics m;
+  m.recordLoss(5, 0, 100.0);
+  EXPECT_TRUE(m.wasLost(5, 0));
+  EXPECT_FALSE(m.isRecovered(5, 0));
+  EXPECT_EQ(m.outstanding(), 1u);
+
+  EXPECT_TRUE(m.recordRecovery(5, 0, 130.0));
+  EXPECT_TRUE(m.isRecovered(5, 0));
+  EXPECT_EQ(m.outstanding(), 0u);
+  EXPECT_DOUBLE_EQ(m.latency().mean(), 30.0);
+}
+
+TEST(RecoveryMetricsTest, DuplicateRecoveryIgnored) {
+  RecoveryMetrics m;
+  m.recordLoss(5, 0, 100.0);
+  EXPECT_TRUE(m.recordRecovery(5, 0, 130.0));
+  EXPECT_FALSE(m.recordRecovery(5, 0, 140.0));
+  EXPECT_EQ(m.recoveries(), 1u);
+  EXPECT_DOUBLE_EQ(m.latency().mean(), 30.0);
+}
+
+TEST(RecoveryMetricsTest, RecoveryWithoutLossIgnored) {
+  RecoveryMetrics m;
+  EXPECT_FALSE(m.recordRecovery(5, 0, 130.0));
+  EXPECT_EQ(m.recoveries(), 0u);
+}
+
+TEST(RecoveryMetricsTest, DuplicateLossThrows) {
+  RecoveryMetrics m;
+  m.recordLoss(5, 0, 100.0);
+  EXPECT_THROW(m.recordLoss(5, 0, 200.0), std::logic_error);
+}
+
+TEST(RecoveryMetricsTest, EarlyRepairClampsToZero) {
+  // Repair arriving before the scheduled detection => latency 0, not
+  // negative.
+  RecoveryMetrics m;
+  m.recordLoss(5, 0, 100.0);
+  EXPECT_TRUE(m.recordRecovery(5, 0, 80.0));
+  EXPECT_DOUBLE_EQ(m.latency().mean(), 0.0);
+}
+
+TEST(RecoveryMetricsTest, DistinguishesClientsAndSequences) {
+  RecoveryMetrics m;
+  m.recordLoss(1, 7, 0.0);
+  m.recordLoss(2, 7, 0.0);
+  m.recordLoss(1, 8, 0.0);
+  EXPECT_EQ(m.losses(), 3u);
+  EXPECT_TRUE(m.recordRecovery(1, 7, 10.0));
+  EXPECT_FALSE(m.isRecovered(2, 7));
+  EXPECT_FALSE(m.isRecovered(1, 8));
+  EXPECT_EQ(m.outstanding(), 2u);
+}
+
+TEST(RecoveryMetricsTest, AvgBandwidth) {
+  RecoveryMetrics m;
+  m.recordLoss(1, 0, 0.0);
+  m.recordLoss(2, 0, 0.0);
+  m.recordRecovery(1, 0, 5.0);
+  m.recordRecovery(2, 0, 9.0);
+  EXPECT_DOUBLE_EQ(m.avgBandwidthHops(50), 25.0);
+}
+
+TEST(RecoveryMetricsTest, RejectsHugeSequence) {
+  RecoveryMetrics m;
+  EXPECT_THROW(m.recordLoss(1, 1ULL << 40, 0.0), std::invalid_argument);
+}
+
+TEST(RecoveryMetricsTest, LatencyDistribution) {
+  RecoveryMetrics m;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    m.recordLoss(1, i, 0.0);
+    m.recordRecovery(1, i, static_cast<double>(i * 10));
+  }
+  const Summary s = m.latency().summarize();
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 45.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 90.0);
+}
+
+}  // namespace
+}  // namespace rmrn::metrics

@@ -1,0 +1,103 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rmrn::metrics {
+namespace {
+
+TEST(AccumulatorTest, EmptySummary) {
+  const Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  const Summary s = acc.summarize();
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(AccumulatorTest, SingleSample) {
+  Accumulator acc;
+  acc.add(5.0);
+  const Summary s = acc.summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+}
+
+TEST(AccumulatorTest, KnownDistribution) {
+  Accumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.add(i);
+  const Summary s = acc.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p95, 95.05, 0.01);
+  EXPECT_NEAR(s.p99, 99.01, 0.01);
+  // Sample stddev of 1..100 is ~29.011.
+  EXPECT_NEAR(s.stddev, 29.0115, 0.001);
+}
+
+TEST(AccumulatorTest, TotalAndMean) {
+  Accumulator acc;
+  acc.add(2.0);
+  acc.add(4.0);
+  acc.add(6.0);
+  EXPECT_DOUBLE_EQ(acc.total(), 12.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+}
+
+TEST(AccumulatorTest, MergeCombines) {
+  Accumulator a;
+  Accumulator b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(AccumulatorTest, RejectsNonFinite) {
+  Accumulator acc;
+  EXPECT_THROW(acc.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(acc.add(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(AccumulatorTest, AddAfterSummarize) {
+  Accumulator acc;
+  acc.add(1.0);
+  (void)acc.summarize();
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.summarize().mean, 2.0);
+}
+
+TEST(QuantileTest, ExactPositions) {
+  const std::vector<double> sorted{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 1.0), 50.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.35), 3.5);
+}
+
+TEST(QuantileTest, Validation) {
+  EXPECT_THROW((void)quantileSorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantileSorted({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantileSorted({1.0}, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrn::metrics

@@ -1,0 +1,86 @@
+#include "net/ghost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/routing.hpp"
+
+namespace rmrn::net {
+namespace {
+
+TEST(GhostTest, AddsOneGhostPerSharedLink) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  const auto result =
+      applyGhostTransform(g, {{.members = {1, 2, 3}, .delay = 2.0}});
+  EXPECT_EQ(result.graph.numNodes(), 5u);
+  ASSERT_EQ(result.ghosts.size(), 1u);
+  EXPECT_EQ(result.ghosts[0], 4u);
+  // Star edges ghost-member with half the segment delay each.
+  for (const NodeId m : {1u, 2u, 3u}) {
+    EXPECT_DOUBLE_EQ(result.graph.edgeDelay(4, m).value(), 1.0);
+  }
+}
+
+TEST(GhostTest, PreservesOriginalEdges) {
+  Graph g(3);
+  g.addEdge(0, 1, 3.5);
+  g.addEdge(1, 2, 1.5);
+  const auto result =
+      applyGhostTransform(g, {{.members = {0, 2}, .delay = 4.0}});
+  EXPECT_DOUBLE_EQ(result.graph.edgeDelay(0, 1).value(), 3.5);
+  EXPECT_DOUBLE_EQ(result.graph.edgeDelay(1, 2).value(), 1.5);
+}
+
+TEST(GhostTest, MemberToMemberDelayEqualsSegmentDelay) {
+  Graph g(3);
+  const auto result =
+      applyGhostTransform(g, {{.members = {0, 1, 2}, .delay = 6.0}});
+  const Routing r(result.graph);
+  EXPECT_DOUBLE_EQ(r.distance(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(r.distance(1, 2), 6.0);
+}
+
+TEST(GhostTest, MultipleSharedLinks) {
+  Graph g(5);
+  const auto result = applyGhostTransform(
+      g, {{.members = {0, 1}, .delay = 2.0}, {.members = {2, 3, 4}, .delay = 4.0}});
+  EXPECT_EQ(result.graph.numNodes(), 7u);
+  EXPECT_EQ(result.ghosts.size(), 2u);
+  EXPECT_NE(result.ghosts[0], result.ghosts[1]);
+}
+
+TEST(GhostTest, EmptySharedLinkListIsIdentity) {
+  Graph g(3);
+  g.addEdge(0, 1, 1.0);
+  const auto result = applyGhostTransform(g, {});
+  EXPECT_EQ(result.graph.numNodes(), 3u);
+  EXPECT_EQ(result.graph.numEdges(), 1u);
+  EXPECT_TRUE(result.ghosts.empty());
+}
+
+TEST(GhostTest, RejectsTooFewMembers) {
+  Graph g(3);
+  EXPECT_THROW(applyGhostTransform(g, {{.members = {0}, .delay = 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(GhostTest, RejectsDuplicateMembers) {
+  Graph g(3);
+  EXPECT_THROW(applyGhostTransform(g, {{.members = {0, 0}, .delay = 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(GhostTest, RejectsOutOfRangeMember) {
+  Graph g(3);
+  EXPECT_THROW(applyGhostTransform(g, {{.members = {0, 9}, .delay = 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(GhostTest, RejectsNonPositiveDelay) {
+  Graph g(3);
+  EXPECT_THROW(applyGhostTransform(g, {{.members = {0, 1}, .delay = 0.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrn::net

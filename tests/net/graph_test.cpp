@@ -1,0 +1,117 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rmrn::net {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.numNodes(), 0u);
+  EXPECT_EQ(g.numEdges(), 0u);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_FALSE(g.hasNode(0));
+}
+
+TEST(GraphTest, ConstructWithNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.numNodes(), 5u);
+  EXPECT_TRUE(g.hasNode(4));
+  EXPECT_FALSE(g.hasNode(5));
+}
+
+TEST(GraphTest, AddNodeReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.addNode(), 0u);
+  EXPECT_EQ(g.addNode(), 1u);
+  EXPECT_EQ(g.addNode(), 2u);
+  EXPECT_EQ(g.numNodes(), 3u);
+}
+
+TEST(GraphTest, AddEdgeIsUndirected) {
+  Graph g(3);
+  g.addEdge(0, 1, 2.5);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GraphTest, EdgeDelayStored) {
+  Graph g(3);
+  g.addEdge(0, 1, 2.5);
+  g.addEdge(1, 2, 7.0);
+  EXPECT_DOUBLE_EQ(g.edgeDelay(0, 1).value(), 2.5);
+  EXPECT_DOUBLE_EQ(g.edgeDelay(1, 0).value(), 2.5);
+  EXPECT_DOUBLE_EQ(g.edgeDelay(2, 1).value(), 7.0);
+  EXPECT_FALSE(g.edgeDelay(0, 2).has_value());
+}
+
+TEST(GraphTest, EdgeDelayOutOfRangeIsEmpty) {
+  Graph g(2);
+  EXPECT_FALSE(g.edgeDelay(0, 9).has_value());
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.addEdge(1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsDuplicateEdge) {
+  Graph g(2);
+  g.addEdge(0, 1, 1.0);
+  EXPECT_THROW(g.addEdge(0, 1, 2.0), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(1, 0, 2.0), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsNonPositiveDelay) {
+  Graph g(2);
+  EXPECT_THROW(g.addEdge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  Graph g(2);
+  EXPECT_THROW(g.addEdge(0, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(5, 0, 1.0), std::invalid_argument);
+}
+
+TEST(GraphTest, NeighborsAndDegree) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(0, 2, 2.0);
+  g.addEdge(0, 3, 3.0);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(0).size(), 3u);
+  EXPECT_THROW((void)g.neighbors(9), std::invalid_argument);
+  EXPECT_THROW((void)g.degree(9), std::invalid_argument);
+}
+
+TEST(GraphTest, ConnectivityDetection) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(2, 3, 1.0);
+  EXPECT_FALSE(g.isConnected());
+  g.addEdge(1, 2, 1.0);
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GraphTest, SingleNodeIsConnected) {
+  Graph g(1);
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GraphTest, LargeStarGraph) {
+  constexpr std::size_t kN = 1000;
+  Graph g(kN);
+  for (NodeId v = 1; v < kN; ++v) g.addEdge(0, v, 1.0);
+  EXPECT_EQ(g.numEdges(), kN - 1);
+  EXPECT_EQ(g.degree(0), kN - 1);
+  EXPECT_TRUE(g.isConnected());
+}
+
+}  // namespace
+}  // namespace rmrn::net

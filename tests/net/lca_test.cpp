@@ -1,0 +1,112 @@
+#include "net/lca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::net {
+namespace {
+
+// Same fixture as multicast_tree_test:
+//
+//          0
+//         1   2        (children of 0)
+//        3 4   5       (3, 4 under 1; 5 under 2)
+//       6     7 8      (6 under 3; 7, 8 under 5)
+MulticastTree fixtureTree() {
+  std::vector<NodeId> parent(9, kInvalidNode);
+  parent[1] = 0;
+  parent[2] = 0;
+  parent[3] = 1;
+  parent[4] = 1;
+  parent[5] = 2;
+  parent[6] = 3;
+  parent[7] = 5;
+  parent[8] = 5;
+  return MulticastTree(0, std::move(parent));
+}
+
+TEST(LcaIndexTest, MatchesNaiveOnFixture) {
+  const MulticastTree tree = fixtureTree();
+  const LcaIndex index(tree);
+  for (const NodeId a : tree.members()) {
+    for (const NodeId b : tree.members()) {
+      EXPECT_EQ(index.lca(a, b), tree.firstCommonRouter(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(LcaIndexTest, LcaDepth) {
+  const MulticastTree tree = fixtureTree();
+  const LcaIndex index(tree);
+  EXPECT_EQ(index.lcaDepth(6, 4), 1u);
+  EXPECT_EQ(index.lcaDepth(7, 8), 2u);
+  EXPECT_EQ(index.lcaDepth(6, 7), 0u);
+}
+
+TEST(LcaIndexTest, AncestorWalk) {
+  const MulticastTree tree = fixtureTree();
+  const LcaIndex index(tree);
+  EXPECT_EQ(index.ancestor(6, 0), 6u);
+  EXPECT_EQ(index.ancestor(6, 1), 3u);
+  EXPECT_EQ(index.ancestor(6, 2), 1u);
+  EXPECT_EQ(index.ancestor(6, 3), 0u);
+  EXPECT_EQ(index.ancestor(6, 4), kInvalidNode);
+  EXPECT_EQ(index.ancestor(0, 1), kInvalidNode);
+}
+
+TEST(LcaIndexTest, ThrowsOnNonMember) {
+  std::vector<NodeId> parent(5, kInvalidNode);
+  parent[1] = 0;
+  const MulticastTree tree(0, std::move(parent));
+  const LcaIndex index(tree);
+  EXPECT_THROW((void)index.lca(1, 3), std::invalid_argument);
+  EXPECT_THROW((void)index.ancestor(4, 1), std::invalid_argument);
+}
+
+TEST(LcaIndexTest, SingleNodeTree) {
+  std::vector<NodeId> parent(1, kInvalidNode);
+  const MulticastTree tree(0, std::move(parent));
+  const LcaIndex index(tree);
+  EXPECT_EQ(index.lca(0, 0), 0u);
+}
+
+TEST(LcaIndexTest, DeepChain) {
+  constexpr std::size_t kN = 1025;  // crosses a power-of-two boundary
+  std::vector<NodeId> parent(kN, kInvalidNode);
+  for (std::size_t v = 1; v < kN; ++v) parent[v] = static_cast<NodeId>(v - 1);
+  const MulticastTree tree(0, std::move(parent));
+  const LcaIndex index(tree);
+  EXPECT_EQ(index.lca(kN - 1, 512), 512u);
+  EXPECT_EQ(index.lca(100, 900), 100u);
+  EXPECT_EQ(index.ancestor(kN - 1, kN - 1), 0u);
+}
+
+class LcaRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcaRandomTest, MatchesNaiveOnRandomTopologies) {
+  util::Rng rng(GetParam());
+  TopologyConfig config;
+  config.num_nodes = 120;
+  const Topology topo = generateTopology(config, rng);
+  const LcaIndex index(topo.tree);
+  // All client pairs (the planner's access pattern) plus random pairs.
+  for (const NodeId a : topo.clients) {
+    for (const NodeId b : topo.clients) {
+      ASSERT_EQ(index.lca(a, b), topo.tree.firstCommonRouter(a, b));
+    }
+  }
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<NodeId>(rng.uniformInt(120));
+    const auto b = static_cast<NodeId>(rng.uniformInt(120));
+    ASSERT_EQ(index.lca(a, b), topo.tree.firstCommonRouter(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcaRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rmrn::net

@@ -1,0 +1,167 @@
+#include "net/multicast_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace rmrn::net {
+namespace {
+
+// Fixture tree (node ids in parentheses are depths):
+//
+//          0 (root)
+//         / \ .
+//        1   2
+//       / \   \ .
+//      3   4   5
+//     /       / \ .
+//    6       7   8
+MulticastTree fixtureTree() {
+  std::vector<NodeId> parent(9, kInvalidNode);
+  parent[1] = 0;
+  parent[2] = 0;
+  parent[3] = 1;
+  parent[4] = 1;
+  parent[5] = 2;
+  parent[6] = 3;
+  parent[7] = 5;
+  parent[8] = 5;
+  return MulticastTree(0, std::move(parent));
+}
+
+TEST(MulticastTreeTest, BasicProperties) {
+  const MulticastTree t = fixtureTree();
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.numMembers(), 9u);
+  EXPECT_EQ(t.numLinks(), 8u);
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_FALSE(t.contains(42));
+}
+
+TEST(MulticastTreeTest, ParentsAndChildren) {
+  const MulticastTree t = fixtureTree();
+  EXPECT_EQ(t.parent(0), kInvalidNode);
+  EXPECT_EQ(t.parent(6), 3u);
+  EXPECT_EQ(t.parent(8), 5u);
+  const auto kids = t.children(5);
+  EXPECT_EQ(std::vector<NodeId>(kids.begin(), kids.end()),
+            (std::vector<NodeId>{7, 8}));
+  EXPECT_TRUE(t.children(6).empty());
+}
+
+TEST(MulticastTreeTest, Depths) {
+  const MulticastTree t = fixtureTree();
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(1), 1u);
+  EXPECT_EQ(t.depth(4), 2u);
+  EXPECT_EQ(t.depth(6), 3u);
+  EXPECT_EQ(t.depth(8), 3u);
+}
+
+TEST(MulticastTreeTest, FirstCommonRouter) {
+  const MulticastTree t = fixtureTree();
+  EXPECT_EQ(t.firstCommonRouter(6, 4), 1u);
+  EXPECT_EQ(t.firstCommonRouter(4, 6), 1u);
+  EXPECT_EQ(t.firstCommonRouter(7, 8), 5u);
+  EXPECT_EQ(t.firstCommonRouter(6, 7), 0u);
+  EXPECT_EQ(t.firstCommonRouter(6, 6), 6u);
+  EXPECT_EQ(t.firstCommonRouter(3, 6), 3u);  // ancestor case
+}
+
+TEST(MulticastTreeTest, IsAncestor) {
+  const MulticastTree t = fixtureTree();
+  EXPECT_TRUE(t.isAncestor(0, 8));
+  EXPECT_TRUE(t.isAncestor(5, 7));
+  EXPECT_TRUE(t.isAncestor(6, 6));
+  EXPECT_FALSE(t.isAncestor(7, 5));
+  EXPECT_FALSE(t.isAncestor(1, 8));
+}
+
+TEST(MulticastTreeTest, PathFromRoot) {
+  const MulticastTree t = fixtureTree();
+  EXPECT_EQ(t.pathFromRoot(6), (std::vector<NodeId>{0, 1, 3, 6}));
+  EXPECT_EQ(t.pathFromRoot(0), (std::vector<NodeId>{0}));
+}
+
+TEST(MulticastTreeTest, Leaves) {
+  const MulticastTree t = fixtureTree();
+  auto leaves = t.leaves();
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_EQ(leaves, (std::vector<NodeId>{4, 6, 7, 8}));
+}
+
+TEST(MulticastTreeTest, SubtreeMembers) {
+  const MulticastTree t = fixtureTree();
+  auto sub = t.subtreeMembers(5);
+  std::sort(sub.begin(), sub.end());
+  EXPECT_EQ(sub, (std::vector<NodeId>{5, 7, 8}));
+  auto whole = t.subtreeMembers(0);
+  EXPECT_EQ(whole.size(), 9u);
+  EXPECT_EQ(t.subtreeMembers(6), (std::vector<NodeId>{6}));
+}
+
+TEST(MulticastTreeTest, MemberIndexIsDenseAndPreorder) {
+  const MulticastTree t = fixtureTree();
+  std::vector<bool> seen(t.numMembers(), false);
+  for (const NodeId v : t.members()) {
+    const std::size_t idx = t.memberIndex(v);
+    ASSERT_LT(idx, t.numMembers());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+    // Parent precedes child in preorder.
+    if (v != t.root()) {
+      EXPECT_LT(t.memberIndex(t.parent(v)), idx);
+    }
+  }
+}
+
+TEST(MulticastTreeTest, PartialMembership) {
+  // Nodes 3 and 4 exist in the id space but are not attached to the tree.
+  std::vector<NodeId> parent(5, kInvalidNode);
+  parent[1] = 0;
+  parent[2] = 1;
+  const MulticastTree t(0, std::move(parent));
+  EXPECT_EQ(t.numMembers(), 3u);
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_FALSE(t.contains(3));
+  EXPECT_THROW((void)t.depth(3), std::invalid_argument);
+  EXPECT_THROW((void)t.parent(4), std::invalid_argument);
+}
+
+TEST(MulticastTreeTest, RejectsBadRoot) {
+  std::vector<NodeId> parent(3, kInvalidNode);
+  EXPECT_THROW(MulticastTree(7, parent), std::invalid_argument);
+}
+
+TEST(MulticastTreeTest, RejectsRootWithParent) {
+  std::vector<NodeId> parent(3, kInvalidNode);
+  parent[0] = 1;
+  EXPECT_THROW(MulticastTree(0, parent), std::invalid_argument);
+}
+
+TEST(MulticastTreeTest, RejectsSelfParent) {
+  std::vector<NodeId> parent(3, kInvalidNode);
+  parent[1] = 1;
+  EXPECT_THROW(MulticastTree(0, parent), std::invalid_argument);
+}
+
+TEST(MulticastTreeTest, RejectsOutOfRangeParent) {
+  std::vector<NodeId> parent(3, kInvalidNode);
+  parent[1] = 9;
+  EXPECT_THROW(MulticastTree(0, parent), std::invalid_argument);
+}
+
+TEST(MulticastTreeTest, DeepChainTree) {
+  constexpr std::size_t kN = 2000;
+  std::vector<NodeId> parent(kN, kInvalidNode);
+  for (std::size_t v = 1; v < kN; ++v) parent[v] = static_cast<NodeId>(v - 1);
+  const MulticastTree t(0, std::move(parent));
+  EXPECT_EQ(t.depth(kN - 1), kN - 1);
+  EXPECT_EQ(t.leaves(), (std::vector<NodeId>{kN - 1}));
+  EXPECT_EQ(t.firstCommonRouter(kN - 1, kN / 2), kN / 2);
+}
+
+}  // namespace
+}  // namespace rmrn::net

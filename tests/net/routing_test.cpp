@@ -1,0 +1,155 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::net {
+namespace {
+
+// Diamond with a shortcut:
+//   0 --1-- 1 --1-- 3
+//   0 --5-- 2 --1-- 3
+Graph diamond() {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(1, 3, 1.0);
+  g.addEdge(0, 2, 5.0);
+  g.addEdge(2, 3, 1.0);
+  return g;
+}
+
+TEST(RoutingTest, ShortestDistances) {
+  const Graph g = diamond();
+  const Routing r(g);
+  EXPECT_DOUBLE_EQ(r.distance(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(r.distance(0, 2), 3.0);  // via 1 and 3, not the 5.0 edge
+  EXPECT_DOUBLE_EQ(r.distance(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.distance(3, 0), 2.0);  // symmetric graph
+}
+
+TEST(RoutingTest, RttIsTwiceDistance) {
+  const Routing r(diamond());
+  EXPECT_DOUBLE_EQ(r.rtt(0, 3), 4.0);
+  EXPECT_DOUBLE_EQ(r.rtt(2, 2), 0.0);
+}
+
+TEST(RoutingTest, PathEndpointsAndLength) {
+  const Routing r(diamond());
+  EXPECT_EQ(r.path(0, 3), (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(r.path(0, 2), (std::vector<NodeId>{0, 1, 3, 2}));
+  EXPECT_EQ(r.path(2, 2), (std::vector<NodeId>{2}));
+}
+
+TEST(RoutingTest, NextHop) {
+  const Routing r(diamond());
+  EXPECT_EQ(r.nextHop(0, 3), 1u);
+  EXPECT_EQ(r.nextHop(0, 2), 1u);
+  EXPECT_EQ(r.nextHop(2, 0), 3u);
+  EXPECT_EQ(r.nextHop(1, 1), kInvalidNode);
+}
+
+TEST(RoutingTest, DisconnectedIsInfinite) {
+  Graph g(3);
+  g.addEdge(0, 1, 1.0);
+  const Routing r(g);
+  EXPECT_TRUE(std::isinf(r.distance(0, 2)));
+  EXPECT_TRUE(r.path(0, 2).empty());
+  EXPECT_EQ(r.nextHop(0, 2), kInvalidNode);
+}
+
+TEST(RoutingTest, ThrowsOnBadNode) {
+  const Routing r(diamond());
+  EXPECT_THROW((void)r.distance(0, 9), std::invalid_argument);
+  EXPECT_THROW((void)r.path(9, 0), std::invalid_argument);
+}
+
+// Brute-force Bellman-Ford cross-check on random topologies.
+double bellmanFord(const Graph& g, NodeId src, NodeId dst) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.numNodes(), inf);
+  dist[src] = 0.0;
+  for (std::size_t round = 0; round + 1 < g.numNodes(); ++round) {
+    bool changed = false;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      if (dist[v] == inf) continue;
+      for (const HalfEdge& e : g.neighbors(v)) {
+        if (dist[v] + e.delay < dist[e.to]) {
+          dist[e.to] = dist[v] + e.delay;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist[dst];
+}
+
+class RoutingRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingRandomTest, MatchesBellmanFordOnRandomTopology) {
+  util::Rng rng(GetParam());
+  TopologyConfig config;
+  config.num_nodes = 30;
+  const Topology topo = generateTopology(config, rng);
+  const Routing r(topo.graph);
+  for (NodeId a = 0; a < 30; a += 7) {
+    for (NodeId b = 0; b < 30; b += 5) {
+      EXPECT_NEAR(r.distance(a, b), bellmanFord(topo.graph, a, b), 1e-9)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(RoutingRandomTest, PathsAreConsistentWithDistances) {
+  util::Rng rng(GetParam() + 1000);
+  TopologyConfig config;
+  config.num_nodes = 25;
+  const Topology topo = generateTopology(config, rng);
+  const Routing r(topo.graph);
+  for (NodeId a = 0; a < 25; a += 3) {
+    for (NodeId b = 0; b < 25; b += 4) {
+      const auto path = r.path(a, b);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      double total = 0.0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto d = topo.graph.edgeDelay(path[i], path[i + 1]);
+        ASSERT_TRUE(d.has_value()) << "path uses a non-edge";
+        total += *d;
+      }
+      EXPECT_NEAR(total, r.distance(a, b), 1e-9);
+      if (path.size() > 1) {
+        EXPECT_EQ(r.nextHop(a, b), path[1]);
+      }
+    }
+  }
+}
+
+TEST_P(RoutingRandomTest, TriangleInequality) {
+  util::Rng rng(GetParam() + 2000);
+  TopologyConfig config;
+  config.num_nodes = 20;
+  const Topology topo = generateTopology(config, rng);
+  const Routing r(topo.graph);
+  for (NodeId a = 0; a < 20; a += 2) {
+    for (NodeId b = 0; b < 20; b += 3) {
+      for (NodeId c = 0; c < 20; c += 5) {
+        EXPECT_LE(r.distance(a, c),
+                  r.distance(a, b) + r.distance(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace rmrn::net

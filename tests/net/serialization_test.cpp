@@ -1,0 +1,150 @@
+#include "net/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace rmrn::net {
+namespace {
+
+Topology sample(std::uint64_t seed = 5, std::uint32_t n = 40) {
+  util::Rng rng(seed);
+  TopologyConfig config;
+  config.num_nodes = n;
+  return generateTopology(config, rng);
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  const Topology original = sample();
+  std::stringstream buffer;
+  writeTopology(buffer, original);
+  const Topology loaded = readTopology(buffer);
+
+  EXPECT_EQ(loaded.graph.numNodes(), original.graph.numNodes());
+  EXPECT_EQ(loaded.graph.numEdges(), original.graph.numEdges());
+  EXPECT_EQ(loaded.source, original.source);
+  EXPECT_EQ(loaded.clients, original.clients);
+  for (NodeId v = 0; v < original.graph.numNodes(); ++v) {
+    for (const HalfEdge& e : original.graph.neighbors(v)) {
+      const auto delay = loaded.graph.edgeDelay(v, e.to);
+      ASSERT_TRUE(delay.has_value());
+      EXPECT_DOUBLE_EQ(*delay, e.delay);
+    }
+  }
+  for (const NodeId v : original.tree.members()) {
+    EXPECT_EQ(loaded.tree.parent(v), original.tree.parent(v));
+  }
+}
+
+TEST(SerializationTest, DoubleRoundTripIsStable) {
+  const Topology original = sample(9);
+  std::stringstream first;
+  writeTopology(first, original);
+  const std::string once = first.str();
+  std::stringstream again;
+  writeTopology(again, readTopology(first));
+  EXPECT_EQ(again.str(), once);
+}
+
+TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "rmrn-topology 1\n"
+      "\n"
+      "nodes 3   # trailing comment\n"
+      "source 0\n"
+      "edge 0 1 2.5\n"
+      "edge 1 2 1.5\n"
+      "tree 1 0\n"
+      "tree 2 1\n"
+      "client 2\n");
+  const Topology topo = readTopology(in);
+  EXPECT_EQ(topo.graph.numNodes(), 3u);
+  EXPECT_EQ(topo.source, 0u);
+  EXPECT_EQ(topo.clients, (std::vector<NodeId>{2}));
+  EXPECT_EQ(topo.tree.depth(2), 2u);
+}
+
+TEST(SerializationTest, RejectsMissingHeader) {
+  std::stringstream in("nodes 3\n");
+  EXPECT_THROW(readTopology(in), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsBadVersion) {
+  std::stringstream in("rmrn-topology 2\n");
+  EXPECT_THROW(readTopology(in), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsUnknownRecord) {
+  std::stringstream in("rmrn-topology 1\nnodes 2\nsource 0\nwat 1\n");
+  EXPECT_THROW(readTopology(in), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsEmptyInput) {
+  std::stringstream in("");
+  EXPECT_THROW(readTopology(in), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsTreeLinkNotInGraph) {
+  std::stringstream in(
+      "rmrn-topology 1\nnodes 3\nsource 0\n"
+      "edge 0 1 1\ntree 2 0\n");
+  EXPECT_THROW(readTopology(in), std::invalid_argument);
+}
+
+TEST(SerializationTest, RejectsClientOutsideTree) {
+  std::stringstream in(
+      "rmrn-topology 1\nnodes 3\nsource 0\n"
+      "edge 0 1 1\nedge 1 2 1\ntree 1 0\nclient 2\n");
+  EXPECT_THROW(readTopology(in), std::invalid_argument);
+}
+
+TEST(SerializationTest, RejectsDuplicateTreeParent) {
+  std::stringstream in(
+      "rmrn-topology 1\nnodes 3\nsource 0\n"
+      "edge 0 1 1\nedge 1 2 1\nedge 0 2 1\n"
+      "tree 1 0\ntree 2 1\ntree 2 0\n");
+  EXPECT_THROW(readTopology(in), std::invalid_argument);
+}
+
+TEST(SerializationTest, DotOutputContainsStructure) {
+  const Topology topo = sample(11, 10);
+  std::stringstream out;
+  writeDot(out, topo, "test_graph");
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph test_graph {"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // the source
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);     // clients
+  EXPECT_NE(dot.find("--"), std::string::npos);            // edges
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(SerializationTest, DotMarksNonTreeEdgesDashed) {
+  // Triangle with a known non-tree edge.
+  Topology topo;
+  topo.graph = Graph(3);
+  topo.graph.addEdge(0, 1, 1.0);
+  topo.graph.addEdge(1, 2, 1.0);
+  topo.graph.addEdge(0, 2, 1.0);
+  std::vector<NodeId> parent(3, kInvalidNode);
+  parent[1] = 0;
+  parent[2] = 1;
+  topo.tree = MulticastTree(0, std::move(parent));
+  topo.source = 0;
+  topo.clients = {2};
+  std::stringstream out;
+  writeDot(out, topo);
+  // Exactly one dashed edge (0 -- 2).
+  const std::string dot = out.str();
+  std::size_t dashed = 0;
+  for (std::size_t pos = dot.find("dashed"); pos != std::string::npos;
+       pos = dot.find("dashed", pos + 1)) {
+    ++dashed;
+  }
+  EXPECT_EQ(dashed, 1u);
+}
+
+}  // namespace
+}  // namespace rmrn::net

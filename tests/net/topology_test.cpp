@@ -1,0 +1,316 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace rmrn::net {
+namespace {
+
+TEST(PruferTest, ProducesSpanningTreeEdgeCount) {
+  util::Rng rng(1);
+  for (const std::uint32_t n : {2u, 3u, 5u, 10u, 100u}) {
+    const auto edges = randomPruferTree(n, rng);
+    EXPECT_EQ(edges.size(), n - 1);
+  }
+}
+
+TEST(PruferTest, ProducesConnectedAcyclicGraph) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    constexpr std::uint32_t kN = 50;
+    Graph g(kN);
+    for (const auto& [a, b] : randomPruferTree(kN, rng)) {
+      g.addEdge(a, b, 1.0);  // addEdge throws on duplicates => simple
+    }
+    EXPECT_EQ(g.numEdges(), kN - 1);
+    EXPECT_TRUE(g.isConnected());  // n-1 edges + connected => tree
+  }
+}
+
+TEST(PruferTest, TwoNodeTree) {
+  util::Rng rng(3);
+  const auto edges = randomPruferTree(2, rng);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(std::min(edges[0].first, edges[0].second), 0u);
+  EXPECT_EQ(std::max(edges[0].first, edges[0].second), 1u);
+}
+
+TEST(PruferTest, ThrowsOnTooFewNodes) {
+  util::Rng rng(4);
+  EXPECT_THROW(randomPruferTree(1, rng), std::invalid_argument);
+}
+
+TEST(PruferTest, UniformOverThreeNodeTrees) {
+  // Labelled trees on 3 nodes: 3 of them (center 0, 1 or 2).  Each should
+  // appear ~1/3 of the time.
+  util::Rng rng(5);
+  std::map<NodeId, int> center_counts;
+  constexpr int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto edges = randomPruferTree(3, rng);
+    std::map<NodeId, int> degree;
+    for (const auto& [a, b] : edges) {
+      ++degree[a];
+      ++degree[b];
+    }
+    for (const auto& [v, d] : degree) {
+      if (d == 2) ++center_counts[v];
+    }
+  }
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(static_cast<double>(center_counts[v]) / kTrials, 1.0 / 3.0,
+                0.02);
+  }
+}
+
+TEST(WilsonTest, ProducesSpanningTree) {
+  util::Rng rng(6);
+  TopologyConfig config;
+  config.num_nodes = 60;
+  const Topology topo = generateTopology(config, rng);
+  // generateTopology already ran Wilson; rerun explicitly on its graph.
+  const auto parent = wilsonSpanningTree(topo.graph, 0, rng);
+  const MulticastTree tree(0, parent);
+  EXPECT_EQ(tree.numMembers(), 60u);
+  // Every tree link must be a graph edge.
+  for (const NodeId v : tree.members()) {
+    if (v == tree.root()) continue;
+    EXPECT_TRUE(topo.graph.hasEdge(v, tree.parent(v)));
+  }
+}
+
+TEST(WilsonTest, ThrowsOnDisconnectedGraph) {
+  Graph g(4);
+  g.addEdge(0, 1, 1.0);
+  util::Rng rng(7);
+  EXPECT_THROW(wilsonSpanningTree(g, 0, rng), std::invalid_argument);
+}
+
+TEST(WilsonTest, ThrowsOnBadRoot) {
+  Graph g(2);
+  g.addEdge(0, 1, 1.0);
+  util::Rng rng(8);
+  EXPECT_THROW(wilsonSpanningTree(g, 5, rng), std::invalid_argument);
+}
+
+TEST(WilsonTest, UniformOverTriangleSpanningTrees) {
+  // A triangle has 3 spanning trees; rooted at 0 they are distinguishable
+  // by which edge is absent.  Expect ~1/3 each.
+  Graph g(3);
+  g.addEdge(0, 1, 1.0);
+  g.addEdge(1, 2, 1.0);
+  g.addEdge(0, 2, 1.0);
+  util::Rng rng(9);
+  std::map<std::pair<NodeId, NodeId>, int> counts;
+  constexpr int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto parent = wilsonSpanningTree(g, 0, rng);
+    ++counts[{parent[1], parent[2]}];
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [key, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(TopologyTest, GeneratesRequestedSize) {
+  util::Rng rng(10);
+  TopologyConfig config;
+  config.num_nodes = 100;
+  const Topology topo = generateTopology(config, rng);
+  EXPECT_EQ(topo.graph.numNodes(), 100u);
+  EXPECT_EQ(topo.tree.numMembers(), 100u);
+  EXPECT_TRUE(topo.graph.isConnected());
+}
+
+TEST(TopologyTest, ExtraEdgesBeyondSpanningTree) {
+  util::Rng rng(11);
+  TopologyConfig config;
+  config.num_nodes = 100;
+  config.extra_edge_fraction = 0.5;
+  const Topology topo = generateTopology(config, rng);
+  EXPECT_EQ(topo.graph.numEdges(), 99u + 50u);
+}
+
+TEST(TopologyTest, ZeroExtraEdgesGivesTree) {
+  util::Rng rng(12);
+  TopologyConfig config;
+  config.num_nodes = 40;
+  config.extra_edge_fraction = 0.0;
+  const Topology topo = generateTopology(config, rng);
+  EXPECT_EQ(topo.graph.numEdges(), 39u);
+}
+
+TEST(TopologyTest, ClientsAreTreeLeavesExcludingSource) {
+  util::Rng rng(13);
+  TopologyConfig config;
+  config.num_nodes = 80;
+  const Topology topo = generateTopology(config, rng);
+  auto leaves = topo.tree.leaves();
+  std::erase(leaves, topo.source);
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_EQ(topo.clients, leaves);
+  EXPECT_FALSE(topo.clients.empty());
+  for (const NodeId c : topo.clients) {
+    EXPECT_NE(c, topo.source);
+    EXPECT_TRUE(topo.isClient(c));
+  }
+  EXPECT_FALSE(topo.isClient(topo.source));
+}
+
+TEST(TopologyTest, SourceIsTreeRoot) {
+  util::Rng rng(14);
+  TopologyConfig config;
+  config.num_nodes = 30;
+  const Topology topo = generateTopology(config, rng);
+  EXPECT_EQ(topo.tree.root(), topo.source);
+}
+
+TEST(TopologyTest, LinkDelaysWithinConfiguredRange) {
+  util::Rng rng(15);
+  TopologyConfig config;
+  config.num_nodes = 60;
+  config.min_base_delay = 2.0;
+  config.max_base_delay = 4.0;
+  const Topology topo = generateTopology(config, rng);
+  // Expected delay is uniform in [d, 2d] with d in [2, 4] => range [2, 8).
+  for (NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    for (const HalfEdge& e : topo.graph.neighbors(v)) {
+      EXPECT_GE(e.delay, 2.0);
+      EXPECT_LT(e.delay, 8.0);
+    }
+  }
+}
+
+TEST(TopologyTest, DeterministicGivenSeed) {
+  TopologyConfig config;
+  config.num_nodes = 50;
+  util::Rng rng1(99);
+  util::Rng rng2(99);
+  const Topology a = generateTopology(config, rng1);
+  const Topology b = generateTopology(config, rng2);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.clients, b.clients);
+  EXPECT_EQ(a.graph.numEdges(), b.graph.numEdges());
+  for (const NodeId v : a.tree.members()) {
+    EXPECT_EQ(a.tree.parent(v), b.tree.parent(v));
+  }
+}
+
+TEST(TopologyTest, ThrowsOnBadConfig) {
+  util::Rng rng(16);
+  TopologyConfig config;
+  config.num_nodes = 2;
+  EXPECT_THROW(generateTopology(config, rng), std::invalid_argument);
+  config.num_nodes = 10;
+  config.min_base_delay = -1.0;
+  EXPECT_THROW(generateTopology(config, rng), std::invalid_argument);
+  config.min_base_delay = 5.0;
+  config.max_base_delay = 1.0;
+  EXPECT_THROW(generateTopology(config, rng), std::invalid_argument);
+  config.max_base_delay = 10.0;
+  config.extra_edge_fraction = -0.1;
+  EXPECT_THROW(generateTopology(config, rng), std::invalid_argument);
+}
+
+TEST(WaxmanTest, GeneratesConnectedGraph) {
+  util::Rng rng(50);
+  TopologyConfig config;
+  config.num_nodes = 80;
+  config.model = BackboneModel::kWaxman;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Topology topo = generateTopology(config, rng);
+    EXPECT_TRUE(topo.graph.isConnected());
+    EXPECT_EQ(topo.tree.numMembers(), 80u);
+    EXPECT_FALSE(topo.clients.empty());
+  }
+}
+
+TEST(WaxmanTest, AlphaControlsDensity) {
+  TopologyConfig sparse;
+  sparse.num_nodes = 120;
+  sparse.model = BackboneModel::kWaxman;
+  sparse.waxman_alpha = 0.05;
+  TopologyConfig dense = sparse;
+  dense.waxman_alpha = 0.6;
+  std::size_t sparse_edges = 0;
+  std::size_t dense_edges = 0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    util::Rng rng1(60 + seed);
+    util::Rng rng2(60 + seed);
+    sparse_edges += generateTopology(sparse, rng1).graph.numEdges();
+    dense_edges += generateTopology(dense, rng2).graph.numEdges();
+  }
+  EXPECT_LT(2 * sparse_edges, dense_edges);
+}
+
+TEST(WaxmanTest, DelayGrowsWithDistanceBand) {
+  // All delays must lie in [min_base, 2 * max_base) by construction.
+  util::Rng rng(70);
+  TopologyConfig config;
+  config.num_nodes = 60;
+  config.model = BackboneModel::kWaxman;
+  config.min_base_delay = 2.0;
+  config.max_base_delay = 5.0;
+  const Topology topo = generateTopology(config, rng);
+  for (NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    for (const HalfEdge& e : topo.graph.neighbors(v)) {
+      EXPECT_GE(e.delay, 2.0);
+      EXPECT_LT(e.delay, 10.0);
+    }
+  }
+}
+
+TEST(WaxmanTest, DeterministicGivenSeed) {
+  TopologyConfig config;
+  config.num_nodes = 50;
+  config.model = BackboneModel::kWaxman;
+  util::Rng rng1(77);
+  util::Rng rng2(77);
+  const Topology a = generateTopology(config, rng1);
+  const Topology b = generateTopology(config, rng2);
+  EXPECT_EQ(a.graph.numEdges(), b.graph.numEdges());
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.clients, b.clients);
+}
+
+TEST(WaxmanTest, RejectsBadParameters) {
+  util::Rng rng(80);
+  TopologyConfig config;
+  config.num_nodes = 20;
+  config.model = BackboneModel::kWaxman;
+  config.waxman_alpha = 0.0;
+  EXPECT_THROW(generateTopology(config, rng), std::invalid_argument);
+  config.waxman_alpha = 1.5;
+  EXPECT_THROW(generateTopology(config, rng), std::invalid_argument);
+  config.waxman_alpha = 0.2;
+  config.waxman_beta = -0.1;
+  EXPECT_THROW(generateTopology(config, rng), std::invalid_argument);
+}
+
+TEST(TopologyTest, ClientFractionMatchesPaperScale) {
+  // The paper reports n=500 -> k=208 etc., i.e. k/n between roughly 0.28
+  // and 0.45 (a uniform random tree has ~n/e leaves).  Check the generator
+  // lands in that band on average.
+  util::Rng rng(17);
+  TopologyConfig config;
+  config.num_nodes = 500;
+  double total_fraction = 0.0;
+  constexpr int kTrials = 10;
+  for (int i = 0; i < kTrials; ++i) {
+    const Topology topo = generateTopology(config, rng);
+    total_fraction +=
+        static_cast<double>(topo.clients.size()) / config.num_nodes;
+  }
+  const double mean = total_fraction / kTrials;
+  EXPECT_GT(mean, 0.25);
+  EXPECT_LT(mean, 0.50);
+}
+
+}  // namespace
+}  // namespace rmrn::net

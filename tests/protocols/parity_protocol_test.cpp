@@ -1,0 +1,145 @@
+#include "protocols/parity_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proto_fixture.hpp"
+
+namespace rmrn::protocols {
+namespace {
+
+using testutil::ProtoHarness;
+
+struct ParityHarness : ProtoHarness {
+  ParityProtocol protocol;
+
+  explicit ParityHarness(double loss_prob = 0.0, std::uint64_t seed = 1,
+                         ParityConfig parity = {})
+      : ProtoHarness(loss_prob, seed),
+        protocol(network, metrics, ProtocolConfig{}, parity) {
+    protocol.attach();
+  }
+};
+
+TEST(ParityProtocolTest, NoLossNoTraffic) {
+  ParityHarness h;
+  h.protocol.sourceMulticast(0, h.noLoss());
+  h.sim.run();
+  EXPECT_EQ(h.metrics.losses(), 0u);
+  EXPECT_EQ(h.protocol.nacksSent(), 0u);
+  EXPECT_EQ(h.protocol.paritiesSent(), 0u);
+}
+
+TEST(ParityProtocolTest, SingleLossOneParity) {
+  ParityHarness h;
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_EQ(h.protocol.nacksSent(), 1u);
+  EXPECT_EQ(h.protocol.paritiesSent(), 1u);
+  EXPECT_TRUE(h.protocol.hasPacket(3, 0));
+}
+
+TEST(ParityProtocolTest, OneParityWaveServesAllLosers) {
+  // Drop 0->1: all four clients miss packet 0, each needs ONE parity; NACK
+  // aggregation means the source multicasts exactly one parity packet.
+  ParityHarness h;
+  h.protocol.sourceMulticast(0, h.lossInto({1}));
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_EQ(h.metrics.recoveries(), 4u);
+  EXPECT_EQ(h.protocol.paritiesSent(), 1u);
+}
+
+TEST(ParityProtocolTest, MultipleLossesInBlockNeedMultipleParities) {
+  // Client 3 loses packets 0 and 1 of block 0: needs two parities.
+  ParityHarness h;
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.protocol.sourceMulticast(1, h.lossInto({3}));
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_EQ(h.metrics.recoveries(), 2u);
+  EXPECT_GE(h.protocol.paritiesSent(), 2u);
+  EXPECT_TRUE(h.protocol.hasPacket(3, 0));
+  EXPECT_TRUE(h.protocol.hasPacket(3, 1));
+}
+
+TEST(ParityProtocolTest, BlocksAreIndependent) {
+  ParityConfig parity;
+  parity.block_size = 2;
+  ParityHarness h(0.0, 1, parity);
+  h.protocol.sourceMulticast(0, h.lossInto({3}));  // block 0
+  h.protocol.sourceMulticast(1, h.noLoss());
+  h.protocol.sourceMulticast(2, h.lossInto({8}));  // block 1
+  h.protocol.sourceMulticast(3, h.noLoss());
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_EQ(h.metrics.recoveries(), 2u);
+  // One parity per affected block.
+  EXPECT_EQ(h.protocol.paritiesSent(), 2u);
+}
+
+TEST(ParityProtocolTest, AsymmetricNeedsServedByMaxRequest) {
+  // Drop 1->2 on packet 0 (clients 3 and 4 lose) and additionally 2->3 on
+  // packet 1 (only client 3 loses).  Client 3 needs 2 parities, client 4
+  // needs 1: the waves must total >= 2 parities and everyone decodes.
+  ParityHarness h;
+  h.protocol.sourceMulticast(0, h.lossInto({2}));
+  h.protocol.sourceMulticast(1, h.lossInto({3}));
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_EQ(h.metrics.recoveries(), 3u);
+  EXPECT_GE(h.protocol.paritiesSent(), 2u);
+}
+
+TEST(ParityProtocolTest, RecoversUnderLossyRecoveryTraffic) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    ParityHarness h(0.20, seed);
+    h.protocol.sourceMulticast(0, h.lossInto({1}));
+    h.protocol.sourceMulticast(1, h.lossInto({2, 6}));
+    h.sim.run();
+    EXPECT_TRUE(h.protocol.allRecovered()) << "seed " << seed;
+    EXPECT_TRUE(h.sim.idle());
+  }
+}
+
+TEST(ParityProtocolTest, ParityDoesNotCorruptDataStore) {
+  // Parity packets carry block ids; they must never be mistaken for data.
+  ParityConfig parity;
+  parity.block_size = 4;
+  ParityHarness h(0.0, 1, parity);
+  h.protocol.sourceMulticast(0, h.noLoss());
+  h.protocol.sourceMulticast(1, h.lossInto({3}));  // block 0 parity wave
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  // Clients must not spuriously "hold" unsent sequences.
+  EXPECT_FALSE(h.protocol.hasPacket(4, 2));
+  EXPECT_FALSE(h.protocol.hasPacket(4, 3));
+}
+
+TEST(ParityProtocolTest, RejectsBadConfig) {
+  ProtoHarness base;
+  ParityConfig bad;
+  bad.block_size = 0;
+  EXPECT_THROW(
+      ParityProtocol(base.network, base.metrics, ProtocolConfig{}, bad),
+      std::invalid_argument);
+  bad = {};
+  bad.gather_window_ms = -1.0;
+  EXPECT_THROW(
+      ParityProtocol(base.network, base.metrics, ProtocolConfig{}, bad),
+      std::invalid_argument);
+}
+
+TEST(ParityProtocolTest, LatencyIncludesGatherWindow) {
+  ParityConfig parity;
+  parity.gather_window_ms = 50.0;
+  ParityHarness h(0.0, 1, parity);
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.sim.run();
+  ASSERT_EQ(h.metrics.recoveries(), 1u);
+  // NACK travel + 50ms gather + parity travel: well above the bare RTT.
+  EXPECT_GE(h.metrics.latency().mean(), 50.0);
+}
+
+}  // namespace
+}  // namespace rmrn::protocols

@@ -1,0 +1,235 @@
+#include "protocols/rp_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proto_fixture.hpp"
+
+namespace rmrn::protocols {
+namespace {
+
+using testutil::ProtoHarness;
+
+struct RpHarness : ProtoHarness {
+  core::RpPlanner planner;
+  RpProtocol protocol;
+
+  explicit RpHarness(double loss_prob = 0.0, std::uint64_t seed = 1,
+                     SourceRecoveryMode mode = SourceRecoveryMode::kUnicast,
+                     core::PlannerOptions planner_options = {})
+      : ProtoHarness(loss_prob, seed),
+        planner(topo, routing, planner_options),
+        protocol(network, metrics, ProtocolConfig{}, planner, mode) {
+    protocol.attach();
+  }
+};
+
+TEST(RpProtocolTest, NoLossNoRecoveryTraffic) {
+  RpHarness h;
+  h.protocol.sourceMulticast(0, h.noLoss());
+  h.sim.run();
+  EXPECT_EQ(h.metrics.losses(), 0u);
+  EXPECT_EQ(h.network.stats().recovery_hops, 0u);
+  for (const net::NodeId c : h.topo.clients) {
+    EXPECT_TRUE(h.protocol.hasPacket(c, 0));
+  }
+}
+
+TEST(RpProtocolTest, SingleLeafLossRecoversWithOneRequest) {
+  RpHarness h;
+  // Drop only the leaf link into client 3: every peer (and the source) has
+  // the packet, so the first target on the strategy answers.
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.sim.run();
+  EXPECT_EQ(h.metrics.losses(), 1u);
+  EXPECT_EQ(h.metrics.recoveries(), 1u);
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_TRUE(h.protocol.hasPacket(3, 0));
+  EXPECT_EQ(h.protocol.requestsSent(), 1u);
+  // Latency is the RTT to the first target (first peer, or the source when
+  // the optimal strategy is the empty list).
+  const auto& peers = h.planner.strategyFor(3).peers;
+  const net::NodeId first = peers.empty() ? h.topo.source : peers[0].peer;
+  EXPECT_DOUBLE_EQ(h.metrics.latency().mean(), h.routing.rtt(3, first));
+}
+
+TEST(RpProtocolTest, StrategicPeerSelectionOnDeepTopology) {
+  // On the deep fixture (see proto_fixture.hpp) with t_0 = 12 the optimal
+  // strategy for client 3 is exactly [4]: the nearer sibling 5 is skipped
+  // because its loss is too correlated with 3's.
+  core::PlannerOptions options;
+  options.timeout_ms = 12.0;
+  ProtoHarness base(0.0, 1, testutil::deepTopology());
+  core::RpPlanner planner(base.topo, base.routing, options);
+  const auto& peers = planner.strategyFor(3).peers;
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0].peer, 4u);
+
+  RpProtocol protocol(base.network, base.metrics, ProtocolConfig{}, planner);
+  protocol.attach();
+  // Drop the leaf link into 3 only: peer 4 has the packet.
+  protocol.sourceMulticast(0, base.lossInto({3}));
+  base.sim.run();
+  EXPECT_TRUE(protocol.allRecovered());
+  EXPECT_EQ(protocol.requestsSent(), 1u);
+  EXPECT_DOUBLE_EQ(base.metrics.latency().mean(), base.routing.rtt(3, 4));
+}
+
+TEST(RpProtocolTest, DeepTopologyMidLossFailsOverWithinList) {
+  // Drop 1->2: clients 3 and 5 lose, 4 has the packet.  Client 3's strategy
+  // [4] succeeds on the first try even though its own subtree is dark.
+  core::PlannerOptions options;
+  options.timeout_ms = 12.0;
+  ProtoHarness base(0.0, 1, testutil::deepTopology());
+  core::RpPlanner planner(base.topo, base.routing, options);
+  RpProtocol protocol(base.network, base.metrics, ProtocolConfig{}, planner);
+  protocol.attach();
+  protocol.sourceMulticast(0, base.lossInto({2}));
+  base.sim.run();
+  EXPECT_EQ(base.metrics.losses(), 2u);
+  EXPECT_TRUE(protocol.allRecovered());
+}
+
+TEST(RpProtocolTest, CorrelatedLossWalksListThenSource) {
+  RpHarness h;
+  // Drop the link 0->1: ALL clients lose; every peer request fails and every
+  // client ends at the source.
+  h.protocol.sourceMulticast(0, h.lossInto({1}));
+  h.sim.run();
+  EXPECT_EQ(h.metrics.losses(), 4u);
+  EXPECT_EQ(h.metrics.recoveries(), 4u);
+  EXPECT_TRUE(h.protocol.allRecovered());
+  // Each client issued (list length + 1) requests: all peers + the source.
+  std::uint64_t expected_requests = 0;
+  for (const net::NodeId c : h.topo.clients) {
+    expected_requests += h.planner.strategyFor(c).peers.size() + 1;
+  }
+  EXPECT_EQ(h.protocol.requestsSent(), expected_requests);
+}
+
+TEST(RpProtocolTest, MidTreeLossSplitsOutcomes) {
+  RpHarness h;
+  // Drop 1->2: clients 3 and 4 lose; 7 and 8 keep the packet and can serve.
+  h.protocol.sourceMulticast(0, h.lossInto({2}));
+  h.sim.run();
+  EXPECT_EQ(h.metrics.losses(), 2u);
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_TRUE(h.protocol.hasPacket(3, 0));
+  EXPECT_TRUE(h.protocol.hasPacket(4, 0));
+}
+
+TEST(RpProtocolTest, SessionsCleanUpAfterRecovery) {
+  RpHarness h;
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.sim.run();
+  // The event queue drained: no dangling retry timers.
+  EXPECT_TRUE(h.sim.idle());
+  EXPECT_EQ(h.sim.pendingEvents(), 0u);
+}
+
+TEST(RpProtocolTest, MultiplePacketsIndependentRecovery) {
+  RpHarness h;
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.sim.run();
+  h.protocol.sourceMulticast(1, h.lossInto({6}));  // 7 and 8 lose packet 1
+  h.sim.run();
+  h.protocol.sourceMulticast(2, h.noLoss());
+  h.sim.run();
+  EXPECT_EQ(h.metrics.losses(), 3u);
+  EXPECT_EQ(h.metrics.recoveries(), 3u);
+  for (const net::NodeId c : h.topo.clients) {
+    for (std::uint64_t seq = 0; seq < 3; ++seq) {
+      EXPECT_TRUE(h.protocol.hasPacket(c, seq));
+    }
+  }
+}
+
+TEST(RpProtocolTest, OutOfOrderSequenceRejected) {
+  RpHarness h;
+  h.protocol.sourceMulticast(0, h.noLoss());
+  EXPECT_THROW(h.protocol.sourceMulticast(2, h.noLoss()),
+               std::invalid_argument);
+}
+
+TEST(RpProtocolTest, MulticastBeforeAttachRejected) {
+  ProtoHarness base;
+  core::RpPlanner planner(base.topo, base.routing, {});
+  RpProtocol protocol(base.network, base.metrics, ProtocolConfig{}, planner);
+  EXPECT_THROW(protocol.sourceMulticast(0, base.noLoss()), std::logic_error);
+}
+
+TEST(RpProtocolTest, DoubleAttachRejected) {
+  RpHarness h;
+  EXPECT_THROW(h.protocol.attach(), std::logic_error);
+}
+
+TEST(RpProtocolTest, SubgroupMulticastRepairsWholeBranch) {
+  RpHarness h(0.0, 1, SourceRecoveryMode::kSubgroupMulticast);
+  // Drop 0->1: everyone loses, all requests end at the source.  The first
+  // source repair floods the whole branch under 1, repairing all four
+  // clients at once.
+  h.protocol.sourceMulticast(0, h.lossInto({1}));
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_EQ(h.metrics.recoveries(), 4u);
+}
+
+TEST(RpProtocolTest, SubgroupModeUsesFewerSourceRequestsUnderBranchLoss) {
+  // With the branch flooded by the first repair, later clients' source
+  // requests are pre-empted: total requests under subgroup mode must not
+  // exceed the unicast mode count.
+  RpHarness unicast(0.0, 1, SourceRecoveryMode::kUnicast);
+  unicast.protocol.sourceMulticast(0, unicast.lossInto({1}));
+  unicast.sim.run();
+
+  RpHarness subgroup(0.0, 1, SourceRecoveryMode::kSubgroupMulticast);
+  subgroup.protocol.sourceMulticast(0, subgroup.lossInto({1}));
+  subgroup.sim.run();
+
+  EXPECT_TRUE(unicast.protocol.allRecovered());
+  EXPECT_TRUE(subgroup.protocol.allRecovered());
+  EXPECT_LE(subgroup.protocol.requestsSent(), unicast.protocol.requestsSent());
+}
+
+TEST(RpProtocolTest, LossyRecoveryTrafficStillConverges) {
+  // 20% loss on recovery traffic: timeouts and source retries must still
+  // recover everything.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RpHarness h(0.20, seed);
+    h.protocol.sourceMulticast(0, h.lossInto({1}));
+    h.protocol.sourceMulticast(1, h.lossInto({2, 6}));
+    h.sim.run();
+    EXPECT_TRUE(h.protocol.allRecovered()) << "seed " << seed;
+    EXPECT_TRUE(h.sim.idle());
+  }
+}
+
+TEST(RpProtocolTest, RecoveredPacketUsableAsRepairSource) {
+  RpHarness h;
+  // Packet 0: client 3 loses, recovers from a peer.  Packet 1: now drop
+  // 1->2 (3 and 4 lose); 3's recovery of packet 0 must not confuse seq 1.
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.sim.run();
+  h.protocol.sourceMulticast(1, h.lossInto({2}));
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_TRUE(h.protocol.hasPacket(3, 1));
+  EXPECT_TRUE(h.protocol.hasPacket(4, 1));
+}
+
+TEST(RpProtocolTest, BadConfigRejected) {
+  ProtoHarness base;
+  core::RpPlanner planner(base.topo, base.routing, {});
+  ProtocolConfig bad;
+  bad.timeout_factor = 0.0;
+  EXPECT_THROW(
+      RpProtocol(base.network, base.metrics, bad, planner),
+      std::invalid_argument);
+  bad = {};
+  bad.detection_delay_ms = -1.0;
+  EXPECT_THROW(
+      RpProtocol(base.network, base.metrics, bad, planner),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrn::protocols

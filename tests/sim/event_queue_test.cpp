@@ -1,0 +1,131 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace rmrn::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(7.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { fired += 10; });
+  EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueueTest, CancelReturnsFalseTwice) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueueTest, CancelledHeadIsSkipped) {
+  EventQueue q;
+  const EventId first = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(first);
+  EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+  EXPECT_EQ(q.pendingCount(), 1u);
+}
+
+TEST(EventQueueTest, EmptyAfterAllCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  const EventId b = q.schedule(2.0, [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PopReturnsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.schedule(4.5, [] {});
+  const auto fired = q.pop();
+  EXPECT_DOUBLE_EQ(fired.time, 4.5);
+  EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueueTest, ThrowsOnNonFiniteTime) {
+  EventQueue q;
+  EXPECT_THROW(
+      q.schedule(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      q.schedule(std::numeric_limits<double>::infinity(), [] {}),
+      std::invalid_argument);
+}
+
+TEST(EventQueueTest, ThrowsOnEmptyAction) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, std::function<void()>{}),
+               std::invalid_argument);
+}
+
+TEST(EventQueueTest, ThrowsOnPopWhenEmpty) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.nextTime(), std::logic_error);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  // Deterministic pseudo-random times; verify global ordering on pop.
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(static_cast<double>(state % 1000), [] {});
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+}  // namespace
+}  // namespace rmrn::sim

@@ -1,0 +1,149 @@
+#include "sim/loss_process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmrn::sim {
+namespace {
+
+TEST(BernoulliLossTest, RateMatchesP) {
+  BernoulliLossProcess process(50, 0.1, util::Rng(1));
+  std::uint64_t losses = 0;
+  constexpr int kPackets = 5000;
+  for (int i = 0; i < kPackets; ++i) {
+    for (const bool lost : process.nextPattern()) {
+      if (lost) ++losses;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / (50.0 * kPackets), 0.1, 0.005);
+}
+
+TEST(BernoulliLossTest, ZeroLoss) {
+  BernoulliLossProcess process(10, 0.0, util::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    for (const bool lost : process.nextPattern()) EXPECT_FALSE(lost);
+  }
+}
+
+TEST(BernoulliLossTest, RejectsBadProbability) {
+  EXPECT_THROW(BernoulliLossProcess(10, -0.1, util::Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(BernoulliLossProcess(10, 1.0, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(BernoulliLossTest, PatternSize) {
+  BernoulliLossProcess process(17, 0.5, util::Rng(2));
+  EXPECT_EQ(process.nextPattern().size(), 17u);
+}
+
+TEST(GilbertElliottTest, CalibrationMath) {
+  const auto config = GilbertElliottConfig::calibrate(0.05, 4.0);
+  EXPECT_DOUBLE_EQ(config.p_bad_to_good, 0.25);
+  EXPECT_NEAR(config.stationaryLoss(), 0.05, 1e-12);
+  EXPECT_NEAR(config.stationaryBad(), 0.05, 1e-12);
+}
+
+TEST(GilbertElliottTest, CalibrationRejectsInfeasible) {
+  EXPECT_THROW((void)GilbertElliottConfig::calibrate(0.0, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)GilbertElliottConfig::calibrate(1.0, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)GilbertElliottConfig::calibrate(0.05, 0.5),
+               std::invalid_argument);
+  // Loss rate at/above burst/(1+burst) needs p_good_to_bad >= 1.
+  EXPECT_THROW((void)GilbertElliottConfig::calibrate(0.99, 1.0),
+               std::invalid_argument);
+}
+
+TEST(GilbertElliottTest, StationaryLossRateMatchesTarget) {
+  const auto config = GilbertElliottConfig::calibrate(0.08, 5.0);
+  GilbertElliottLossProcess process(40, config, util::Rng(7));
+  std::uint64_t losses = 0;
+  constexpr int kPackets = 20000;
+  for (int i = 0; i < kPackets; ++i) {
+    for (const bool lost : process.nextPattern()) {
+      if (lost) ++losses;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / (40.0 * kPackets), 0.08, 0.01);
+}
+
+TEST(GilbertElliottTest, LossesAreBursty) {
+  // P(loss at t+1 | loss at t) should be far above the marginal rate and
+  // close to 1 - p_bad_to_good.
+  const auto config = GilbertElliottConfig::calibrate(0.05, 5.0);
+  GilbertElliottLossProcess process(1, config, util::Rng(11));
+  std::uint64_t loss_then_loss = 0;
+  std::uint64_t loss_count = 0;
+  bool prev = false;
+  for (int i = 0; i < 400000; ++i) {
+    const bool lost = process.nextPattern()[0];
+    if (prev) {
+      ++loss_count;
+      if (lost) ++loss_then_loss;
+    }
+    prev = lost;
+  }
+  ASSERT_GT(loss_count, 1000u);
+  const double conditional =
+      static_cast<double>(loss_then_loss) / static_cast<double>(loss_count);
+  EXPECT_NEAR(conditional, 1.0 - config.p_bad_to_good, 0.02);
+  EXPECT_GT(conditional, 0.5);  // vastly burstier than the 5% marginal
+}
+
+TEST(GilbertElliottTest, LinksAreIndependent) {
+  // Two links' losses should be (nearly) uncorrelated.
+  const auto config = GilbertElliottConfig::calibrate(0.2, 3.0);
+  GilbertElliottLossProcess process(2, config, util::Rng(13));
+  int both = 0;
+  int first = 0;
+  int second = 0;
+  constexpr int kPackets = 100000;
+  for (int i = 0; i < kPackets; ++i) {
+    const auto pattern = process.nextPattern();
+    if (pattern[0]) ++first;
+    if (pattern[1]) ++second;
+    if (pattern[0] && pattern[1]) ++both;
+  }
+  const double p1 = static_cast<double>(first) / kPackets;
+  const double p2 = static_cast<double>(second) / kPackets;
+  const double p12 = static_cast<double>(both) / kPackets;
+  EXPECT_NEAR(p12, p1 * p2, 0.01);
+}
+
+TEST(GilbertElliottTest, RejectsBadConfig) {
+  GilbertElliottConfig bad;
+  bad.p_good_to_bad = -0.1;
+  bad.p_bad_to_good = 0.5;
+  EXPECT_THROW(GilbertElliottLossProcess(1, bad, util::Rng(1)),
+               std::invalid_argument);
+  bad.p_good_to_bad = 0.1;
+  bad.p_bad_to_good = 0.0;
+  EXPECT_THROW(GilbertElliottLossProcess(1, bad, util::Rng(1)),
+               std::invalid_argument);
+  bad.p_bad_to_good = 0.5;
+  bad.loss_in_bad = 1.5;
+  EXPECT_THROW(GilbertElliottLossProcess(1, bad, util::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(GilbertElliottTest, PartialLossInBadState) {
+  GilbertElliottConfig config;
+  config.p_good_to_bad = 0.1;
+  config.p_bad_to_good = 0.2;
+  config.loss_in_bad = 0.5;
+  EXPECT_NEAR(config.stationaryLoss(), config.stationaryBad() * 0.5, 1e-12);
+  GilbertElliottLossProcess process(20, config, util::Rng(17));
+  std::uint64_t losses = 0;
+  constexpr int kPackets = 30000;
+  for (int i = 0; i < kPackets; ++i) {
+    for (const bool lost : process.nextPattern()) {
+      if (lost) ++losses;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / (20.0 * kPackets),
+              config.stationaryLoss(), 0.01);
+}
+
+}  // namespace
+}  // namespace rmrn::sim

@@ -1,0 +1,112 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rmrn::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.scheduleAt(5.0, [&] { times.push_back(sim.now()); });
+  sim.scheduleAt(2.0, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.scheduleAt(10.0, [&] {
+    sim.scheduleAfter(5.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAt(1.0, [&] { ++fired; });
+  sim.scheduleAt(10.0, [&] { ++fired; });
+  const auto count = sim.run(5.0);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.scheduleAt(i, [] {});
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.scheduleAt(1.0, [&] { ++fired; });
+  sim.scheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, CancelStopsEvent) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.scheduleAt(1.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, ThrowsOnSchedulingIntoThePast) {
+  Simulator sim;
+  sim.scheduleAt(10.0, [&] {
+    EXPECT_THROW(sim.scheduleAt(5.0, [] {}), std::invalid_argument);
+  });
+  sim.run();
+  EXPECT_THROW(sim.scheduleAt(5.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, ThrowsOnNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.scheduleAfter(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, EventsCanScheduleChains) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.scheduleAfter(1.0, chain);
+  };
+  sim.scheduleAfter(1.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(SimulatorTest, PendingEventsCount) {
+  Simulator sim;
+  sim.scheduleAt(1.0, [] {});
+  sim.scheduleAt(2.0, [] {});
+  EXPECT_EQ(sim.pendingEvents(), 2u);
+  sim.step();
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+}  // namespace
+}  // namespace rmrn::sim

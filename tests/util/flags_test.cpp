@@ -1,0 +1,97 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmrn::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags f = parse({"--nodes=100", "--loss=5.5"});
+  EXPECT_EQ(f.getUnsigned("nodes", 0), 100u);
+  EXPECT_DOUBLE_EQ(f.getDouble("loss", 0.0), 5.5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags f = parse({"--nodes", "100", "--name", "hello"});
+  EXPECT_EQ(f.getUnsigned("nodes", 0), 100u);
+  EXPECT_EQ(f.getString("name", ""), "hello");
+}
+
+TEST(FlagsTest, BareSwitchIsTrue) {
+  const Flags f = parse({"--verbose", "--nodes=3"});
+  EXPECT_TRUE(f.getBool("verbose", false));
+  EXPECT_EQ(f.getUnsigned("nodes", 0), 3u);
+}
+
+TEST(FlagsTest, SwitchFollowedByFlag) {
+  const Flags f = parse({"--verbose", "--nodes", "7"});
+  EXPECT_TRUE(f.getBool("verbose", false));
+  EXPECT_EQ(f.getUnsigned("nodes", 0), 7u);
+}
+
+TEST(FlagsTest, Positional) {
+  const Flags f = parse({"run", "--nodes=5", "extra"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"run", "extra"}));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.getString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.getDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(f.getInt("missing", -3), -3);
+  EXPECT_TRUE(f.getBool("missing", true));
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=yes"}).getBool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).getBool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).getBool("x", false));
+  EXPECT_FALSE(parse({"--x=no"}).getBool("x", true));
+  EXPECT_FALSE(parse({"--x=off"}).getBool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).getBool("x", true));
+}
+
+TEST(FlagsTest, TypeErrorsThrow) {
+  EXPECT_THROW((void)parse({"--n=abc"}).getInt("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"--n=1.5x"}).getDouble("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"--b=maybe"}).getBool("b", false),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"--n=-2"}).getUnsigned("n", 0),
+               std::invalid_argument);
+}
+
+TEST(FlagsTest, MalformedFlagsThrowAtParse) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--=value"}), std::invalid_argument);
+}
+
+TEST(FlagsTest, UnconsumedDetectsTypos) {
+  const Flags f = parse({"--nodes=5", "--tpyo=1"});
+  (void)f.getUnsigned("nodes", 0);
+  const auto unknown = f.unconsumed();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "tpyo");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags f = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(f.getInt("n", 0), 2);
+}
+
+TEST(FlagsTest, NegativeIntegers) {
+  const Flags f = parse({"--n=-42"});
+  EXPECT_EQ(f.getInt("n", 0), -42);
+}
+
+}  // namespace
+}  // namespace rmrn::util

@@ -1,0 +1,192 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rmrn::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRealRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniformReal(2.5, 7.5);
+    ASSERT_GE(x, 2.5);
+    ASSERT_LT(x, 7.5);
+  }
+}
+
+TEST(RngTest, UniformRealDegenerateRange) {
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.uniformReal(4.0, 4.0), 4.0);
+}
+
+TEST(RngTest, UniformRealThrowsOnInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniformReal(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.uniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntOneIsAlwaysZero) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntThrowsOnZero) {
+  Rng rng(19);
+  EXPECT_THROW(rng.uniformInt(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntUnbiasedChiSquare) {
+  // 10 buckets, 100k draws: chi-square with 9 dof should be far below 30.
+  Rng rng(23);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniformInt(kBuckets))];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 30.0);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(31);
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(0.2)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.2, 0.01);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentSequence) {
+  Rng parent(5);
+  const Rng forked_before = parent.fork(1);
+  (void)parent.next();  // advancing the parent after forking ...
+  Rng parent2(5);
+  const Rng forked_again = parent2.fork(1);
+  Rng a = forked_before;
+  Rng b = forked_again;
+  // ... must not change what an identical fork produces.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.fork(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentForkStreamsDiffer) {
+  Rng parent(5);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(RngTest, ShuffleUniformFirstElement) {
+  // Over many shuffles of {0..4}, each value should land in slot 0 about
+  // 20% of the time.
+  Rng rng(41);
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    std::vector<int> v{0, 1, 2, 3, 4};
+    rng.shuffle(v);
+    ++counts[static_cast<std::size_t>(v[0])];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.2, 0.01);
+  }
+}
+
+TEST(RngTest, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace rmrn::util
