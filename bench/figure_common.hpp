@@ -113,9 +113,22 @@ inline double metricOf(const harness::ProtocolResult& r, Metric m) {
   return m == Metric::kLatency ? r.avg_latency_ms : r.avg_bandwidth_hops;
 }
 
+/// "--threads N" from argv: worker threads for the per-seed repetition
+/// fan-out (0, the default, = hardware concurrency).  Results are
+/// bit-identical for every value; this only changes wall-clock.
+inline unsigned parseThreads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      return static_cast<unsigned>(std::stoul(argv[i + 1]));
+    }
+  }
+  return 0;
+}
+
 /// Runs the Fig. 5/6 client-count sweep and returns one row per size.
 inline std::vector<FigureRow> runClientSweep(Metric metric,
-                                             std::uint32_t runs = 3) {
+                                             std::uint32_t runs = 3,
+                                             unsigned threads = 0) {
   std::vector<FigureRow> rows;
   for (const std::uint32_t n : figure56Sizes()) {
     harness::ExperimentConfig config = baseConfig();
@@ -123,7 +136,9 @@ inline std::vector<FigureRow> runClientSweep(Metric metric,
     config.loss_prob = 0.05;
     config.seed += n;  // distinct topology per size, like the paper
     const harness::ExperimentResult result =
-        harness::runAveragedExperimentParallel(config, runs);
+        harness::runAveragedExperimentParallel(config, runs,
+                                               harness::kAllProtocols,
+                                               threads);
     rows.push_back(
         {result.num_clients, result.num_clients,
          metricOf(result.result(harness::ProtocolKind::kSrm), metric),
@@ -136,14 +151,17 @@ inline std::vector<FigureRow> runClientSweep(Metric metric,
 
 /// Runs the Fig. 7/8 loss-probability sweep (n = 500).
 inline std::vector<FigureRow> runLossSweep(Metric metric,
-                                           std::uint32_t runs = 2) {
+                                           std::uint32_t runs = 2,
+                                           unsigned threads = 0) {
   std::vector<FigureRow> rows;
   for (const double p : figure78LossProbs()) {
     harness::ExperimentConfig config = baseConfig();
     config.num_nodes = 500;
     config.loss_prob = p;
     const harness::ExperimentResult result =
-        harness::runAveragedExperimentParallel(config, runs);
+        harness::runAveragedExperimentParallel(config, runs,
+                                               harness::kAllProtocols,
+                                               threads);
     rows.push_back(
         {100.0 * p, result.num_clients,
          metricOf(result.result(harness::ProtocolKind::kSrm), metric),

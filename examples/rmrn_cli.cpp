@@ -6,12 +6,18 @@
 //       (rmrn text format) and base.dot (Graphviz).
 //
 //   rmrn_cli plan --topo file.topo [--client id] [--timeout-factor F]
+//                 [--threads T]
 //       Load a topology and print the RP strategy of one client (or all).
+//       Builds a sparse routing table (clients + source only) and plans with
+//       T worker threads (0 = hardware concurrency); output is identical for
+//       every T.
 //
 //   rmrn_cli run  [--config file] [--nodes N] [--loss P%] [--packets K]
 //                 [--seed S] [--runs R] [--protocols srm,rma,rp,src,fec]
 //                 [--burst B] [--lossy-recovery] [--csv out.csv]
-//       Run the protocol comparison; print the paper-style table.
+//                 [--threads T]
+//       Run the protocol comparison; print the paper-style table.  T worker
+//       threads fan out the per-seed repetitions (0 = hardware concurrency).
 //
 //   rmrn_cli transfer [--topo file.topo | --nodes N] [--mb M] [--loss P%]
 //                     [--protocol rp|srm|rma|src|fec] [--seed S]
@@ -81,6 +87,7 @@ int cmdPlan(const util::Flags& flags) {
   const std::string path = flags.getString("topo", "");
   const std::int64_t client_flag = flags.getInt("client", -1);
   const double factor = flags.getDouble("timeout-factor", 1.5);
+  const auto threads = static_cast<unsigned>(flags.getUnsigned("threads", 0));
   if (const int rc = failUnknownFlags(flags)) return rc;
   if (path.empty()) {
     std::cerr << "plan: --topo <file> is required\n";
@@ -92,9 +99,14 @@ int cmdPlan(const util::Flags& flags) {
     return 1;
   }
   const net::Topology topo = net::readTopology(in);
-  const net::Routing routing(topo.graph);
+  // Planning only queries client->anything, so a sparse table (clients +
+  // source rows) replaces the all-pairs build.
+  std::vector<net::NodeId> route_sources = topo.clients;
+  route_sources.push_back(topo.source);
+  const net::Routing routing(topo.graph, route_sources, threads);
   core::PlannerOptions options;
   options.per_peer_timeout_factor = factor;
+  options.num_threads = threads;
   const core::RpPlanner planner(topo, routing, options);
 
   const auto show = [&](net::NodeId u) {
@@ -166,10 +178,11 @@ int cmdRun(const util::Flags& flags) {
   const auto kinds =
       parseProtocols(flags.getString("protocols", "srm,rma,rp"));
   const std::string csv_path = flags.getString("csv", "");
+  const auto threads = static_cast<unsigned>(flags.getUnsigned("threads", 0));
   if (const int rc = failUnknownFlags(flags)) return rc;
 
   const harness::ExperimentResult result =
-      harness::runAveragedExperimentParallel(config, runs, kinds);
+      harness::runAveragedExperimentParallel(config, runs, kinds, threads);
 
   std::cout << "n=" << config.num_nodes << " (k~" << result.num_clients
             << "), p=" << config.loss_prob * 100.0 << "%, "

@@ -1,25 +1,28 @@
 #include "core/candidates.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <map>
 #include <stdexcept>
 
 namespace rmrn::core {
 
 namespace {
 
-using LcaFn = std::function<net::NodeId(net::NodeId, net::NodeId)>;
+// Every first common router with u lies on u's root path and is a proper
+// ancestor of u (v's in u's own subtree are skipped), so class keys are DS
+// depths in [0, depth(u)): both helpers below index a flat vector by DS
+// instead of a node-allocating ordered map.  The LCA callable is a template
+// parameter so the per-pair query inlines (no std::function indirection on
+// the planner's O(k^2) hot path).
 
+template <typename LcaFn>
 std::vector<CompetitiveClass> classesImpl(
     net::NodeId u, const net::MulticastTree& tree, const LcaFn& lca,
     const std::vector<net::NodeId>& clients) {
   if (!tree.contains(u)) {
     throw std::invalid_argument("competitiveClasses: u not in tree");
   }
-  // Every first common router with u lies on u's root path, so classes are
-  // keyed by DS depth; distinct routers on that path have distinct depths.
-  std::map<net::HopCount, CompetitiveClass, std::greater<>> by_depth;
+  const net::HopCount depth_u = tree.depth(u);
+  std::vector<CompetitiveClass> by_depth(depth_u);
   for (const net::NodeId v : clients) {
     if (v == u || v == tree.root()) continue;
     if (!tree.contains(v)) {
@@ -30,44 +33,54 @@ std::vector<CompetitiveClass> classesImpl(
                                 // clients are internal nodes): if u lost the
                                 // packet, v surely lost it too — useless.
     const net::HopCount ds = tree.depth(router);
-    auto& cls = by_depth[ds];
+    CompetitiveClass& cls = by_depth[ds];
     cls.common_router = router;
     cls.ds = ds;
     cls.peers.push_back(v);
   }
   std::vector<CompetitiveClass> result;
-  result.reserve(by_depth.size());
-  for (auto& [ds, cls] : by_depth) {
+  for (net::HopCount ds = depth_u; ds-- > 0;) {  // descending DS
+    CompetitiveClass& cls = by_depth[ds];
+    if (cls.peers.empty()) continue;
     std::sort(cls.peers.begin(), cls.peers.end());
     result.push_back(std::move(cls));
   }
   return result;
 }
 
-std::vector<Candidate> candidatesFromClasses(
-    net::NodeId u, const net::Routing& routing,
-    const std::vector<CompetitiveClass>& classes) {
-  std::vector<Candidate> result;
-  for (const CompetitiveClass& cls : classes) {
-    Candidate best;
-    bool have = false;
-    for (const net::NodeId peer : cls.peers) {
-      const double rtt = routing.rtt(u, peer);
-      // Min RTT wins; peers are visited in ascending id, so strict `<`
-      // breaks ties toward the lowest id.
-      if (!have || rtt < best.rtt_ms) {
-        best = Candidate{peer, cls.ds, rtt};
-        have = true;
-      }
-    }
-    if (have) result.push_back(best);
+// Candidate selection without materializing the classes: per DS depth only
+// the running minimum-RTT peer is kept, so the whole-group planning loop
+// performs two small allocations per client instead of one per class.
+template <typename LcaFn>
+std::vector<Candidate> selectImpl(net::NodeId u, const net::MulticastTree& tree,
+                                  const LcaFn& lca,
+                                  const net::Routing& routing,
+                                  const std::vector<net::NodeId>& clients) {
+  if (!tree.contains(u)) {
+    throw std::invalid_argument("selectCandidates: u not in tree");
   }
-  // Classes are already descending in DS; assert the invariant meaningful
-  // strategies rely on.
-  for (std::size_t i = 1; i < result.size(); ++i) {
-    if (result[i - 1].ds <= result[i].ds) {
-      throw std::logic_error("selectCandidates: DS order violated");
+  const net::HopCount depth_u = tree.depth(u);
+  std::vector<Candidate> best(depth_u);  // indexed by DS; kInvalidNode = empty
+  for (const net::NodeId v : clients) {
+    if (v == u || v == tree.root()) continue;
+    if (!tree.contains(v)) {
+      throw std::invalid_argument("selectCandidates: client not in tree");
     }
+    const net::NodeId router = lca(u, v);
+    if (router == u) continue;  // see classesImpl
+    const net::HopCount ds = tree.depth(router);
+    const double rtt = routing.rtt(u, v);
+    Candidate& slot = best[ds];
+    // Min RTT wins; exact ties break toward the lowest peer id (the paper
+    // breaks ties at random; a deterministic rule keeps runs reproducible).
+    if (slot.peer == net::kInvalidNode || rtt < slot.rtt_ms ||
+        (rtt == slot.rtt_ms && v < slot.peer)) {
+      slot = Candidate{v, ds, rtt};
+    }
+  }
+  std::vector<Candidate> result;
+  for (net::HopCount ds = depth_u; ds-- > 0;) {  // strictly descending DS
+    if (best[ds].peer != net::kInvalidNode) result.push_back(best[ds]);
   }
   return result;
 }
@@ -97,15 +110,21 @@ std::vector<CompetitiveClass> competitiveClasses(
 std::vector<Candidate> selectCandidates(
     net::NodeId u, const net::MulticastTree& tree, const net::Routing& routing,
     const std::vector<net::NodeId>& clients) {
-  return candidatesFromClasses(u, routing,
-                               competitiveClasses(u, tree, clients));
+  return selectImpl(
+      u, tree,
+      [&tree](net::NodeId a, net::NodeId b) {
+        return tree.firstCommonRouter(a, b);
+      },
+      routing, clients);
 }
 
 std::vector<Candidate> selectCandidates(
     net::NodeId u, const net::MulticastTree& tree, const net::LcaIndex& index,
     const net::Routing& routing, const std::vector<net::NodeId>& clients) {
-  return candidatesFromClasses(u, routing,
-                               competitiveClasses(u, tree, index, clients));
+  return selectImpl(
+      u, tree,
+      [&index](net::NodeId a, net::NodeId b) { return index.lca(a, b); },
+      routing, clients);
 }
 
 }  // namespace rmrn::core

@@ -52,7 +52,10 @@ struct CompetitiveClass {
 /// Selects the candidate (minimum RTT, ties by lowest id — the paper breaks
 /// ties at random; a deterministic rule keeps runs reproducible) from each
 /// competitive class.  Result is sorted by strictly descending DS, as
-/// required for meaningful strategies (Lemma 5).
+/// required for meaningful strategies (Lemma 5).  Implemented as a single
+/// flat min-reduction over a DS-indexed array (no per-class peer lists, no
+/// ordered-map nodes) so the planner's per-client hot path stays allocation
+/// light.
 [[nodiscard]] std::vector<Candidate> selectCandidates(
     net::NodeId u, const net::MulticastTree& tree, const net::Routing& routing,
     const std::vector<net::NodeId>& clients);

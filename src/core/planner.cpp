@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/lca.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rmrn::core {
 
@@ -13,11 +14,19 @@ RpPlanner::RpPlanner(const net::Topology& topology,
   if (options_.timeout_ms < 0.0) {
     throw std::invalid_argument("RpPlanner: negative timeout");
   }
+  const std::vector<net::NodeId>& clients = topology.clients;
+  const std::size_t k = clients.size();
+
+  // Prefetch every client's source RTT once: it feeds both the default
+  // timeout below and the per-client strategy graphs, and it keeps the
+  // parallel workers reading Routing through one tight array.
+  std::vector<double> source_rtt(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    source_rtt[i] = routing.rtt(clients[i], topology.source);
+  }
   if (options_.timeout_ms == 0.0) {
     double max_rtt = 0.0;
-    for (const net::NodeId c : topology.clients) {
-      max_rtt = std::max(max_rtt, routing.rtt(c, topology.source));
-    }
+    for (const double rtt : source_rtt) max_rtt = std::max(max_rtt, rtt);
     options_.timeout_ms = 2.0 * max_rtt;
   }
 
@@ -36,13 +45,38 @@ RpPlanner::RpPlanner(const net::Topology& topology,
   }
 
   const net::LcaIndex lca_index(topology.tree);
-  for (const net::NodeId u : topology.clients) {
-    auto candidates =
+
+  // Each client's plan is independent (candidate selection + Algorithm 1
+  // over read-only shared state), so workers fill disjoint pre-sized slots
+  // and the maps are built after the join — output is bit-identical to the
+  // sequential path for any thread count.
+  struct Slot {
+    std::vector<Candidate> candidates;
+    Strategy strategy;
+  };
+  std::vector<Slot> slots(k);
+  const auto plan_one = [&](std::size_t i) {
+    const net::NodeId u = clients[i];
+    Slot& slot = slots[i];
+    slot.candidates =
         selectCandidates(u, topology.tree, lca_index, routing, servers);
-    const StrategyGraph graph(topology.tree.depth(u), candidates,
-                              routing.rtt(u, topology.source), graph_options);
-    strategies_.emplace(u, searchMinimalDelay(graph));
-    candidates_.emplace(u, std::move(candidates));
+    const StrategyGraph graph(topology.tree.depth(u), slot.candidates,
+                              source_rtt[i], graph_options);
+    slot.strategy = searchMinimalDelay(graph);
+  };
+  const unsigned threads = util::resolveThreadCount(options_.num_threads);
+  if (threads <= 1 || k <= 1) {
+    for (std::size_t i = 0; i < k; ++i) plan_one(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallelFor(0, k, plan_one);
+  }
+
+  strategies_.reserve(k);
+  candidates_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    strategies_.emplace(clients[i], std::move(slots[i].strategy));
+    candidates_.emplace(clients[i], std::move(slots[i].candidates));
   }
 }
 

@@ -31,6 +31,11 @@ struct PlannerOptions {
   /// resource-constrained receivers.  They remain protected clients
   /// themselves.
   std::vector<net::NodeId> excluded_peers;
+  /// Worker threads for whole-group planning (0 = hardware concurrency,
+  /// 1 = sequential).  Clients are planned independently into pre-sized
+  /// slots, so the result is bit-identical for every thread count.  Runtime
+  /// tuning only — deliberately not part of the experiment config files.
+  unsigned num_threads = 1;
 };
 
 class RpPlanner {
@@ -38,7 +43,9 @@ class RpPlanner {
   /// Plans strategies for all clients of `topology`.  When
   /// `options.timeout_ms` is zero a timeout is derived as twice the largest
   /// client-source RTT (a conservative network-wide t_0).  The topology and
-  /// routing must outlive the planner only during construction.
+  /// routing must outlive the planner only during construction.  `routing`
+  /// may be sparse as long as it has rows for every client (the planner
+  /// queries client->anything only, never router->router).
   RpPlanner(const net::Topology& topology, const net::Routing& routing,
             PlannerOptions options);
 

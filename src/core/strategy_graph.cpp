@@ -41,11 +41,15 @@ StrategyGraph::StrategyGraph(net::HopCount ds_u,
     prev = c.ds;
   }
 
-  // Materialize the edge list (Definition 1) in processing order.
+  // Materialize the edge list (Definition 1) in processing order, with CSR
+  // group offsets so the shortest-path searches iterate it directly instead
+  // of re-deriving every weight from edgeWeight().
   const std::size_t n = candidates_.size();
   const std::size_t s = sourceVertex();
   edges_.reserve((n + 1) * (n + 2) / 2 + n + 1);
+  offsets_.reserve(numVertices() + 1);
   for (std::size_t from = 0; from <= n; ++from) {
+    offsets_.push_back(edges_.size());
     for (std::size_t to = from + 1; to <= n; ++to) {
       edges_.push_back({from, to, edgeWeight(from, to)});
     }
@@ -54,6 +58,8 @@ StrategyGraph::StrategyGraph(net::HopCount ds_u,
       edges_.push_back({from, s, to_source});
     }
   }
+  offsets_.push_back(edges_.size());  // S's (empty) group ...
+  offsets_.push_back(edges_.size());  // ... and the end sentinel
 }
 
 double StrategyGraph::edgeWeight(std::size_t from, std::size_t to) const {
@@ -103,11 +109,10 @@ Strategy unrestrictedShortestPath(const StrategyGraph& graph) {
 
   for (std::size_t x = 0; x <= n; ++x) {
     if (!std::isfinite(dist[x]) || dist[x] >= dist[s]) continue;
-    for (std::size_t y = x + 1; y <= s; ++y) {
-      const double w = graph.edgeWeight(x, y);
-      if (std::isfinite(w) && dist[x] + w < dist[y]) {
-        dist[y] = dist[x] + w;
-        parent[y] = x;
+    for (const StrategyGraph::Edge& e : graph.edgesFrom(x)) {
+      if (std::isfinite(e.weight) && dist[x] + e.weight < dist[e.to]) {
+        dist[e.to] = dist[x] + e.weight;
+        parent[e.to] = x;
       }
     }
   }
@@ -146,15 +151,14 @@ Strategy cappedShortestPath(const StrategyGraph& graph,
     for (std::size_t layer = 0; layer < layers; ++layer) {
       const double dx = dist[at(x, layer)];
       if (!std::isfinite(dx)) continue;
-      for (std::size_t y = x + 1; y <= s; ++y) {
-        const double w = graph.edgeWeight(x, y);
-        if (!std::isfinite(w)) continue;
-        const std::size_t next_layer = y == s ? layer : layer + 1;
+      for (const StrategyGraph::Edge& e : graph.edgesFrom(x)) {
+        if (!std::isfinite(e.weight)) continue;
+        const std::size_t next_layer = e.to == s ? layer : layer + 1;
         if (next_layer >= layers) continue;  // peer budget exhausted
-        if (dx + w < dist[at(y, next_layer)]) {
-          dist[at(y, next_layer)] = dx + w;
-          parent_vertex[at(y, next_layer)] = x;
-          parent_layer[at(y, next_layer)] = layer;
+        if (dx + e.weight < dist[at(e.to, next_layer)]) {
+          dist[at(e.to, next_layer)] = dx + e.weight;
+          parent_vertex[at(e.to, next_layer)] = x;
+          parent_layer[at(e.to, next_layer)] = layer;
         }
       }
     }

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/candidates.hpp"
@@ -80,6 +81,14 @@ class StrategyGraph {
   /// All edges, grouped by source vertex in processing order.
   [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
 
+  /// Out-edges of `from`, in ascending `to` order.  The materialized edge
+  /// list is the single representation Algorithm 1 and the capped DP relax
+  /// over; edgeWeight() exists only to build it (and for tests).
+  [[nodiscard]] std::span<const Edge> edgesFrom(std::size_t from) const {
+    return {edges_.data() + offsets_[from],
+            edges_.data() + offsets_[from + 1]};
+  }
+
   /// Edge weight helper (also used to enumerate paths in tests).
   /// `from`/`to` are vertex indices.  Returns +infinity for non-edges.
   [[nodiscard]] double edgeWeight(std::size_t from, std::size_t to) const;
@@ -90,6 +99,9 @@ class StrategyGraph {
   double rtt_source_ms_;
   StrategyGraphOptions options_;
   std::vector<Edge> edges_;
+  // CSR group boundaries: edges_[offsets_[v] .. offsets_[v+1]) leave v.
+  // Size numVertices() + 1; the source vertex S has an empty group.
+  std::vector<std::size_t> offsets_;
 };
 
 /// A computed recovery strategy: the prioritized peer list (request order)

@@ -7,39 +7,80 @@
 #include <string>
 #include <utility>
 
+#include "util/thread_pool.hpp"
+
 namespace rmrn::net {
 
 namespace {
+
 constexpr DelayMs kInf = std::numeric_limits<DelayMs>::infinity();
-}  // namespace
 
-Routing::Routing(const Graph& g) : n_(g.numNodes()) {
-  dist_.assign(n_ * n_, kInf);
-  pred_.assign(n_ * n_, kInvalidNode);
-
+void dijkstraFrom(const Graph& g, NodeId src, DelayMs* dist, NodeId* pred) {
   using QueueEntry = std::pair<DelayMs, NodeId>;
-  for (NodeId src = 0; src < n_; ++src) {
-    DelayMs* dist = &dist_[static_cast<std::size_t>(src) * n_];
-    NodeId* pred = &pred_[static_cast<std::size_t>(src) * n_];
-    dist[src] = 0.0;
-
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>>
-        queue;
-    queue.push({0.0, src});
-    while (!queue.empty()) {
-      const auto [d, v] = queue.top();
-      queue.pop();
-      if (d > dist[v]) continue;  // stale entry
-      for (const HalfEdge& e : g.neighbors(v)) {
-        const DelayMs nd = d + e.delay;
-        if (nd < dist[e.to]) {
-          dist[e.to] = nd;
-          pred[e.to] = v;
-          queue.push({nd, e.to});
-        }
+  dist[src] = 0.0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push({0.0, src});
+  while (!queue.empty()) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[v]) continue;  // stale entry
+    for (const HalfEdge& e : g.neighbors(v)) {
+      const DelayMs nd = d + e.delay;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        pred[e.to] = v;
+        queue.push({nd, e.to});
       }
     }
+  }
+}
+
+}  // namespace
+
+Routing::Routing(const Graph& g, unsigned num_threads) : n_(g.numNodes()) {
+  build(g, {}, num_threads);
+}
+
+Routing::Routing(const Graph& g, std::span<const NodeId> sources,
+                 unsigned num_threads)
+    : n_(g.numNodes()) {
+  build(g, sources, num_threads);
+}
+
+void Routing::build(const Graph& g, std::span<const NodeId> sources,
+                    unsigned num_threads) {
+  rows_ = sources.empty() ? n_ : sources.size();
+  if (!sources.empty()) {
+    row_of_.assign(n_, kNoRow);
+    for (std::size_t row = 0; row < sources.size(); ++row) {
+      const NodeId src = sources[row];
+      if (src >= n_) {
+        throw std::invalid_argument("Routing: source " + std::to_string(src) +
+                                    " out of range");
+      }
+      if (row_of_[src] != kNoRow) {
+        throw std::invalid_argument("Routing: duplicate source " +
+                                    std::to_string(src));
+      }
+      row_of_[src] = row;
+    }
+  }
+  dist_.assign(rows_ * n_, kInf);
+  pred_.assign(rows_ * n_, kInvalidNode);
+
+  const auto run_row = [&](std::size_t row) {
+    const NodeId src =
+        sources.empty() ? static_cast<NodeId>(row) : sources[row];
+    dijkstraFrom(g, src, &dist_[row * n_], &pred_[row * n_]);
+  };
+  const unsigned threads = util::resolveThreadCount(num_threads);
+  if (threads <= 1 || rows_ <= 1) {
+    for (std::size_t row = 0; row < rows_; ++row) run_row(row);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallelFor(0, rows_, run_row);
   }
 }
 
@@ -50,20 +91,31 @@ void Routing::checkNode(NodeId v) const {
   }
 }
 
+std::size_t Routing::rowOf(NodeId src) const {
+  checkNode(src);
+  if (row_of_.empty()) return src;
+  const std::size_t row = row_of_[src];
+  if (row == kNoRow) {
+    throw std::out_of_range("Routing: no table row for source " +
+                            std::to_string(src) + " (sparse mode)");
+  }
+  return row;
+}
+
 DelayMs Routing::distance(NodeId a, NodeId b) const {
-  checkNode(a);
+  const std::size_t row = rowOf(a);
   checkNode(b);
-  return dist_[static_cast<std::size_t>(a) * n_ + b];
+  return dist_[row * n_ + b];
 }
 
 DelayMs Routing::rtt(NodeId a, NodeId b) const { return 2.0 * distance(a, b); }
 
 std::vector<NodeId> Routing::path(NodeId a, NodeId b) const {
-  checkNode(a);
+  const std::size_t row = rowOf(a);
   checkNode(b);
-  if (dist_[static_cast<std::size_t>(a) * n_ + b] == kInf) return {};
+  if (dist_[row * n_ + b] == kInf) return {};
   std::vector<NodeId> result;
-  const NodeId* pred = &pred_[static_cast<std::size_t>(a) * n_];
+  const NodeId* pred = &pred_[row * n_];
   for (NodeId cur = b; cur != kInvalidNode; cur = pred[cur]) {
     result.push_back(cur);
     if (cur == a) break;
@@ -73,15 +125,15 @@ std::vector<NodeId> Routing::path(NodeId a, NodeId b) const {
 }
 
 NodeId Routing::nextHop(NodeId from, NodeId to) const {
-  checkNode(from);
+  const std::size_t row = rowOf(from);
   checkNode(to);
   if (from == to) return kInvalidNode;
-  if (dist_[static_cast<std::size_t>(from) * n_ + to] == kInf) {
+  if (dist_[row * n_ + to] == kInf) {
     return kInvalidNode;
   }
   // Walk predecessors from `to` back until the node whose predecessor is
   // `from`.
-  const NodeId* pred = &pred_[static_cast<std::size_t>(from) * n_];
+  const NodeId* pred = &pred_[row * n_];
   NodeId cur = to;
   while (pred[cur] != from) cur = pred[cur];
   return cur;

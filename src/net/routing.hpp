@@ -2,12 +2,23 @@
 //
 // The paper (§3.1) assumes link-state routing (OSPF) with link delay as link
 // cost, so that round-trip times between peers can be read off the routing
-// tables.  We implement that: all-pairs shortest paths over expected link
-// delays via one Dijkstra run per source, with next-hop extraction so the
-// simulator can forward packets hop by hop.
+// tables.  We implement that: shortest paths over expected link delays via
+// one Dijkstra run per source, with next-hop extraction so the simulator can
+// forward packets hop by hop.
+//
+// Two table shapes are supported:
+//   * dense  — one row per graph node (all-pairs), what the simulator's
+//     hop-by-hop forwarding needs;
+//   * sparse — rows only for a caller-supplied source set.  The planner only
+//     ever queries client->anything and never router->router, so planning a
+//     k-client topology needs k+1 Dijkstra runs instead of n.
+// Rows are disjoint, so they are filled in parallel when num_threads != 1
+// (0 = hardware concurrency); the tables are bit-identical to a sequential
+// build regardless of the thread count.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -17,8 +28,16 @@ namespace rmrn::net {
 
 class Routing {
  public:
-  /// Runs Dijkstra from every node of `g`.  O(n * (m + n) log n).
-  explicit Routing(const Graph& g);
+  /// Dense mode: runs Dijkstra from every node of `g`.
+  /// O(n * (m + n) log n) work spread over `num_threads` threads.
+  explicit Routing(const Graph& g, unsigned num_threads = 1);
+
+  /// Sparse mode: runs Dijkstra only from `sources` (an empty span means
+  /// every node, i.e. dense).  Queries whose first argument is not in
+  /// `sources` throw std::out_of_range.  Throws std::invalid_argument on
+  /// duplicate or out-of-range sources.
+  Routing(const Graph& g, std::span<const NodeId> sources,
+          unsigned num_threads = 1);
 
   /// One-way expected delay of the shortest path a -> b.  Infinity when
   /// unreachable; 0 when a == b.
@@ -38,11 +57,28 @@ class Routing {
 
   [[nodiscard]] std::size_t numNodes() const { return n_; }
 
+  /// Number of materialized source rows (numNodes() in dense mode).
+  [[nodiscard]] std::size_t numRows() const { return rows_; }
+
+  /// True when queries from `v` (distance/rtt/path/nextHop first argument)
+  /// are answerable, i.e. dense mode or v in the sparse source set.
+  [[nodiscard]] bool hasSourceRow(NodeId v) const {
+    return v < n_ && (row_of_.empty() || row_of_[v] != kNoRow);
+  }
+
  private:
+  static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+
+  void build(const Graph& g, std::span<const NodeId> sources,
+             unsigned num_threads);
   void checkNode(NodeId v) const;
+  [[nodiscard]] std::size_t rowOf(NodeId src) const;
 
   std::size_t n_ = 0;
-  // Row-major [source][node] tables.
+  std::size_t rows_ = 0;
+  // NodeId -> row index; empty in dense mode (identity mapping).
+  std::vector<std::size_t> row_of_;
+  // Row-major [row][node] tables.
   std::vector<DelayMs> dist_;
   std::vector<NodeId> pred_;  // predecessor of node on the path from source
 };

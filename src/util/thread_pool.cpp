@@ -1,0 +1,91 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rmrn::util {
+
+unsigned resolveThreadCount(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_workers_(resolveThreadCount(num_threads) - 1) {
+  workers_.reserve(num_workers_);
+  for (unsigned t = 0; t < num_workers_; ++t) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (num_workers_ == 0 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  end_ = end;
+  // Chunks small enough to balance uneven iterations, large enough that the
+  // claim counter stays cold.
+  chunk_ = std::max<std::size_t>(
+      1, count / (static_cast<std::size_t>(num_workers_ + 1) * 8));
+  next_.store(begin, std::memory_order_relaxed);
+  error_ = nullptr;
+  active_ = num_workers_;
+  ++job_id_;
+  lock.unlock();
+
+  job_cv_.notify_all();
+  runChunks();  // the caller is a lane too
+
+  lock.lock();
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    job_cv_.wait(lock, [&] { return stopping_ || job_id_ != seen; });
+    if (stopping_) return;
+    seen = job_id_;
+    lock.unlock();
+    runChunks();
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::runChunks() {
+  for (;;) {
+    const std::size_t start = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (start >= end_) return;
+    const std::size_t stop = std::min(end_, start + chunk_);
+    try {
+      for (std::size_t i = start; i < stop; ++i) (*fn_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      next_.store(end_, std::memory_order_relaxed);  // abandon the rest
+      return;
+    }
+  }
+}
+
+}  // namespace rmrn::util

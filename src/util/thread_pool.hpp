@@ -1,0 +1,72 @@
+// Fixed-size worker pool with a blocking parallelFor primitive.
+//
+// The control plane's heavy loops (per-source Dijkstra in net::Routing,
+// per-client planning in core::RpPlanner) are embarrassingly parallel: every
+// iteration writes a disjoint, pre-sized slot.  parallelFor partitions the
+// index range into chunks claimed off an atomic counter, so callers get
+// bit-identical results regardless of the thread count as long as the body
+// only writes its own slot.  std::thread only — no external dependencies.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmrn::util {
+
+/// Resolves a user-facing thread-count setting: 0 means "use the hardware",
+/// i.e. std::thread::hardware_concurrency() (at least 1).
+[[nodiscard]] unsigned resolveThreadCount(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `resolveThreadCount(num_threads) - 1` workers; the caller's
+  /// thread participates in every parallelFor, so `size()` execution lanes
+  /// are available in total.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the calling thread).
+  [[nodiscard]] unsigned size() const { return num_workers_ + 1; }
+
+  /// Runs fn(i) for every i in [begin, end) across all lanes and blocks
+  /// until done.  fn must be safe to call concurrently for distinct i; the
+  /// assignment of indices to threads is unspecified.  The first exception
+  /// thrown by fn is rethrown here (remaining chunks are abandoned).
+  /// Not reentrant: fn must not call parallelFor on the same pool.
+  void parallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+  void runChunks();
+
+  unsigned num_workers_ = 0;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // workers: a new job is posted
+  std::condition_variable done_cv_;  // caller: all workers left the job
+  std::uint64_t job_id_ = 0;
+  unsigned active_ = 0;  // workers still inside the current job
+  bool stopping_ = false;
+
+  // Current job; written under mutex_ before job_id_ is bumped, read-only
+  // until the caller observes active_ == 0.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t end_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace rmrn::util

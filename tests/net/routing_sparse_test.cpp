@@ -1,0 +1,126 @@
+// Sparse-mode and multithreaded Routing must agree exactly with the dense
+// sequential tables: rows are independent deterministic Dijkstra runs, so
+// distance, path and nextHop answers are bit-identical however the tables
+// were built.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::net {
+namespace {
+
+class RoutingEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Topology makeTopology(std::uint64_t seed) {
+    util::Rng rng(seed);
+    TopologyConfig config;
+    config.num_nodes = 70;
+    return generateTopology(config, rng);
+  }
+};
+
+TEST_P(RoutingEquivalenceTest, SparseMatchesDenseOnRandomGraphs) {
+  const Topology topo = makeTopology(GetParam());
+  const Routing dense(topo.graph);
+
+  std::vector<NodeId> sources = topo.clients;
+  sources.push_back(topo.source);
+  const Routing sparse(topo.graph, sources);
+
+  EXPECT_EQ(sparse.numNodes(), dense.numNodes());
+  EXPECT_EQ(sparse.numRows(), sources.size());
+  for (const NodeId a : sources) {
+    ASSERT_TRUE(sparse.hasSourceRow(a));
+    for (NodeId b = 0; b < topo.graph.numNodes(); ++b) {
+      EXPECT_EQ(sparse.distance(a, b), dense.distance(a, b))
+          << a << " -> " << b;
+      EXPECT_EQ(sparse.rtt(a, b), dense.rtt(a, b));
+      EXPECT_EQ(sparse.path(a, b), dense.path(a, b));
+      EXPECT_EQ(sparse.nextHop(a, b), dense.nextHop(a, b));
+    }
+  }
+}
+
+TEST_P(RoutingEquivalenceTest, ParallelBuildMatchesSequential) {
+  const Topology topo = makeTopology(GetParam());
+  const Routing sequential(topo.graph, 1u);
+  const Routing parallel(topo.graph, 4u);
+  for (NodeId a = 0; a < topo.graph.numNodes(); ++a) {
+    for (NodeId b = 0; b < topo.graph.numNodes(); ++b) {
+      EXPECT_EQ(parallel.distance(a, b), sequential.distance(a, b));
+      EXPECT_EQ(parallel.nextHop(a, b), sequential.nextHop(a, b));
+    }
+  }
+}
+
+TEST_P(RoutingEquivalenceTest, SparseParallelMatchesSparseSequential) {
+  const Topology topo = makeTopology(GetParam());
+  std::vector<NodeId> sources = topo.clients;
+  sources.push_back(topo.source);
+  const Routing sequential(topo.graph, sources, 1u);
+  const Routing parallel(topo.graph, sources, 4u);
+  for (const NodeId a : sources) {
+    for (NodeId b = 0; b < topo.graph.numNodes(); ++b) {
+      EXPECT_EQ(parallel.distance(a, b), sequential.distance(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingEquivalenceTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(RoutingSparseTest, QueriesOutsideSourceSetThrow) {
+  util::Rng rng(9);
+  TopologyConfig config;
+  config.num_nodes = 30;
+  const Topology topo = generateTopology(config, rng);
+  std::vector<NodeId> sources = topo.clients;
+  const Routing sparse(topo.graph, sources);
+
+  NodeId non_source = kInvalidNode;
+  for (NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    if (!sparse.hasSourceRow(v)) {
+      non_source = v;
+      break;
+    }
+  }
+  ASSERT_NE(non_source, kInvalidNode);
+  EXPECT_THROW((void)sparse.distance(non_source, sources.front()),
+               std::out_of_range);
+  EXPECT_THROW((void)sparse.path(non_source, sources.front()),
+               std::out_of_range);
+  EXPECT_THROW((void)sparse.nextHop(non_source, sources.front()),
+               std::out_of_range);
+  // The second argument may be any node.
+  EXPECT_NO_THROW((void)sparse.distance(sources.front(), non_source));
+}
+
+TEST(RoutingSparseTest, RejectsBadSourceSets) {
+  util::Rng rng(10);
+  TopologyConfig config;
+  config.num_nodes = 20;
+  const Topology topo = generateTopology(config, rng);
+  const std::vector<NodeId> duplicated{1, 2, 1};
+  EXPECT_THROW(Routing(topo.graph, duplicated), std::invalid_argument);
+  const std::vector<NodeId> out_of_range{1, 999};
+  EXPECT_THROW(Routing(topo.graph, out_of_range), std::invalid_argument);
+}
+
+TEST(RoutingSparseTest, EmptySourceSpanMeansDense) {
+  util::Rng rng(11);
+  TopologyConfig config;
+  config.num_nodes = 15;
+  const Topology topo = generateTopology(config, rng);
+  const Routing dense(topo.graph, std::span<const NodeId>{});
+  EXPECT_EQ(dense.numRows(), topo.graph.numNodes());
+  for (NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    EXPECT_TRUE(dense.hasSourceRow(v));
+  }
+}
+
+}  // namespace
+}  // namespace rmrn::net
