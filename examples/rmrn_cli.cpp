@@ -24,6 +24,13 @@
 //                     [--lossy-recovery]
 //       Run a reliable file transfer and report per-client completion.
 //
+//   rmrn_cli audit [--topo file.topo | --nodes N --seed S]
+//                  [--timeout-factor F] [--threads T] [--json]
+//       Plan every client, then referee the plans with core::PlanAuditor
+//       (independent Eqs. 1-3 delay recomputation + Lemma 4-5 list checks).
+//       Prints the violation report (or JSON with --json, for CI gating);
+//       exit 0 when clean, 1 when any violation is found.
+//
 //   rmrn_cli config [--out file]
 //       Print (or write) a complete default experiment config to edit.
 #include <algorithm>
@@ -31,6 +38,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "core/auditor.hpp"
 #include "core/planner.hpp"
 #include "harness/config_io.hpp"
 #include "harness/csv.hpp"
@@ -45,7 +53,8 @@ namespace {
 using namespace rmrn;
 
 int usage() {
-  std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|config> [--flags]\n"
+  std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|audit|config> "
+               "[--flags]\n"
                "  see the header comment of examples/rmrn_cli.cpp\n";
   return 2;
 }
@@ -126,6 +135,53 @@ int cmdPlan(const util::Flags& flags) {
     for (const net::NodeId u : topo.clients) show(u);
   }
   return 0;
+}
+
+int cmdAudit(const util::Flags& flags) {
+  const std::string path = flags.getString("topo", "");
+  const auto nodes =
+      static_cast<std::uint32_t>(flags.getUnsigned("nodes", 100));
+  const std::uint64_t seed = flags.getUnsigned("seed", 1);
+  const double factor = flags.getDouble("timeout-factor", 1.5);
+  const auto threads = static_cast<unsigned>(flags.getUnsigned("threads", 0));
+  const bool json = flags.getBool("json", false);
+  if (const int rc = failUnknownFlags(flags)) return rc;
+
+  net::Topology topo;
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "audit: cannot open " << path << "\n";
+      return 1;
+    }
+    topo = net::readTopology(in);
+  } else {
+    util::Rng rng(seed);
+    net::TopologyConfig config;
+    config.num_nodes = nodes;
+    topo = net::generateTopology(config, rng);
+  }
+
+  std::vector<net::NodeId> route_sources = topo.clients;
+  route_sources.push_back(topo.source);
+  const net::Routing routing(topo.graph, route_sources, threads);
+  core::PlannerOptions options;
+  options.per_peer_timeout_factor = factor;
+  options.num_threads = threads;
+  const core::RpPlanner planner(topo, routing, options);
+
+  const core::PlanAuditor auditor(topo, routing);
+  const core::AuditReport report = auditor.auditPlanner(planner);
+  if (json) {
+    core::writeReportJson(std::cout, report);
+  } else {
+    std::cout << report.summary();
+    if (report.ok()) {
+      std::cout << "all plans lemma-valid; reported delays match the "
+                   "independent Eq. 2/3 recomputation\n";
+    }
+  }
+  return report.ok() ? 0 : 1;
 }
 
 std::vector<harness::ProtocolKind> parseProtocols(const std::string& list) {
@@ -287,6 +343,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmdPlan(flags);
     if (command == "run") return cmdRun(flags);
     if (command == "transfer") return cmdTransfer(flags);
+    if (command == "audit") return cmdAudit(flags);
     if (command == "config") return cmdConfig(flags);
     return usage();
   } catch (const std::exception& e) {

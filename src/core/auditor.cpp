@@ -1,0 +1,397 @@
+#include "core/auditor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rmrn::core {
+
+std::string_view toString(ViolationCode code) {
+  switch (code) {
+    case ViolationCode::kPeerNotInTree:
+      return "peer-not-in-tree";
+    case ViolationCode::kPeerIsSelf:
+      return "peer-is-self";
+    case ViolationCode::kSourceOnList:
+      return "source-on-list";
+    case ViolationCode::kPeerNotAClient:
+      return "peer-not-a-client";
+    case ViolationCode::kExcludedPeerOnList:
+      return "excluded-peer-on-list";
+    case ViolationCode::kUselessPeer:
+      return "useless-peer";
+    case ViolationCode::kDsMismatch:
+      return "ds-mismatch";
+    case ViolationCode::kRttMismatch:
+      return "rtt-mismatch";
+    case ViolationCode::kDsNotDescending:
+      return "ds-not-descending";
+    case ViolationCode::kDuplicateCompetitiveClass:
+      return "duplicate-competitive-class";
+    case ViolationCode::kNotMinRttInClass:
+      return "not-min-rtt-in-class";
+    case ViolationCode::kListTooLong:
+      return "list-too-long";
+    case ViolationCode::kEmptyListForbidden:
+      return "empty-list-forbidden";
+    case ViolationCode::kDelayMismatch:
+      return "delay-mismatch";
+    case ViolationCode::kSuboptimalVsSource:
+      return "suboptimal-vs-source";
+  }
+  return "?";
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream out;
+  out << "audit: " << clients_checked << " client(s) checked, "
+      << violations.size() << " violation(s)\n";
+  for (const Violation& v : violations) {
+    out << "  [" << toString(v.code) << "] client " << v.client;
+    if (v.peer != net::kInvalidNode) out << " peer " << v.peer;
+    if (!v.detail.empty()) out << ": " << v.detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void writeJsonString(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void writeReportJson(std::ostream& out, const AuditReport& report) {
+  out << "{\"ok\":" << (report.ok() ? "true" : "false")
+      << ",\"clients_checked\":" << report.clients_checked
+      << ",\"violations\":[";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& v = report.violations[i];
+    if (i) out << ',';
+    out << "{\"code\":";
+    writeJsonString(out, toString(v.code));
+    out << ",\"client\":" << v.client;
+    out << ",\"peer\":";
+    if (v.peer == net::kInvalidNode) {
+      out << "null";
+    } else {
+      out << v.peer;
+    }
+    out << ",\"expected\":" << v.expected << ",\"actual\":" << v.actual;
+    out << ",\"detail\":";
+    writeJsonString(out, v.detail);
+    out << '}';
+  }
+  out << "]}\n";
+}
+
+AuditOptions AuditOptions::fromPlanner(const RpPlanner& planner) {
+  const PlannerOptions& po = planner.options();
+  AuditOptions audit;
+  audit.timeout_ms = planner.timeoutMs();
+  audit.per_peer_timeout_factor = po.per_peer_timeout_factor;
+  audit.min_timeout_ms = po.min_timeout_ms;
+  audit.cost_model = po.cost_model;
+  audit.allow_direct_source = po.allow_direct_source;
+  audit.max_list_length = po.max_list_length;
+  audit.excluded_peers = po.excluded_peers;
+  return audit;
+}
+
+PlanAuditor::PlanAuditor(const net::Topology& topology,
+                         const net::Routing& routing)
+    : topo_(topology), routing_(routing) {
+  if (!topology.tree.contains(topology.source)) {
+    throw std::invalid_argument("PlanAuditor: source not in tree");
+  }
+}
+
+net::NodeId PlanAuditor::commonRouterByWalk(net::NodeId a,
+                                            net::NodeId b) const {
+  const net::MulticastTree& tree = topo_.tree;
+  net::HopCount da = tree.depth(a);
+  net::HopCount db = tree.depth(b);
+  while (da > db) {
+    a = tree.parent(a);
+    --da;
+  }
+  while (db > da) {
+    b = tree.parent(b);
+    --db;
+  }
+  while (a != b) {
+    a = tree.parent(a);
+    b = tree.parent(b);
+  }
+  return a;
+}
+
+double PlanAuditor::recomputeDelay(net::NodeId client,
+                                   std::span<const Candidate> peers,
+                                   const AuditOptions& options) const {
+  const net::MulticastTree& tree = topo_.tree;
+  if (!tree.contains(client)) {
+    throw std::invalid_argument("recomputeDelay: client not in tree");
+  }
+  const auto ds_u = static_cast<double>(tree.depth(client));
+  if (ds_u <= 0.0) {
+    throw std::invalid_argument("recomputeDelay: client at the root");
+  }
+
+  // Eq. 2 from scratch.  The loss is uniform over the `window` links nearest
+  // the source on u's root path; a peer sharing the first ds_j of them has
+  // the packet with probability (window - ds_j) / window (Lemma 1
+  // generalized; zero for out-of-order entries, Lemma 2), and each failure
+  // shrinks the window to min(window, ds_j).
+  double window = ds_u;
+  double reach = 1.0;  // P(all previous requests failed | u lost the packet)
+  double delay = 0.0;
+  for (const Candidate& c : peers) {
+    if (!tree.contains(c.peer)) {
+      throw std::invalid_argument("recomputeDelay: peer not in tree");
+    }
+    const auto ds =
+        static_cast<double>(tree.depth(commonRouterByWalk(client, c.peer)));
+    const double p_success =
+        ds >= window ? 0.0 : (window - ds) / window;
+    const double rtt = routing_.rtt(client, c.peer);
+    const double timeout =
+        options.per_peer_timeout_factor > 0.0
+            ? std::max(options.min_timeout_ms,
+                       options.per_peer_timeout_factor * rtt)
+            : options.timeout_ms;
+    double cost = 0.0;  // Eq. 1: d(v_j) under the configured estimator
+    switch (options.cost_model) {
+      case CostModel::kExpected:
+        cost = rtt * p_success + timeout * (1.0 - p_success);
+        break;
+      case CostModel::kTimeoutOnly:
+        cost = timeout;
+        break;
+      case CostModel::kRttOnly:
+        cost = rtt;
+        break;
+    }
+    delay += reach * cost;
+    reach *= 1.0 - p_success;
+    window = std::min(window, ds);
+  }
+  // Source fallback: reach telescopes to DS_k / DS_u for a meaningful list
+  // (Lemma 3), recovering Eq. 3's final term.
+  delay += reach * routing_.rtt(client, topo_.source);
+  return delay;
+}
+
+void PlanAuditor::auditStrategyInto(net::NodeId client,
+                                    const Strategy& strategy,
+                                    const AuditOptions& options,
+                                    AuditReport& report) const {
+  const net::MulticastTree& tree = topo_.tree;
+  report.clients_checked += 1;
+  if (!tree.contains(client)) {
+    report.violations.push_back({ViolationCode::kPeerNotInTree, client,
+                                 client, 0.0, 0.0,
+                                 "strategy owner is not a tree member"});
+    return;
+  }
+  const net::HopCount ds_u = tree.depth(client);
+
+  const auto addViolation = [&](ViolationCode code, net::NodeId peer,
+                                double expected, double actual,
+                                std::string detail) {
+    report.violations.push_back(
+        {code, client, peer, expected, actual, std::move(detail)});
+  };
+
+  // Per-peer membership / identity / bookkeeping checks, collecting the
+  // independently recomputed DS values as we go.
+  std::vector<net::NodeId> routers;
+  std::vector<net::HopCount> recomputed_ds;
+  routers.reserve(strategy.peers.size());
+  recomputed_ds.reserve(strategy.peers.size());
+  bool structure_ok = true;
+  for (const Candidate& c : strategy.peers) {
+    if (c.peer == client) {
+      addViolation(ViolationCode::kPeerIsSelf, c.peer, 0.0, 0.0,
+                   "client lists itself as a recovery peer");
+      structure_ok = false;
+      continue;
+    }
+    if (c.peer == topo_.source) {
+      addViolation(ViolationCode::kSourceOnList, c.peer, 0.0, 0.0,
+                   "the source is the implicit fallback, never a list entry");
+      structure_ok = false;
+      continue;
+    }
+    if (!tree.contains(c.peer)) {
+      addViolation(ViolationCode::kPeerNotInTree, c.peer, 0.0, 0.0,
+                   "listed peer is not a multicast-tree member");
+      structure_ok = false;
+      continue;
+    }
+    if (!topo_.isClient(c.peer)) {
+      addViolation(ViolationCode::kPeerNotAClient, c.peer, 0.0, 0.0,
+                   "listed peer is not a protected client");
+    }
+    if (std::find(options.excluded_peers.begin(),
+                  options.excluded_peers.end(),
+                  c.peer) != options.excluded_peers.end()) {
+      addViolation(ViolationCode::kExcludedPeerOnList, c.peer, 0.0, 0.0,
+                   "peer was excluded from serving via PlannerOptions");
+    }
+    const net::NodeId router = commonRouterByWalk(client, c.peer);
+    if (router == client) {
+      addViolation(ViolationCode::kUselessPeer, c.peer, 0.0, 0.0,
+                   "peer lies in the client's own subtree: if the client "
+                   "lost the packet, so did the peer");
+      structure_ok = false;
+      continue;
+    }
+    const net::HopCount ds = tree.depth(router);
+    if (ds != c.ds) {
+      addViolation(ViolationCode::kDsMismatch, c.peer,
+                   static_cast<double>(ds), static_cast<double>(c.ds),
+                   "recorded DS disagrees with the first common router's "
+                   "recomputed depth");
+    }
+    const double rtt = routing_.rtt(client, c.peer);
+    if (rtt != c.rtt_ms) {
+      addViolation(ViolationCode::kRttMismatch, c.peer, rtt, c.rtt_ms,
+                   "recorded RTT disagrees with the routing tables");
+    }
+    routers.push_back(router);
+    recomputed_ds.push_back(ds);
+  }
+
+  // Lemma 5: strictly descending recomputed DS, everything below DS_u.
+  net::HopCount prev = ds_u;
+  for (std::size_t i = 0; i < recomputed_ds.size(); ++i) {
+    if (recomputed_ds[i] >= prev) {
+      addViolation(ViolationCode::kDsNotDescending,
+                   strategy.peers.size() == recomputed_ds.size()
+                       ? strategy.peers[i].peer
+                       : net::kInvalidNode,
+                   static_cast<double>(prev),
+                   static_cast<double>(recomputed_ds[i]),
+                   "Lemma 5: DS must be strictly descending below DS_u");
+    }
+    prev = recomputed_ds[i];
+  }
+
+  // Lemma 4 part 1: pairwise-distinct competitive classes (first common
+  // routers all lie on u's root path, so duplicates mean two same-class
+  // peers on one list).
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    for (std::size_t j = i + 1; j < routers.size(); ++j) {
+      if (routers[i] == routers[j]) {
+        addViolation(ViolationCode::kDuplicateCompetitiveClass,
+                     strategy.peers[j].peer, static_cast<double>(routers[i]),
+                     static_cast<double>(routers[j]),
+                     "Lemma 4: two listed peers share a first common router");
+      }
+    }
+  }
+
+  // Lemma 4 part 2: each listed peer must be the cheapest member of its
+  // class among the eligible servers (strictly cheaper alternatives only —
+  // equal-RTT ties are equally optimal).
+  if (structure_ok) {
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      const net::NodeId listed = strategy.peers[i].peer;
+      const double listed_rtt = routing_.rtt(client, listed);
+      for (const net::NodeId w : topo_.clients) {
+        if (w == client || w == listed) continue;
+        if (std::find(options.excluded_peers.begin(),
+                      options.excluded_peers.end(),
+                      w) != options.excluded_peers.end()) {
+          continue;
+        }
+        if (commonRouterByWalk(client, w) != routers[i]) continue;
+        const double rtt = routing_.rtt(client, w);
+        if (rtt < listed_rtt) {
+          addViolation(ViolationCode::kNotMinRttInClass, listed, rtt,
+                       listed_rtt,
+                       "Lemma 4: client " + std::to_string(w) +
+                           " is a strictly cheaper member of the same "
+                           "competitive class");
+          break;  // one counterexample per listed peer suffices
+        }
+      }
+    }
+  }
+
+  // Restrictions.
+  if (strategy.peers.size() > options.max_list_length) {
+    addViolation(ViolationCode::kListTooLong, net::kInvalidNode,
+                 static_cast<double>(options.max_list_length),
+                 static_cast<double>(strategy.peers.size()),
+                 "restricted strategy exceeds max_list_length");
+  }
+  if (!options.allow_direct_source && strategy.peers.empty()) {
+    addViolation(ViolationCode::kEmptyListForbidden, net::kInvalidNode, 0.0,
+                 0.0,
+                 "direct source recovery is disabled but the list is empty");
+  }
+
+  // Eqs. 1-3: the reported delay must match the independent recomputation.
+  if (structure_ok) {
+    const double recomputed = recomputeDelay(client, strategy.peers, options);
+    const double tol =
+        options.delay_rel_tolerance * std::max(1.0, std::abs(recomputed));
+    if (!(std::abs(recomputed - strategy.expected_delay_ms) <= tol)) {
+      addViolation(ViolationCode::kDelayMismatch, net::kInvalidNode,
+                   recomputed, strategy.expected_delay_ms,
+                   "reported expected delay disagrees with the independent "
+                   "Eq. 2/3 evaluation");
+    }
+    // Optimality bound: with direct source recovery allowed, the empty list
+    // achieves exactly d(S), so no optimal plan may report worse.
+    const double direct = routing_.rtt(client, topo_.source);
+    if (options.allow_direct_source &&
+        strategy.expected_delay_ms > direct + tol) {
+      addViolation(ViolationCode::kSuboptimalVsSource, net::kInvalidNode,
+                   direct, strategy.expected_delay_ms,
+                   "reported delay is worse than the trivial direct-source "
+                   "plan");
+    }
+  }
+}
+
+AuditReport PlanAuditor::auditStrategy(net::NodeId client,
+                                       const Strategy& strategy,
+                                       const AuditOptions& options) const {
+  AuditReport report;
+  auditStrategyInto(client, strategy, options, report);
+  return report;
+}
+
+AuditReport PlanAuditor::auditPlanner(const RpPlanner& planner) const {
+  const AuditOptions options = AuditOptions::fromPlanner(planner);
+  AuditReport report;
+  for (const net::NodeId u : topo_.clients) {
+    auditStrategyInto(u, planner.strategyFor(u), options, report);
+  }
+  return report;
+}
+
+}  // namespace rmrn::core

@@ -1,0 +1,140 @@
+// PlanAuditor: an independent referee for emitted recovery plans.
+//
+// The planner proves its lists optimal via the strategy graph (Definition 1,
+// Algorithm 1); the auditor never touches that machinery.  It re-derives
+// every quantity from first principles — its own O(depth) parent-walk LCA
+// for the first common routers and DS depths, its own Lemma 1/Eq. 1
+// probability and cost arithmetic, its own Eq. 2 delay accumulation — and
+// checks each emitted prioritized list against the paper's lemmas:
+//
+//   * Lemma 4: at most one peer per competitive class (per first common
+//     router), and that peer must be the cheapest of its class;
+//   * Lemma 5: strictly descending DS, every DS below DS_u;
+//   * Eqs. 1-3: the reported expected delay matches an independent
+//     recomputation, including the DS_k/DS_u source-fallback term;
+//   * plan restrictions: list-length caps, excluded peers, the
+//     no-direct-source rule;
+//   * bookkeeping: recorded DS and RTT values agree with the tree and the
+//     routing tables.
+//
+// Violations come back as a structured report (one distinct code per failure
+// mode) rather than an exception, so CI can diff and gate on them; the
+// `rmrn_cli audit` subcommand prints the report as text or JSON, and
+// PlannerOptions::audit makes the planner referee itself at construction.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace rmrn::core {
+
+/// One code per distinct failure mode; the negative tests pin each code to
+/// the corruption that must trigger it.
+enum class ViolationCode {
+  kPeerNotInTree,             // listed peer is not a multicast-tree member
+  kPeerIsSelf,                // the client lists itself
+  kSourceOnList,              // the source is an implicit fallback, never a peer
+  kPeerNotAClient,            // listed peer is not a protected client
+  kExcludedPeerOnList,        // peer banned via PlannerOptions::excluded_peers
+  kUselessPeer,               // peer in u's own subtree: surely lost too
+  kDsMismatch,                // recorded DS != recomputed first-common-router depth
+  kRttMismatch,               // recorded RTT != routing-table RTT
+  kDsNotDescending,           // Lemma 5: DS not strictly descending below DS_u
+  kDuplicateCompetitiveClass, // Lemma 4: two peers share a first common router
+  kNotMinRttInClass,          // Lemma 4: a strictly cheaper class member exists
+  kListTooLong,               // restricted list exceeds max_list_length
+  kEmptyListForbidden,        // allow_direct_source off but the list is empty
+  kDelayMismatch,             // reported delay != independent Eq. 2/3 value
+  kSuboptimalVsSource,        // reported delay beats^-1 the trivial [S] plan
+};
+
+[[nodiscard]] std::string_view toString(ViolationCode code);
+
+struct Violation {
+  ViolationCode code = ViolationCode::kDelayMismatch;
+  net::NodeId client = net::kInvalidNode;
+  /// The offending peer, when one exists (kInvalidNode for list-level codes).
+  net::NodeId peer = net::kInvalidNode;
+  /// Numeric context (recomputed vs reported value) when relevant.
+  double expected = 0.0;
+  double actual = 0.0;
+  std::string detail;
+};
+
+struct AuditReport {
+  std::size_t clients_checked = 0;
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Multi-line human-readable report (one line per violation).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Machine-readable form for CI gating:
+/// {"ok":…,"clients_checked":…,"violations":[{…},…]}.
+void writeReportJson(std::ostream& out, const AuditReport& report);
+
+/// The plan parameters the audit must honour — a deliberate copy of the
+/// relevant PlannerOptions fields so a report can also be produced for
+/// hand-built lists in tests.
+struct AuditOptions {
+  double timeout_ms = 0.0;  // the resolved t_0 (after planner defaulting)
+  double per_peer_timeout_factor = 0.0;
+  double min_timeout_ms = 1.0;
+  CostModel cost_model = CostModel::kExpected;
+  bool allow_direct_source = true;
+  std::size_t max_list_length = std::numeric_limits<std::size_t>::max();
+  std::vector<net::NodeId> excluded_peers;
+  /// Relative tolerance for the delay comparison: Algorithm 1 and the
+  /// auditor accumulate the same sum in different association orders.
+  double delay_rel_tolerance = 1e-6;
+
+  [[nodiscard]] static AuditOptions fromPlanner(const RpPlanner& planner);
+};
+
+class PlanAuditor {
+ public:
+  /// The topology and routing must outlive the auditor.  `routing` may be
+  /// sparse as long as it has rows for every client.
+  PlanAuditor(const net::Topology& topology, const net::Routing& routing);
+
+  /// Audits every client's strategy of a finished planner.
+  [[nodiscard]] AuditReport auditPlanner(const RpPlanner& planner) const;
+
+  /// Audits one (possibly hand-built) strategy for `client`.
+  [[nodiscard]] AuditReport auditStrategy(net::NodeId client,
+                                          const Strategy& strategy,
+                                          const AuditOptions& options) const;
+
+  /// Same, appending to an existing report (used by auditPlanner).
+  void auditStrategyInto(net::NodeId client, const Strategy& strategy,
+                         const AuditOptions& options,
+                         AuditReport& report) const;
+
+  /// Independent Eq. 2 evaluation of a peer list for `client`: DS values
+  /// from the auditor's own LCA walk, RTTs from the routing tables, Lemma 1
+  /// success probabilities and Eq. 1 request costs re-derived in place.
+  /// Handles arbitrary-order lists via the generalized loss window.
+  [[nodiscard]] double recomputeDelay(net::NodeId client,
+                                      std::span<const Candidate> peers,
+                                      const AuditOptions& options) const;
+
+ private:
+  /// First common router of a and b by simultaneous parent walk — the
+  /// auditor's own LCA, sharing no code with net::LcaIndex.
+  [[nodiscard]] net::NodeId commonRouterByWalk(net::NodeId a,
+                                               net::NodeId b) const;
+
+  const net::Topology& topo_;
+  const net::Routing& routing_;
+};
+
+}  // namespace rmrn::core

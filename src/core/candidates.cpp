@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace rmrn::core {
 
 namespace {
@@ -81,6 +83,12 @@ std::vector<Candidate> selectImpl(net::NodeId u, const net::MulticastTree& tree,
   std::vector<Candidate> result;
   for (net::HopCount ds = depth_u; ds-- > 0;) {  // strictly descending DS
     if (best[ds].peer != net::kInvalidNode) result.push_back(best[ds]);
+  }
+  // Lemma 5 postcondition: one candidate per competitive class, strictly
+  // descending DS, all below DS_u.
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    RMRN_ENSURE(result[i].ds < (i == 0 ? depth_u : result[i - 1].ds),
+                "candidate list must be strictly descending in DS below DS_u");
   }
   return result;
 }

@@ -1,9 +1,12 @@
 #include "core/planner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "core/auditor.hpp"
 #include "net/lca.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rmrn::core {
@@ -75,8 +78,21 @@ RpPlanner::RpPlanner(const net::Topology& topology,
   strategies_.reserve(k);
   candidates_.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
+    const Strategy& s = slots[i].strategy;
+    RMRN_ENSURE(std::isfinite(s.expected_delay_ms) &&
+                    s.expected_delay_ms >= 0.0,
+                "planner: emitted delay must be finite and non-negative");
     strategies_.emplace(clients[i], std::move(slots[i].strategy));
     candidates_.emplace(clients[i], std::move(slots[i].candidates));
+  }
+
+  if (options_.audit) {
+    const PlanAuditor auditor(topology, routing);
+    const AuditReport report = auditor.auditPlanner(*this);
+    if (!report.ok()) {
+      throw std::logic_error("RpPlanner: plan audit failed\n" +
+                             report.summary());
+    }
   }
 }
 

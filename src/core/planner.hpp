@@ -36,6 +36,11 @@ struct PlannerOptions {
   /// slots, so the result is bit-identical for every thread count.  Runtime
   /// tuning only — deliberately not part of the experiment config files.
   unsigned num_threads = 1;
+  /// When true, every emitted plan is refereed by core::PlanAuditor (an
+  /// independent Eqs. 1-3 / Lemmas 4-5 recomputation sharing no code with
+  /// the planning path) before the constructor returns; any violation
+  /// throws std::logic_error carrying the full report.
+  bool audit = false;
 };
 
 class RpPlanner {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/loss_model.hpp"
+#include "util/check.hpp"
 
 namespace rmrn::core {
 
@@ -194,8 +195,19 @@ Strategy cappedShortestPath(const StrategyGraph& graph,
 Strategy searchMinimalDelay(const StrategyGraph& graph) {
   const std::size_t n = graph.candidates().size();
   const std::size_t max_peers = graph.options().max_list_length;
-  if (max_peers >= n) return unrestrictedShortestPath(graph);
-  return cappedShortestPath(graph, max_peers);
+  Strategy result = max_peers >= n ? unrestrictedShortestPath(graph)
+                                   : cappedShortestPath(graph, max_peers);
+  RMRN_ENSURE(std::isfinite(result.expected_delay_ms) &&
+                  result.expected_delay_ms >= 0.0,
+              "strategy delay must be finite and non-negative");
+  for (std::size_t i = 0; i < result.peers.size(); ++i) {
+    RMRN_ENSURE(
+        result.peers[i].ds < (i == 0 ? graph.dsU() : result.peers[i - 1].ds),
+        "Lemma 5: optimal strategy must be strictly descending in DS");
+  }
+  RMRN_ENSURE(result.peers.size() <= max_peers,
+              "restricted strategy exceeds its peer budget");
+  return result;
 }
 
 Strategy bruteForceMinimalDelay(net::HopCount ds_u,

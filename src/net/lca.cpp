@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "util/check.hpp"
+
 namespace rmrn::net {
 
 LcaIndex::LcaIndex(const MulticastTree& tree) : tree_(tree) {
@@ -37,6 +39,8 @@ NodeId LcaIndex::ancestor(NodeId v, HopCount steps) const {
 }
 
 NodeId LcaIndex::lca(NodeId a, NodeId b) const {
+  [[maybe_unused]] const NodeId orig_a = a;
+  [[maybe_unused]] const NodeId orig_b = b;
   HopCount da = tree_.depth(a);
   const HopCount db = tree_.depth(b);
   // Lift the deeper node to the shallower one's depth.
@@ -46,7 +50,11 @@ NodeId LcaIndex::lca(NodeId a, NodeId b) const {
   } else if (db > da) {
     b = ancestor(b, db - da);
   }
-  if (a == b) return a;
+  if (a == b) {
+    RMRN_AUDIT_CHECK(a == tree_.firstCommonRouter(orig_a, orig_b),
+                     "LCA index disagrees with the O(depth) parent walk");
+    return a;
+  }
   for (std::size_t l = levels_; l-- > 0;) {
     const NodeId ua = up_[l][tree_.memberIndex(a)];
     const NodeId ub = up_[l][tree_.memberIndex(b)];
@@ -55,7 +63,10 @@ NodeId LcaIndex::lca(NodeId a, NodeId b) const {
       b = ub;
     }
   }
-  return up_[0][tree_.memberIndex(a)];
+  const NodeId result = up_[0][tree_.memberIndex(a)];
+  RMRN_AUDIT_CHECK(result == tree_.firstCommonRouter(orig_a, orig_b),
+                   "LCA index disagrees with the O(depth) parent walk");
+  return result;
 }
 
 HopCount LcaIndex::lcaDepth(NodeId a, NodeId b) const {

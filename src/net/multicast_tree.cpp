@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/check.hpp"
+
 namespace rmrn::net {
 
 MulticastTree::MulticastTree(NodeId root, std::vector<NodeId> parent)
@@ -69,6 +71,18 @@ MulticastTree::MulticastTree(NodeId root, std::vector<NodeId> parent)
           "MulticastTree: member node has non-member parent");
     }
   }
+
+  // Parent/depth consistency: every non-root member hangs one hop below a
+  // member parent — the DS arithmetic of Lemmas 1-5 rides on these depths.
+  for (const NodeId v : members_) {
+    if (v == root_) {
+      RMRN_ENSURE(depth_[v] == 0, "tree: root must have depth 0");
+      continue;
+    }
+    RMRN_ENSURE(member_[parent_[v]], "tree: member parent must be a member");
+    RMRN_ENSURE(depth_[v] == depth_[parent_[v]] + 1,
+                "tree: depth must be parent depth + 1");
+  }
 }
 
 void MulticastTree::checkMember(NodeId v) const {
@@ -100,6 +114,8 @@ HopCount MulticastTree::depth(NodeId v) const {
 NodeId MulticastTree::firstCommonRouter(NodeId a, NodeId b) const {
   checkMember(a);
   checkMember(b);
+  [[maybe_unused]] const NodeId orig_a = a;
+  [[maybe_unused]] const NodeId orig_b = b;
   while (a != b) {
     if (depth_[a] >= depth_[b]) {
       a = parent_[a];
@@ -107,6 +123,8 @@ NodeId MulticastTree::firstCommonRouter(NodeId a, NodeId b) const {
       b = parent_[b];
     }
   }
+  RMRN_AUDIT_CHECK(isAncestor(a, orig_a) && isAncestor(a, orig_b),
+                   "first common router must be an ancestor of both nodes");
   return a;
 }
 

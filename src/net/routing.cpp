@@ -1,12 +1,14 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rmrn::net {
@@ -82,6 +84,12 @@ void Routing::build(const Graph& g, std::span<const NodeId> sources,
     util::ThreadPool pool(threads);
     pool.parallelFor(0, rows_, run_row);
   }
+  for (std::size_t row = 0; row < rows_; ++row) {
+    const NodeId src =
+        sources.empty() ? static_cast<NodeId>(row) : sources[row];
+    RMRN_ENSURE(dist_[row * n_ + src] == 0.0,
+                "routing table: self-distance must be zero");
+  }
 }
 
 void Routing::checkNode(NodeId v) const {
@@ -108,7 +116,28 @@ DelayMs Routing::distance(NodeId a, NodeId b) const {
   return dist_[row * n_ + b];
 }
 
-DelayMs Routing::rtt(NodeId a, NodeId b) const { return 2.0 * distance(a, b); }
+namespace {
+
+// Symmetry only holds up to rounding: the two Dijkstra runs sum the same
+// link delays in opposite orders, and FP addition is not associative.
+[[maybe_unused]] bool nearlyEqualDelay(DelayMs x, DelayMs y) {
+  if (x == y) return true;  // covers both-infinite and exact matches
+  const DelayMs scale = std::max({std::abs(x), std::abs(y), 1.0});
+  return std::abs(x - y) <= 1e-9 * scale;
+}
+
+}  // namespace
+
+DelayMs Routing::rtt(NodeId a, NodeId b) const {
+  // Link-state routing over an undirected backbone is symmetric (paper
+  // §3.1 reads RTTs straight off the tables); re-derive b -> a when that row
+  // exists and cross-check.  Dense tables always have it; sparse tables only
+  // for client pairs.
+  RMRN_AUDIT_CHECK(!hasSourceRow(b) || nearlyEqualDelay(distance(a, b),
+                                                        distance(b, a)),
+                   "routing symmetry: d(a,b) != d(b,a)");
+  return 2.0 * distance(a, b);
+}
 
 std::vector<NodeId> Routing::path(NodeId a, NodeId b) const {
   const std::size_t row = rowOf(a);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace rmrn::sim {
 
 EventId EventQueue::schedule(TimeMs at, std::function<void()> action) {
@@ -13,6 +15,8 @@ EventId EventQueue::schedule(TimeMs at, std::function<void()> action) {
   if (!action) {
     throw std::invalid_argument("EventQueue: empty action");
   }
+  RMRN_REQUIRE(at >= last_fired_,
+               "event scheduled in the simulated past (time monotonicity)");
   const EventId id = next_id_++;
   heap_.push(Entry{at, id, std::move(action)});
   pending_.insert(id);
@@ -47,6 +51,9 @@ EventQueue::Fired EventQueue::pop() {
   Fired fired{top.time, top.id, std::move(top.action)};
   heap_.pop();
   pending_.erase(fired.id);
+  RMRN_ENSURE(fired.time >= last_fired_,
+              "event queue popped an event earlier than the previous one");
+  last_fired_ = fired.time;
   return fired;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -44,6 +45,12 @@ class EventQueue {
   /// Live (scheduled, not cancelled, not fired) event count.
   [[nodiscard]] std::size_t pendingCount() const { return pending_.size(); }
 
+  /// Time of the most recently popped event; -infinity before the first
+  /// pop.  Simulation time never runs backwards: pop() enforces
+  /// fired.time >= lastFiredTime(), and schedule() rejects events in the
+  /// past (both via the RMRN contract layer).
+  [[nodiscard]] TimeMs lastFiredTime() const { return last_fired_; }
+
  private:
   struct Entry {
     TimeMs time;
@@ -62,6 +69,7 @@ class EventQueue {
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> pending_;
   EventId next_id_ = 0;
+  TimeMs last_fired_ = -std::numeric_limits<TimeMs>::infinity();
 };
 
 }  // namespace rmrn::sim

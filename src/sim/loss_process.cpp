@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace rmrn::sim {
 
 BernoulliLossProcess::BernoulliLossProcess(std::size_t num_links,
@@ -10,6 +12,12 @@ BernoulliLossProcess::BernoulliLossProcess(std::size_t num_links,
   if (loss_prob_ < 0.0 || loss_prob_ >= 1.0) {
     throw std::invalid_argument("BernoulliLossProcess: bad loss_prob");
   }
+  // The planner's loss-correlation model (Lemmas 1-3) assumes a *reliable*
+  // network: p^2 ~ 0, i.e. at most one tree-link loss per transmission.
+  // Drawing with p^2 > 0.25 would make multi-loss patterns the common case
+  // and every planned delay systematically wrong — flag it under audit.
+  RMRN_AUDIT_CHECK(loss_prob_ * loss_prob_ <= 0.25,
+                   "reliable-network single-loss assumption (p^2 ~ 0) broken");
 }
 
 LinkLossPattern BernoulliLossProcess::nextPattern() {
@@ -17,6 +25,8 @@ LinkLossPattern BernoulliLossProcess::nextPattern() {
   for (std::size_t i = 0; i < num_links_; ++i) {
     pattern[i] = rng_.bernoulli(loss_prob_);
   }
+  RMRN_ENSURE(pattern.size() == num_links_,
+              "loss pattern must cover every tree link");
   return pattern;
 }
 
@@ -76,6 +86,8 @@ LinkLossPattern GilbertElliottLossProcess::nextPattern() {
       if (rng_.bernoulli(config_.p_good_to_bad)) bad_[i] = true;
     }
   }
+  RMRN_ENSURE(pattern.size() == bad_.size(),
+              "loss pattern must cover every tree link");
   return pattern;
 }
 

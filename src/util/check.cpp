@@ -1,0 +1,50 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rmrn::util {
+
+namespace {
+
+std::atomic<CheckPolicy> g_policy{CheckPolicy::kThrow};
+std::atomic<std::uint64_t> g_violations{0};
+
+}  // namespace
+
+CheckPolicy checkPolicy() { return g_policy.load(std::memory_order_relaxed); }
+
+void setCheckPolicy(CheckPolicy policy) {
+  g_policy.store(policy, std::memory_order_relaxed);
+}
+
+std::uint64_t checkViolationCount() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void resetCheckViolationCount() {
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void onCheckFailure(const char* kind, const char* expr, const char* file,
+                    int line, const char* msg) {
+  std::string what = std::string(kind) + " failed: " + expr + " (" + msg +
+                     ") at " + file + ":" + std::to_string(line);
+  switch (checkPolicy()) {
+    case CheckPolicy::kThrow:
+      throw ContractViolation(what);
+    case CheckPolicy::kAbort:
+      std::fprintf(stderr, "%s\n", what.c_str());
+      std::abort();
+    case CheckPolicy::kLog:
+      std::fprintf(stderr, "%s\n", what.c_str());
+      g_violations.fetch_add(1, std::memory_order_relaxed);
+      return;
+  }
+  std::abort();  // unreachable: corrupted policy value
+}
+
+}  // namespace detail
+}  // namespace rmrn::util

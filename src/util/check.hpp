@@ -1,0 +1,118 @@
+// Contract-check layer: the machine-checked half of the paper's lemmas.
+//
+// Three macro families guard module boundaries:
+//
+//   RMRN_REQUIRE(cond, msg)      — precondition on inputs crossing a module
+//                                  boundary (caller bug when it fires);
+//   RMRN_ENSURE(cond, msg)       — postcondition on values a module hands
+//                                  back (module bug when it fires);
+//   RMRN_AUDIT_CHECK(cond, msg)  — expensive cross-derivation invariant
+//                                  (e.g. an LCA query re-verified against the
+//                                  O(depth) parent walk).  Only compiled in
+//                                  when auditing is explicitly requested.
+//
+// Compile-time gating: REQUIRE/ENSURE are active when the build defines
+// RMRN_AUDIT_ENABLED (the RMRN_AUDIT CMake option, ON by default) or is a
+// debug build (!NDEBUG); AUDIT_CHECK needs RMRN_AUDIT_ENABLED.  With
+// RMRN_AUDIT=OFF on a release build every macro expands to ((void)0) — zero
+// cost, condition not evaluated.
+//
+// Runtime policy: a fired check routes through one cold handler whose
+// behaviour is process-global and swappable (kThrow by default so tests and
+// long-running drivers get a catchable ContractViolation with full context;
+// kAbort for fail-fast production debugging; kLog to count-and-continue when
+// harvesting violations in bulk).  The handler is thread-safe: the planner's
+// worker threads may fire checks concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rmrn::util {
+
+/// What a fired contract check does.
+enum class CheckPolicy {
+  kThrow,  // throw ContractViolation (default)
+  kAbort,  // print to stderr and std::abort()
+  kLog,    // print to stderr, bump the violation counter, continue
+};
+
+/// Exception carried by CheckPolicy::kThrow; what() holds
+/// "<kind> failed: <expr> (<msg>) at <file>:<line>".
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Process-global policy (atomic; safe to flip from any thread).
+[[nodiscard]] CheckPolicy checkPolicy();
+void setCheckPolicy(CheckPolicy policy);
+
+/// Number of checks that fired under CheckPolicy::kLog since the last reset.
+[[nodiscard]] std::uint64_t checkViolationCount();
+void resetCheckViolationCount();
+
+/// RAII policy override for tests: restores the previous policy on scope
+/// exit.
+class ScopedCheckPolicy {
+ public:
+  explicit ScopedCheckPolicy(CheckPolicy policy)
+      : previous_(checkPolicy()) {
+    setCheckPolicy(policy);
+  }
+  ~ScopedCheckPolicy() { setCheckPolicy(previous_); }
+  ScopedCheckPolicy(const ScopedCheckPolicy&) = delete;
+  ScopedCheckPolicy& operator=(const ScopedCheckPolicy&) = delete;
+
+ private:
+  CheckPolicy previous_;
+};
+
+namespace detail {
+
+/// Out-of-line cold path shared by every macro expansion; applies the
+/// current policy.  `kind` is "RMRN_REQUIRE"/"RMRN_ENSURE"/"RMRN_AUDIT_CHECK".
+[[gnu::cold]] void onCheckFailure(const char* kind, const char* expr,
+                                  const char* file, int line, const char* msg);
+
+}  // namespace detail
+}  // namespace rmrn::util
+
+// Compile-time gates.  RMRN_CHECKS_ENABLED / RMRN_AUDIT_CHECKS_ENABLED are
+// 0/1 so code can branch on them (e.g. tests that only make sense when the
+// contract layer is compiled in).
+#if defined(RMRN_AUDIT_ENABLED)
+#define RMRN_CHECKS_ENABLED 1
+#define RMRN_AUDIT_CHECKS_ENABLED 1
+#elif !defined(NDEBUG)
+#define RMRN_CHECKS_ENABLED 1
+#define RMRN_AUDIT_CHECKS_ENABLED 0
+#else
+#define RMRN_CHECKS_ENABLED 0
+#define RMRN_AUDIT_CHECKS_ENABLED 0
+#endif
+
+#define RMRN_CHECK_IMPL_(kind, cond, msg)                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::rmrn::util::detail::onCheckFailure(kind, #cond, __FILE__,        \
+                                           __LINE__, msg);               \
+    }                                                                    \
+  } while (false)
+
+#if RMRN_CHECKS_ENABLED
+#define RMRN_REQUIRE(cond, msg) RMRN_CHECK_IMPL_("RMRN_REQUIRE", cond, msg)
+#define RMRN_ENSURE(cond, msg) RMRN_CHECK_IMPL_("RMRN_ENSURE", cond, msg)
+#else
+#define RMRN_REQUIRE(cond, msg) ((void)0)
+#define RMRN_ENSURE(cond, msg) ((void)0)
+#endif
+
+#if RMRN_AUDIT_CHECKS_ENABLED
+#define RMRN_AUDIT_CHECK(cond, msg) \
+  RMRN_CHECK_IMPL_("RMRN_AUDIT_CHECK", cond, msg)
+#else
+#define RMRN_AUDIT_CHECK(cond, msg) ((void)0)
+#endif

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "core/auditor.hpp"
 #include "core/planner.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
@@ -34,6 +35,17 @@ void expectIdenticalPlans(const net::Topology& topo, const RpPlanner& a,
   }
 }
 
+// Bit-identical plans could still be identically wrong: referee the
+// multi-threaded planner's output against the independent PlanAuditor so
+// parallel plans are proven lemma-valid, not just equal to sequential ones.
+void expectLemmaValidPlans(const net::Topology& topo,
+                           const net::Routing& routing,
+                           const RpPlanner& planner) {
+  const PlanAuditor auditor(topo, routing);
+  const AuditReport report = auditor.auditPlanner(planner);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 class PlannerParallelTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PlannerParallelTest, ParallelMatchesSequentialBitForBit) {
@@ -50,6 +62,7 @@ TEST_P(PlannerParallelTest, ParallelMatchesSequentialBitForBit) {
     parallel_options.num_threads = threads;
     const RpPlanner parallel(topo, routing, parallel_options);
     expectIdenticalPlans(topo, sequential, parallel);
+    expectLemmaValidPlans(topo, routing, parallel);
   }
 }
 
@@ -65,6 +78,7 @@ TEST_P(PlannerParallelTest, SparseRoutingMatchesDense) {
   const RpPlanner from_dense(topo, dense, options);
   const RpPlanner from_sparse(topo, sparse, options);
   expectIdenticalPlans(topo, from_dense, from_sparse);
+  expectLemmaValidPlans(topo, sparse, from_sparse);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlannerParallelTest,
@@ -81,6 +95,7 @@ TEST(PlannerParallelTest, DefaultTimeoutIndependentOfThreads) {
   const RpPlanner b(topo, routing, many);
   EXPECT_EQ(a.timeoutMs(), b.timeoutMs());
   expectIdenticalPlans(topo, a, b);
+  expectLemmaValidPlans(topo, routing, b);
 }
 
 TEST(PlannerParallelTest, ExclusionsApplyUnderParallelism) {
@@ -96,6 +111,7 @@ TEST(PlannerParallelTest, ExclusionsApplyUnderParallelism) {
       EXPECT_NE(c.peer, topo.clients.back());
     }
   }
+  expectLemmaValidPlans(topo, routing, planner);
 }
 
 }  // namespace

@@ -207,6 +207,22 @@ TEST_P(PlannerBruteForceTest, MatchesBruteForceOnRealTopologies) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PlannerBruteForceTest,
                          ::testing::Values(31, 32, 33, 34));
 
+// PlannerOptions::audit makes the constructor referee its own plans with the
+// independent PlanAuditor; correct plans must pass under every option mix.
+TEST(RpPlannerTest, SelfAuditPassesAcrossOptionMixes) {
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    const net::Topology topo = makeTopology(seed);
+    const net::Routing routing(topo.graph);
+    PlannerOptions options;
+    options.audit = true;
+    options.per_peer_timeout_factor = (seed % 2 == 0) ? 1.5 : 0.0;
+    options.cost_model =
+        (seed % 2 == 0) ? CostModel::kExpected : CostModel::kTimeoutOnly;
+    if (seed % 3 == 0) options.excluded_peers = {topo.clients.front()};
+    EXPECT_NO_THROW(RpPlanner(topo, routing, options)) << "seed " << seed;
+  }
+}
+
 // The planned optimum can never be worse than going straight to the source.
 TEST(RpPlannerTest, NeverWorseThanDirectSource) {
   for (std::uint64_t seed = 20; seed < 26; ++seed) {

@@ -2,6 +2,10 @@
 // structure, plus helpers to craft deterministic loss patterns.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include "core/auditor.hpp"
+#include "core/planner.hpp"
 #include "metrics/recovery_metrics.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
@@ -81,6 +85,17 @@ inline net::Topology deepTopology() {
   t.source = 0;
   t.clients = {3, 4, 5};
   return t;
+}
+
+// Referees a finished planner with core::PlanAuditor: every protocol test
+// that plans also proves its plans lemma-valid (Lemmas 4-5) with delays
+// matching the independent Eqs. 1-3 recomputation.
+inline void expectLemmaValidPlans(const net::Topology& topo,
+                                  const net::Routing& routing,
+                                  const core::RpPlanner& planner) {
+  const core::PlanAuditor auditor(topo, routing);
+  const core::AuditReport report = auditor.auditPlanner(planner);
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 // Bundles the simulation substrate a protocol needs.  `loss_prob` applies to

@@ -20,6 +20,7 @@ struct RpHarness : ProtoHarness {
         planner(topo, routing, planner_options),
         protocol(network, metrics, ProtocolConfig{}, planner, mode) {
     protocol.attach();
+    testutil::expectLemmaValidPlans(topo, routing, planner);
   }
 };
 
@@ -60,6 +61,7 @@ TEST(RpProtocolTest, StrategicPeerSelectionOnDeepTopology) {
   options.timeout_ms = 12.0;
   ProtoHarness base(0.0, 1, testutil::deepTopology());
   core::RpPlanner planner(base.topo, base.routing, options);
+  testutil::expectLemmaValidPlans(base.topo, base.routing, planner);
   const auto& peers = planner.strategyFor(3).peers;
   ASSERT_EQ(peers.size(), 1u);
   EXPECT_EQ(peers[0].peer, 4u);

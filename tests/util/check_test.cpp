@@ -1,0 +1,105 @@
+// Contract layer: policy routing, violation counting, macro gating.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmrn::util {
+namespace {
+
+TEST(CheckTest, DefaultPolicyIsThrow) {
+  EXPECT_EQ(checkPolicy(), CheckPolicy::kThrow);
+}
+
+TEST(CheckTest, ScopedPolicyRestoresOnExit) {
+  ASSERT_EQ(checkPolicy(), CheckPolicy::kThrow);
+  {
+    ScopedCheckPolicy scoped(CheckPolicy::kLog);
+    EXPECT_EQ(checkPolicy(), CheckPolicy::kLog);
+    {
+      ScopedCheckPolicy inner(CheckPolicy::kAbort);
+      EXPECT_EQ(checkPolicy(), CheckPolicy::kAbort);
+    }
+    EXPECT_EQ(checkPolicy(), CheckPolicy::kLog);
+  }
+  EXPECT_EQ(checkPolicy(), CheckPolicy::kThrow);
+}
+
+TEST(CheckTest, ThrowPolicyCarriesContext) {
+  try {
+    detail::onCheckFailure("RMRN_REQUIRE", "x > 0", "file.cpp", 42,
+                           "x must be positive");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("RMRN_REQUIRE"), std::string::npos);
+    EXPECT_NE(what.find("x > 0"), std::string::npos);
+    EXPECT_NE(what.find("x must be positive"), std::string::npos);
+    EXPECT_NE(what.find("file.cpp:42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, LogPolicyCountsAndContinues) {
+  ScopedCheckPolicy scoped(CheckPolicy::kLog);
+  resetCheckViolationCount();
+  detail::onCheckFailure("RMRN_ENSURE", "a == b", "f.cpp", 1, "mismatch");
+  detail::onCheckFailure("RMRN_ENSURE", "a == b", "f.cpp", 2, "mismatch");
+  EXPECT_EQ(checkViolationCount(), 2u);
+  resetCheckViolationCount();
+  EXPECT_EQ(checkViolationCount(), 0u);
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  resetCheckViolationCount();
+  RMRN_REQUIRE(1 + 1 == 2, "arithmetic works");
+  RMRN_ENSURE(true, "trivially true");
+  RMRN_AUDIT_CHECK(2 * 2 == 4, "still works");
+  EXPECT_EQ(checkViolationCount(), 0u);
+}
+
+#if RMRN_CHECKS_ENABLED
+TEST(CheckTest, FailingRequireThrowsUnderThrowPolicy) {
+  ScopedCheckPolicy scoped(CheckPolicy::kThrow);
+  EXPECT_THROW(RMRN_REQUIRE(false, "must fire"), ContractViolation);
+  EXPECT_THROW(RMRN_ENSURE(false, "must fire"), ContractViolation);
+}
+
+TEST(CheckTest, FailingCheckUnderLogPolicyContinues) {
+  ScopedCheckPolicy scoped(CheckPolicy::kLog);
+  resetCheckViolationCount();
+  RMRN_REQUIRE(false, "logged, not thrown");
+  EXPECT_EQ(checkViolationCount(), 1u);
+  resetCheckViolationCount();
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  RMRN_REQUIRE([&] {
+    ++calls;
+    return true;
+  }(),
+               "side effect counter");
+  EXPECT_EQ(calls, 1);
+}
+#endif  // RMRN_CHECKS_ENABLED
+
+#if RMRN_AUDIT_CHECKS_ENABLED
+TEST(CheckTest, FailingAuditCheckThrowsUnderThrowPolicy) {
+  ScopedCheckPolicy scoped(CheckPolicy::kThrow);
+  EXPECT_THROW(RMRN_AUDIT_CHECK(false, "must fire"), ContractViolation);
+}
+#endif  // RMRN_AUDIT_CHECKS_ENABLED
+
+#if !RMRN_CHECKS_ENABLED
+TEST(CheckTest, DisabledChecksDoNotEvaluateTheCondition) {
+  int calls = 0;
+  RMRN_REQUIRE([&] {
+    ++calls;
+    return false;
+  }(),
+               "never evaluated");
+  EXPECT_EQ(calls, 0);
+}
+#endif  // !RMRN_CHECKS_ENABLED
+
+}  // namespace
+}  // namespace rmrn::util
