@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   using namespace rmrn::bench;
   std::cerr << "[fig5] latency vs clients sweep (p = 5%)\n";
   const auto rows = runClientSweep(Metric::kLatency, 3,
-                                   parseThreads(argc, argv));
+                                   parseThreads(argc, argv),
+                                   parseFaultPlan(argc, argv));
   printFigure(std::cout,
               "Figure 5: average recovery latency per packet recovered "
               "(ms), p = 5%",

@@ -9,7 +9,8 @@ int main(int argc, char** argv) {
   using namespace rmrn::bench;
   std::cerr << "[fig6] bandwidth vs clients sweep (p = 5%)\n";
   const auto rows = runClientSweep(Metric::kBandwidth, 3,
-                                   parseThreads(argc, argv));
+                                   parseThreads(argc, argv),
+                                   parseFaultPlan(argc, argv));
   printFigure(std::cout,
               "Figure 6: average bandwidth usage per packet recovered "
               "(hops), p = 5%",

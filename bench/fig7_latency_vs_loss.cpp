@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   using namespace rmrn::bench;
   std::cerr << "[fig7] latency vs loss sweep (n = 500)\n";
   const auto rows = runLossSweep(Metric::kLatency, 2,
-                                 parseThreads(argc, argv));
+                                 parseThreads(argc, argv),
+                                 parseFaultPlan(argc, argv));
   printFigure(std::cout,
               "Figure 7: average delay per packet recovered (ms), n = 500",
               "p(%)", "latency", rows);

@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   using namespace rmrn::bench;
   std::cerr << "[fig8] bandwidth vs loss sweep (n = 500)\n";
   const auto rows = runLossSweep(Metric::kBandwidth, 2,
-                                 parseThreads(argc, argv));
+                                 parseThreads(argc, argv),
+                                 parseFaultPlan(argc, argv));
   printFigure(std::cout,
               "Figure 8: average bandwidth usage per packet recovered "
               "(hops), n = 500",

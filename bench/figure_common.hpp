@@ -125,16 +125,44 @@ inline unsigned parseThreads(int argc, char** argv) {
   return 0;
 }
 
+/// Optional fault injection for any figure sweep: "--crash-rate F",
+/// "--stall-rate F", "--slow-rate F" (fractions of clients in [0,1]),
+/// "--slow-extra MS", "--fault-time MS" and "--fault-seed S".  All default
+/// to the fault-free legacy campaign; a non-empty plan auto-enables the
+/// adaptive timeout/blacklist machinery (DESIGN.md §9).
+inline sim::FaultPlan parseFaultPlan(int argc, char** argv) {
+  sim::FaultPlan plan;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag(argv[i]);
+    if (flag == "--crash-rate") {
+      plan.crash_fraction = std::stod(argv[i + 1]);
+    } else if (flag == "--stall-rate") {
+      plan.stall_fraction = std::stod(argv[i + 1]);
+    } else if (flag == "--slow-rate") {
+      plan.slow_fraction = std::stod(argv[i + 1]);
+    } else if (flag == "--slow-extra") {
+      plan.slow_extra_ms = std::stod(argv[i + 1]);
+    } else if (flag == "--fault-time") {
+      plan.at_ms = std::stod(argv[i + 1]);
+    } else if (flag == "--fault-seed") {
+      plan.seed = std::stoull(argv[i + 1]);
+    }
+  }
+  return plan;
+}
+
 /// Runs the Fig. 5/6 client-count sweep and returns one row per size.
 inline std::vector<FigureRow> runClientSweep(Metric metric,
                                              std::uint32_t runs = 3,
-                                             unsigned threads = 0) {
+                                             unsigned threads = 0,
+                                             const sim::FaultPlan& faults = {}) {
   std::vector<FigureRow> rows;
   for (const std::uint32_t n : figure56Sizes()) {
     harness::ExperimentConfig config = baseConfig();
     config.num_nodes = n;
     config.loss_prob = 0.05;
     config.seed += n;  // distinct topology per size, like the paper
+    config.faults = faults;
     const harness::ExperimentResult result =
         harness::runAveragedExperimentParallel(config, runs,
                                                harness::kAllProtocols,
@@ -152,12 +180,14 @@ inline std::vector<FigureRow> runClientSweep(Metric metric,
 /// Runs the Fig. 7/8 loss-probability sweep (n = 500).
 inline std::vector<FigureRow> runLossSweep(Metric metric,
                                            std::uint32_t runs = 2,
-                                           unsigned threads = 0) {
+                                           unsigned threads = 0,
+                                           const sim::FaultPlan& faults = {}) {
   std::vector<FigureRow> rows;
   for (const double p : figure78LossProbs()) {
     harness::ExperimentConfig config = baseConfig();
     config.num_nodes = 500;
     config.loss_prob = p;
+    config.faults = faults;
     const harness::ExperimentResult result =
         harness::runAveragedExperimentParallel(config, runs,
                                                harness::kAllProtocols,

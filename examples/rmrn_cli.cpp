@@ -31,6 +31,16 @@
 //       Prints the violation report (or JSON with --json, for CI gating);
 //       exit 0 when clean, 1 when any violation is found.
 //
+//   rmrn_cli resilience [--nodes N] [--loss P%] [--packets K] [--seed S]
+//                       [--runs R] [--rates 0,5,10,20] [--fault-time MS]
+//                       [--fault-seed S] [--threads T]
+//                       [--out BENCH_resilience.json] [--json]
+//       Sweep mid-run client-crash rates (percent of clients, RP protocol,
+//       rate 0 = no-fault baseline) and report recovery robustness: residual
+//       unrecovered losses, retries/timeouts/blacklists/failovers and the
+//       survivors' mean recovery delay vs the baseline.  Writes the sweep as
+//       JSON to --out; --json prints the same JSON to stdout (CI smoke).
+//
 //   rmrn_cli config [--out file]
 //       Print (or write) a complete default experiment config to edit.
 #include <algorithm>
@@ -53,8 +63,8 @@ namespace {
 using namespace rmrn;
 
 int usage() {
-  std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|audit|config> "
-               "[--flags]\n"
+  std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|audit|resilience"
+               "|config> [--flags]\n"
                "  see the header comment of examples/rmrn_cli.cpp\n";
   return 2;
 }
@@ -318,6 +328,152 @@ int cmdTransfer(const util::Flags& flags) {
   return report.complete ? 0 : 1;
 }
 
+std::vector<double> parseRates(const std::string& list) {
+  std::vector<double> rates;
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const double rate = std::stod(token);
+    if (rate < 0.0 || rate > 100.0) {
+      throw std::invalid_argument("--rates entries must be in [0, 100]");
+    }
+    rates.push_back(rate);
+  }
+  if (rates.empty()) throw std::invalid_argument("--rates must be non-empty");
+  return rates;
+}
+
+int cmdResilience(const util::Flags& flags) {
+  harness::ExperimentConfig config;
+  config.num_nodes = static_cast<std::uint32_t>(
+      flags.getUnsigned("nodes", config.num_nodes));
+  if (flags.has("loss")) {
+    config.loss_prob = flags.getDouble("loss", 5.0) / 100.0;
+  }
+  config.num_packets = static_cast<std::uint32_t>(
+      flags.getUnsigned("packets", config.num_packets));
+  config.seed = flags.getUnsigned("seed", config.seed);
+  const auto runs = static_cast<std::uint32_t>(flags.getUnsigned("runs", 3));
+  std::vector<double> rates = parseRates(flags.getString("rates", "0,5,10,20"));
+  // Crash victims mid-stream by default so live recovery sessions are cut.
+  const double default_fault_time =
+      0.4 * config.num_packets * config.data_interval_ms;
+  const double fault_time = flags.getDouble("fault-time", default_fault_time);
+  const std::uint64_t fault_seed = flags.getUnsigned("fault-seed", config.seed);
+  const auto threads = static_cast<unsigned>(flags.getUnsigned("threads", 0));
+  const std::string out_path = flags.getString("out", "BENCH_resilience.json");
+  const bool json_stdout = flags.getBool("json", false);
+  if (const int rc = failUnknownFlags(flags)) return rc;
+
+  // Rate 0 is the no-fault baseline every other rate is compared against.
+  if (std::find(rates.begin(), rates.end(), 0.0) == rates.end()) {
+    rates.insert(rates.begin(), 0.0);
+  }
+  std::sort(rates.begin(), rates.end());
+
+  const harness::ProtocolKind kinds[] = {harness::ProtocolKind::kRp};
+  struct Row {
+    double crash_rate = 0.0;
+    harness::ExperimentResult result;
+  };
+  std::vector<Row> rows;
+  double num_clients = 0.0;
+  for (const double rate : rates) {
+    harness::ExperimentConfig swept = config;
+    swept.faults.crash_fraction = rate / 100.0;
+    swept.faults.at_ms = fault_time;
+    swept.faults.seed = fault_seed;
+    rows.push_back(
+        {rate, harness::runAveragedExperimentParallel(swept, runs, kinds,
+                                                      threads)});
+    num_clients = rows.back().result.num_clients;
+  }
+
+  const harness::ProtocolResult& baseline =
+      rows.front().result.result(harness::ProtocolKind::kRp);
+  const double baseline_delay = baseline.avg_latency_ms;
+
+  std::ostringstream json;
+  json.precision(10);
+  json << "{\n";
+  json << "  \"bench\": \"resilience\",\n";
+  json << "  \"protocol\": \"RP\",\n";
+  json << "  \"nodes\": " << config.num_nodes << ",\n";
+  json << "  \"clients\": " << num_clients << ",\n";
+  json << "  \"loss_prob\": " << config.loss_prob << ",\n";
+  json << "  \"packets\": " << config.num_packets << ",\n";
+  json << "  \"runs\": " << runs << ",\n";
+  json << "  \"fault_time_ms\": " << fault_time << ",\n";
+  json << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const harness::ProtocolResult& r =
+        rows[i].result.result(harness::ProtocolKind::kRp);
+    const std::size_t survivors_losses = r.losses - r.abandoned;
+    const double recovered_fraction =
+        survivors_losses == 0
+            ? 1.0
+            : static_cast<double>(r.recoveries) /
+                  static_cast<double>(survivors_losses);
+    const double vs_baseline =
+        baseline_delay > 0.0 ? r.avg_latency_ms / baseline_delay : 1.0;
+    json << "    {\"crash_rate\": " << rows[i].crash_rate
+         << ", \"losses\": " << r.losses
+         << ", \"recoveries\": " << r.recoveries
+         << ", \"abandoned\": " << r.abandoned
+         << ", \"residual_unrecovered\": " << r.residual
+         << ", \"recovered_fraction\": " << recovered_fraction
+         << ", \"mean_delay_ms\": " << r.avg_latency_ms
+         << ", \"delay_vs_baseline\": " << vs_baseline
+         << ", \"retries\": " << r.retries
+         << ", \"timeouts\": " << r.timeouts
+         << ", \"blacklist_events\": " << r.blacklist_events
+         << ", \"failovers\": " << r.failovers
+         << ", \"source_fallbacks\": " << r.source_fallbacks << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+  }
+  if (json_stdout) {
+    std::cout << json.str();
+  } else {
+    std::cout << "RP resilience sweep: n=" << config.num_nodes << " (k~"
+              << num_clients << "), p=" << config.loss_prob * 100.0 << "%, "
+              << config.num_packets << " packets x " << runs
+              << " run(s), faults at " << fault_time << " ms\n";
+    harness::TextTable table({"crash %", "losses", "recovered", "abandoned",
+                              "residual", "delay (ms)", "vs base", "retries",
+                              "blacklists", "failovers"});
+    for (const Row& row : rows) {
+      const harness::ProtocolResult& r =
+          row.result.result(harness::ProtocolKind::kRp);
+      const double vs_baseline =
+          baseline_delay > 0.0 ? r.avg_latency_ms / baseline_delay : 1.0;
+      table.addRow({harness::TextTable::num(row.crash_rate, 1),
+                    std::to_string(r.losses), std::to_string(r.recoveries),
+                    std::to_string(r.abandoned), std::to_string(r.residual),
+                    harness::TextTable::num(r.avg_latency_ms),
+                    harness::TextTable::num(vs_baseline, 2),
+                    std::to_string(r.retries),
+                    std::to_string(r.blacklist_events),
+                    std::to_string(r.failovers)});
+    }
+    table.print(std::cout);
+    if (!out_path.empty()) std::cout << "wrote " << out_path << "\n";
+  }
+
+  // The sweep passes when every surviving client recovered every loss.
+  bool ok = true;
+  for (const Row& row : rows) {
+    ok &= row.result.result(harness::ProtocolKind::kRp).residual == 0;
+  }
+  return ok ? 0 : 1;
+}
+
 int cmdConfig(const util::Flags& flags) {
   const std::string out_path = flags.getString("out", "");
   if (const int rc = failUnknownFlags(flags)) return rc;
@@ -344,6 +500,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmdRun(flags);
     if (command == "transfer") return cmdTransfer(flags);
     if (command == "audit") return cmdAudit(flags);
+    if (command == "resilience") return cmdResilience(flags);
     if (command == "config") return cmdConfig(flags);
     return usage();
   } catch (const std::exception& e) {

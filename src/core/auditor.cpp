@@ -385,6 +385,14 @@ AuditReport PlanAuditor::auditStrategy(net::NodeId client,
   return report;
 }
 
+AuditReport PlanAuditor::auditStrategyExcluding(
+    net::NodeId client, const Strategy& strategy, AuditOptions options,
+    std::span<const net::NodeId> excluded) const {
+  options.excluded_peers.insert(options.excluded_peers.end(),
+                                excluded.begin(), excluded.end());
+  return auditStrategy(client, strategy, options);
+}
+
 AuditReport PlanAuditor::auditPlanner(const RpPlanner& planner) const {
   const AuditOptions options = AuditOptions::fromPlanner(planner);
   AuditReport report;

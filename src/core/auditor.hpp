@@ -114,6 +114,15 @@ class PlanAuditor {
                                           const Strategy& strategy,
                                           const AuditOptions& options) const;
 
+  /// Audits an exclusion-constrained strategy (RpPlanner::replanExcluding
+  /// failover output): every check of auditStrategy with `excluded` treated
+  /// as additional banned peers — a blacklisted peer on the list is a
+  /// kExcludedPeerOnList violation, and the Lemma 4 cheapest-in-class check
+  /// only considers surviving class members.
+  [[nodiscard]] AuditReport auditStrategyExcluding(
+      net::NodeId client, const Strategy& strategy, AuditOptions options,
+      std::span<const net::NodeId> excluded) const;
+
   /// Same, appending to an existing report (used by auditPlanner).
   void auditStrategyInto(net::NodeId client, const Strategy& strategy,
                          const AuditOptions& options,

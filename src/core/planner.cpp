@@ -13,7 +13,10 @@ namespace rmrn::core {
 
 RpPlanner::RpPlanner(const net::Topology& topology,
                      const net::Routing& routing, PlannerOptions options)
-    : options_(options) {
+    : options_(options),
+      topology_(&topology),
+      routing_(&routing),
+      lca_index_(topology.tree) {
   if (options_.timeout_ms < 0.0) {
     throw std::invalid_argument("RpPlanner: negative timeout");
   }
@@ -33,21 +36,23 @@ RpPlanner::RpPlanner(const net::Topology& topology,
     options_.timeout_ms = 2.0 * max_rtt;
   }
 
-  StrategyGraphOptions graph_options;
-  graph_options.timeout_ms = options_.timeout_ms;
-  graph_options.per_peer_timeout_factor = options_.per_peer_timeout_factor;
-  graph_options.min_timeout_ms = options_.min_timeout_ms;
-  graph_options.cost_model = options_.cost_model;
-  graph_options.allow_direct_source = options_.allow_direct_source;
-  graph_options.max_list_length = options_.max_list_length;
+  graph_options_.timeout_ms = options_.timeout_ms;
+  graph_options_.per_peer_timeout_factor = options_.per_peer_timeout_factor;
+  graph_options_.min_timeout_ms = options_.min_timeout_ms;
+  graph_options_.cost_model = options_.cost_model;
+  graph_options_.allow_direct_source = options_.allow_direct_source;
+  graph_options_.max_list_length = options_.max_list_length;
+  const StrategyGraphOptions& graph_options = graph_options_;
 
-  // Excluded peers never serve, but still get their own strategies.
-  std::vector<net::NodeId> servers = topology.clients;
+  // Excluded peers never serve, but still get their own strategies.  The
+  // set is kept for replanExcluding()'s further pruning.
+  servers_ = topology.clients;
   for (const net::NodeId banned : options_.excluded_peers) {
-    std::erase(servers, banned);
+    std::erase(servers_, banned);
   }
+  const std::vector<net::NodeId>& servers = servers_;
 
-  const net::LcaIndex lca_index(topology.tree);
+  const net::LcaIndex& lca_index = lca_index_;
 
   // Each client's plan is independent (candidate selection + Algorithm 1
   // over read-only shared state), so workers fill disjoint pre-sized slots
@@ -102,6 +107,30 @@ const Strategy& RpPlanner::strategyFor(net::NodeId client) const {
     throw std::out_of_range("RpPlanner: unknown client");
   }
   return it->second;
+}
+
+Strategy RpPlanner::replanExcluding(
+    net::NodeId client, std::span<const net::NodeId> blacklist) const {
+  if (!strategies_.contains(client)) {
+    throw std::out_of_range("RpPlanner: unknown client");
+  }
+  // Prune the blacklist from the base server set, then rerun the exact
+  // construction-time pipeline (Lemma 4/5 candidate selection, strategy
+  // graph, Algorithm 1) for this one client.
+  std::vector<net::NodeId> servers = servers_;
+  for (const net::NodeId banned : blacklist) {
+    std::erase(servers, banned);
+  }
+  const std::vector<Candidate> candidates = selectCandidates(
+      client, topology_->tree, lca_index_, *routing_, servers);
+  const StrategyGraph graph(topology_->tree.depth(client), candidates,
+                            routing_->rtt(client, topology_->source),
+                            graph_options_);
+  Strategy strategy = searchMinimalDelay(graph);
+  RMRN_ENSURE(std::isfinite(strategy.expected_delay_ms) &&
+                  strategy.expected_delay_ms >= 0.0,
+              "planner: emitted delay must be finite and non-negative");
+  return strategy;
 }
 
 const std::vector<Candidate>& RpPlanner::candidatesFor(

@@ -6,11 +6,13 @@
 // clients.
 #pragma once
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/candidates.hpp"
 #include "core/strategy_graph.hpp"
+#include "net/lca.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 
@@ -48,9 +50,11 @@ class RpPlanner {
   /// Plans strategies for all clients of `topology`.  When
   /// `options.timeout_ms` is zero a timeout is derived as twice the largest
   /// client-source RTT (a conservative network-wide t_0).  The topology and
-  /// routing must outlive the planner only during construction.  `routing`
-  /// may be sparse as long as it has rows for every client (the planner
-  /// queries client->anything only, never router->router).
+  /// routing must outlive the planner for as long as replanExcluding() may
+  /// be called (the precomputed strategyFor()/candidatesFor() maps need them
+  /// only during construction).  `routing` may be sparse as long as it has
+  /// rows for every client (the planner queries client->anything only,
+  /// never router->router).
   RpPlanner(const net::Topology& topology, const net::Routing& routing,
             PlannerOptions options);
 
@@ -67,8 +71,26 @@ class RpPlanner {
   /// The t_0 actually used (after defaulting).
   [[nodiscard]] double timeoutMs() const { return options_.timeout_ms; }
 
+  /// Failover replanning (DESIGN.md §9): recomputes `client`'s optimal
+  /// strategy with the peers in `blacklist` pruned from the server set (on
+  /// top of options().excluded_peers).  Reuses the construction-time
+  /// candidate machinery — Lemma 4 re-selects one survivor per competitive
+  /// class and Lemma 5's strictly-descending-DS ordering is preserved, so
+  /// the result is exactly the plan a fresh planner excluding those peers
+  /// would emit.  Does not mutate the precomputed strategies.  Throws
+  /// std::out_of_range for non-clients.
+  [[nodiscard]] Strategy replanExcluding(
+      net::NodeId client, std::span<const net::NodeId> blacklist) const;
+
  private:
   PlannerOptions options_;
+  const net::Topology* topology_;
+  const net::Routing* routing_;
+  net::LcaIndex lca_index_;
+  StrategyGraphOptions graph_options_;
+  /// topology.clients minus options().excluded_peers — the base server set
+  /// replanExcluding() prunes further.
+  std::vector<net::NodeId> servers_;
   std::unordered_map<net::NodeId, Strategy> strategies_;
   std::unordered_map<net::NodeId, std::vector<Candidate>> candidates_;
 };

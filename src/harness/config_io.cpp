@@ -70,6 +70,20 @@ void writeConfig(std::ostream& out, const ExperimentConfig& c) {
       << "\n";
   out << "protocol.timeout_factor = " << c.protocol.timeout_factor << "\n";
   out << "protocol.min_timeout_ms = " << c.protocol.min_timeout_ms << "\n";
+  out << "health.enabled = " << (c.protocol.health.enabled ? "true" : "false")
+      << "\n";
+  out << "health.blacklist_after = " << c.protocol.health.blacklist_after
+      << "\n";
+  out << "health.retry_budget = " << c.protocol.health.retry_budget << "\n";
+  out << "health.max_backoff_factor = " << c.protocol.health.max_backoff_factor
+      << "\n";
+  out << "faults.crash_fraction = " << c.faults.crash_fraction << "\n";
+  out << "faults.stall_fraction = " << c.faults.stall_fraction << "\n";
+  out << "faults.slow_fraction = " << c.faults.slow_fraction << "\n";
+  out << "faults.at_ms = " << c.faults.at_ms << "\n";
+  out << "faults.stagger_ms = " << c.faults.stagger_ms << "\n";
+  out << "faults.slow_extra_ms = " << c.faults.slow_extra_ms << "\n";
+  out << "faults.seed = " << c.faults.seed << "\n";
   out << "srm.c1 = " << c.srm.c1 << "\n";
   out << "srm.c2 = " << c.srm.c2 << "\n";
   out << "srm.d1 = " << c.srm.d1 << "\n";
@@ -144,6 +158,21 @@ ExperimentConfig readConfig(std::istream& in) {
        asDouble(config.protocol.detection_delay_ms)},
       {"protocol.timeout_factor", asDouble(config.protocol.timeout_factor)},
       {"protocol.min_timeout_ms", asDouble(config.protocol.min_timeout_ms)},
+      {"health.enabled", asBool(config.protocol.health.enabled)},
+      {"health.blacklist_after", asU32(config.protocol.health.blacklist_after)},
+      {"health.retry_budget", asU32(config.protocol.health.retry_budget)},
+      {"health.max_backoff_factor",
+       asDouble(config.protocol.health.max_backoff_factor)},
+      {"faults.crash_fraction", asDouble(config.faults.crash_fraction)},
+      {"faults.stall_fraction", asDouble(config.faults.stall_fraction)},
+      {"faults.slow_fraction", asDouble(config.faults.slow_fraction)},
+      {"faults.at_ms", asDouble(config.faults.at_ms)},
+      {"faults.stagger_ms", asDouble(config.faults.stagger_ms)},
+      {"faults.slow_extra_ms", asDouble(config.faults.slow_extra_ms)},
+      {"faults.seed",
+       [&config](const std::string& v) {
+         config.faults.seed = std::stoull(v);
+       }},
       {"srm.c1", asDouble(config.srm.c1)},
       {"srm.c2", asDouble(config.srm.c2)},
       {"srm.d1", asDouble(config.srm.d1)},

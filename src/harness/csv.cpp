@@ -29,7 +29,9 @@ void writeResultsCsv(std::ostream& out,
   CsvWriter csv(out);
   csv.row({"num_nodes", "clients", "loss_prob", "protocol", "losses",
            "recoveries", "avg_latency_ms", "avg_bandwidth_hops",
-           "recovery_hops", "fully_recovered"});
+           "recovery_hops", "fully_recovered", "retries", "timeouts",
+           "blacklist_events", "failovers", "source_fallbacks", "abandoned",
+           "residual"});
   const auto num = [](double v) {
     std::ostringstream s;
     s << v;
@@ -42,7 +44,12 @@ void writeResultsCsv(std::ostream& out,
                std::to_string(p.losses), std::to_string(p.recoveries),
                num(p.avg_latency_ms), num(p.avg_bandwidth_hops),
                std::to_string(p.recovery_hops),
-               p.fully_recovered ? "true" : "false"});
+               p.fully_recovered ? "true" : "false",
+               std::to_string(p.retries), std::to_string(p.timeouts),
+               std::to_string(p.blacklist_events),
+               std::to_string(p.failovers),
+               std::to_string(p.source_fallbacks),
+               std::to_string(p.abandoned), std::to_string(p.residual)});
     }
   }
 }

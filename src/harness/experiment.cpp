@@ -37,12 +37,18 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
   metrics::RecoveryMetrics recovery;
   network.enableLinkAccounting(true);
 
+  // Faulted runs need the adaptive health machinery or dead peers would be
+  // retried with static timeouts forever; fault-free runs keep the caller's
+  // (default: legacy, bit-identical) behavior.
+  protocols::ProtocolConfig proto_config = config.protocol;
+  if (!config.faults.empty()) proto_config.health.enabled = true;
+
   std::unique_ptr<protocols::RecoveryProtocol> protocol;
   std::unique_ptr<core::RpPlanner> degenerate_planner;
   switch (kind) {
     case ProtocolKind::kRp:
       protocol = std::make_unique<protocols::RpProtocol>(
-          network, recovery, config.protocol, planner, config.rp_source_mode);
+          network, recovery, proto_config, planner, config.rp_source_mode);
       break;
     case ProtocolKind::kSourceDirect: {
       core::PlannerOptions direct = config.rp_planner;
@@ -50,26 +56,40 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
       degenerate_planner =
           std::make_unique<core::RpPlanner>(topology, routing, direct);
       protocol = std::make_unique<protocols::RpProtocol>(
-          network, recovery, config.protocol, *degenerate_planner,
+          network, recovery, proto_config, *degenerate_planner,
           config.rp_source_mode);
       break;
     }
     case ProtocolKind::kSrm:
       protocol = std::make_unique<protocols::SrmProtocol>(
-          network, recovery, config.protocol, config.srm,
+          network, recovery, proto_config, config.srm,
           root_rng.fork(kProtocolStreamBase + 50 +
                         static_cast<std::uint64_t>(kind)));
       break;
     case ProtocolKind::kRma:
       protocol = std::make_unique<protocols::RmaProtocol>(network, recovery,
-                                                          config.protocol);
+                                                          proto_config);
       break;
     case ProtocolKind::kParityFec:
       protocol = std::make_unique<protocols::ParityProtocol>(
-          network, recovery, config.protocol, config.parity);
+          network, recovery, proto_config, config.parity);
       break;
   }
   protocol->attach();
+
+  // The injector must outlive simulator.run(): its armed events capture it.
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<sim::FaultInjector>(network, config.faults);
+    injector->setFaultHandler([&protocol](const sim::FaultEvent& event) {
+      // Crash = fail-stop: the protocol abandons the victim's sessions and
+      // its pending losses stop counting against reliability.
+      if (event.kind == sim::FaultKind::kCrash) {
+        protocol->clientCrashed(event.node);
+      }
+    });
+    injector->arm();
+  }
 
   for (std::uint32_t i = 0; i < config.num_packets; ++i) {
     simulator.scheduleAt(
@@ -93,6 +113,13 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
       network.deliveriesAt(topology.source, sim::Packet::Type::kRequest);
   result.max_link_load = network.maxRecoveryLinkLoad();
   result.duplicate_deliveries = protocol->duplicateDeliveries();
+  result.retries = recovery.retries();
+  result.timeouts = recovery.timeouts();
+  result.blacklist_events = recovery.blacklistEvents();
+  result.failovers = recovery.failovers();
+  result.source_fallbacks = recovery.sourceFallbacks();
+  result.abandoned = recovery.abandoned();
+  result.residual = recovery.outstanding();
   return result;
 }
 
@@ -190,6 +217,13 @@ ExperimentResult aggregate(std::vector<ExperimentResult> results) {
       acc.source_requests += cur.source_requests;
       acc.max_link_load = std::max(acc.max_link_load, cur.max_link_load);
       acc.duplicate_deliveries += cur.duplicate_deliveries;
+      acc.retries += cur.retries;
+      acc.timeouts += cur.timeouts;
+      acc.blacklist_events += cur.blacklist_events;
+      acc.failovers += cur.failovers;
+      acc.source_fallbacks += cur.source_fallbacks;
+      acc.abandoned += cur.abandoned;
+      acc.residual += cur.residual;
     }
   }
   const auto n = static_cast<double>(results.size());

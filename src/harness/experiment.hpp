@@ -15,6 +15,7 @@
 #include "protocols/parity_protocol.hpp"
 #include "protocols/rp_protocol.hpp"
 #include "protocols/srm_protocol.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace rmrn::harness {
 
@@ -68,6 +69,13 @@ struct ExperimentConfig {
   /// this off; turn it on to stress timeout/retry robustness.
   bool lossy_recovery = false;
 
+  /// Process faults injected mid-run (DESIGN.md §9).  The same plan (and
+  /// plan seed) picks identical victims for every protocol of a run, so
+  /// comparisons stay apples-to-apples.  A non-empty plan auto-enables
+  /// protocol.health (adaptive timeouts / blacklisting) unless the caller
+  /// set it explicitly.
+  sim::FaultPlan faults;
+
   net::TopologyConfig topology;  // num_nodes is overwritten from above
   protocols::ProtocolConfig protocol;
   protocols::SrmConfig srm;
@@ -97,6 +105,14 @@ struct ProtocolResult {
   std::uint64_t max_link_load = 0;
   /// Repairs delivered to receivers that already held the packet.
   std::uint64_t duplicate_deliveries = 0;
+  /// Resilience counters (all zero in fault-free legacy runs).
+  std::uint64_t retries = 0;           // repeat REQUESTs beyond the first
+  std::uint64_t timeouts = 0;          // per-target request timeouts fired
+  std::uint64_t blacklist_events = 0;  // peers written off after k timeouts
+  std::uint64_t failovers = 0;         // replanExcluding adoptions (RP)
+  std::uint64_t source_fallbacks = 0;  // sessions that fell back to the source
+  std::size_t abandoned = 0;           // losses voided by client crashes
+  std::size_t residual = 0;            // surviving-client losses unrecovered
 };
 
 struct ExperimentResult {

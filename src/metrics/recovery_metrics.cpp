@@ -37,6 +37,26 @@ bool RecoveryMetrics::recordRecovery(net::NodeId client, std::uint64_t seq,
   return true;
 }
 
+std::size_t RecoveryMetrics::abandonClient(net::NodeId client) {
+  std::size_t count = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (static_cast<net::NodeId>(it->first >> 32) == client &&
+        !it->second.recovered) {
+      it = pending_.erase(it);
+      ++count;
+    } else {
+      ++it;
+    }
+  }
+  abandoned_ += count;
+  return count;
+}
+
+std::uint64_t RecoveryMetrics::timeoutsFor(net::NodeId target) const {
+  const auto it = timeouts_by_target_.find(target);
+  return it == timeouts_by_target_.end() ? 0 : it->second;
+}
+
 bool RecoveryMetrics::wasLost(net::NodeId client, std::uint64_t seq) const {
   return pending_.contains(key(client, seq));
 }

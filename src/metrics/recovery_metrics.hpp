@@ -28,6 +28,12 @@ class RecoveryMetrics {
   /// already recovered — duplicate repairs are normal under multicast repair.
   bool recordRecovery(net::NodeId client, std::uint64_t seq, double now_ms);
 
+  /// Crash handling: writes off every pending (unrecovered) loss of
+  /// `client`, returning how many were abandoned.  Abandoned losses leave
+  /// outstanding() — a crashed receiver carries no reliability obligation —
+  /// and can no longer be recovered.
+  std::size_t abandonClient(net::NodeId client);
+
   [[nodiscard]] bool wasLost(net::NodeId client, std::uint64_t seq) const;
   [[nodiscard]] bool isRecovered(net::NodeId client, std::uint64_t seq) const;
 
@@ -35,8 +41,35 @@ class RecoveryMetrics {
   [[nodiscard]] std::size_t recoveries() const {
     return latency_.count();
   }
+  [[nodiscard]] std::size_t abandoned() const { return abandoned_; }
+  /// Losses of live clients still unrecovered (the residual a resilience run
+  /// must drive to zero).
   [[nodiscard]] std::size_t outstanding() const {
-    return losses_ - latency_.count();
+    return losses_ - latency_.count() - abandoned_;
+  }
+
+  /// Resilience counters (DESIGN.md §9), recorded by the protocol layer.
+  void recordRetry() { ++retries_; }
+  void recordTimeout(net::NodeId target) {
+    ++timeouts_;
+    ++timeouts_by_target_[target];
+  }
+  void recordBlacklist(net::NodeId /*peer*/) { ++blacklist_events_; }
+  void recordFailover(net::NodeId /*client*/) { ++failovers_; }
+  void recordSourceFallback(net::NodeId /*client*/) { ++source_fallbacks_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t timeoutsFor(net::NodeId target) const;
+  [[nodiscard]] const std::unordered_map<net::NodeId, std::uint64_t>&
+  timeoutsByTarget() const {
+    return timeouts_by_target_;
+  }
+  [[nodiscard]] std::uint64_t blacklistEvents() const {
+    return blacklist_events_;
+  }
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] std::uint64_t sourceFallbacks() const {
+    return source_fallbacks_;
   }
 
   /// Latency samples (ms) of completed recoveries.
@@ -62,6 +95,13 @@ class RecoveryMetrics {
   std::unordered_map<net::NodeId, double> last_recovery_;
   Accumulator latency_;
   std::size_t losses_ = 0;
+  std::size_t abandoned_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t blacklist_events_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t source_fallbacks_ = 0;
+  std::unordered_map<net::NodeId, std::uint64_t> timeouts_by_target_;
 };
 
 }  // namespace rmrn::metrics

@@ -21,10 +21,11 @@ void ParityProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
   state.missing.insert(seq);
   // Maybe parities from an earlier wave already cover the enlarged set.
   if (tryDecode(client, block)) return;
-  sendNack(client, block);
+  sendNack(client, block, /*retransmit=*/false);
 }
 
-void ParityProtocol::sendNack(net::NodeId client, std::uint64_t block) {
+void ParityProtocol::sendNack(net::NodeId client, std::uint64_t block,
+                              bool retransmit) {
   auto& state = client_blocks_.at(key(client, block));
   const std::uint64_t needed =
       state.missing.size() > state.parity_indices.size()
@@ -33,11 +34,15 @@ void ParityProtocol::sendNack(net::NodeId client, std::uint64_t block) {
   if (needed == 0) return;
 
   ++nacks_sent_;
+  if (retransmit) recoveryMetrics().recordRetry();
   // REQUEST.seq carries the block id, REQUEST.tag the additional parities
   // wanted.
   network().unicast(client, source(),
                     sim::Packet{sim::Packet::Type::kRequest, block, client,
                                 client, needed});
+  // Parity waves carry the block id as seq and originate at the source, so
+  // the probe keyed (client, block) matches the first parity back.
+  noteRequestSent(client, block, source(), retransmit);
 
   if (state.timer_armed) simulator().cancel(state.retry_timer);
   const double wait = requestTimeout(client, source()) +
@@ -46,7 +51,8 @@ void ParityProtocol::sendNack(net::NodeId client, std::uint64_t block) {
     const auto it = client_blocks_.find(key(client, block));
     if (it == client_blocks_.end() || it->second.missing.empty()) return;
     it->second.timer_armed = false;
-    sendNack(client, block);
+    noteRequestTimeout(client, source());
+    sendNack(client, block, /*retransmit=*/true);
   });
   state.timer_armed = true;
 }
@@ -103,6 +109,17 @@ bool ParityProtocol::tryDecode(net::NodeId client, std::uint64_t block) {
 
 void ParityProtocol::onPacketObtained(net::NodeId, std::uint64_t) {
   // Decoding is driven by tryDecode; nothing extra per packet.
+}
+
+void ParityProtocol::onClientCrashed(net::NodeId client) {
+  for (auto it = client_blocks_.begin(); it != client_blocks_.end();) {
+    if (static_cast<net::NodeId>(it->first >> 32) == client) {
+      if (it->second.timer_armed) simulator().cancel(it->second.retry_timer);
+      it = client_blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace rmrn::protocols

@@ -50,6 +50,7 @@ class ParityProtocol final : public RecoveryProtocol {
   void onRequest(net::NodeId at, const sim::Packet& packet) override;
   void onParity(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
+  void onClientCrashed(net::NodeId client) override;
 
   [[nodiscard]] std::uint64_t blockOf(std::uint64_t seq) const {
     return seq / parity_.block_size;
@@ -60,7 +61,7 @@ class ParityProtocol final : public RecoveryProtocol {
 
   /// Sends (or re-sends) the client's NACK for a block and arms the retry
   /// timer.
-  void sendNack(net::NodeId client, std::uint64_t block);
+  void sendNack(net::NodeId client, std::uint64_t block, bool retransmit);
   /// Decodes if enough parities arrived; returns true when the block closed.
   bool tryDecode(net::NodeId client, std::uint64_t block);
 

@@ -1,0 +1,103 @@
+#include "protocols/peer_health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rmrn::protocols {
+
+PeerHealth::PeerHealth(const PeerHealthConfig& config) : config_(config) {
+  if (config_.srtt_alpha <= 0.0 || config_.srtt_alpha > 1.0 ||
+      config_.rttvar_beta <= 0.0 || config_.rttvar_beta > 1.0 ||
+      config_.rttvar_gain < 0.0 || config_.backoff_base < 1.0 ||
+      config_.max_backoff_factor < 1.0 || config_.retry_budget == 0) {
+    throw std::invalid_argument("PeerHealth: bad config");
+  }
+}
+
+double PeerHealth::timeout(net::NodeId client, net::NodeId target,
+                           double routed_rtt_ms, double timeout_factor,
+                           double min_timeout_ms) const {
+  const double base =
+      std::max(min_timeout_ms, timeout_factor * routed_rtt_ms);
+  const auto it = state_.find(pairKey(client, target));
+  if (it == state_.end()) return base;
+  const State& s = it->second;
+
+  double rto = base;
+  if (s.has_sample) {
+    // Keep at least the legacy slack above SRTT so a noiseless network
+    // (RTTVAR -> 0) never collapses the margin below the static policy.
+    const double slack = std::max(config_.rttvar_gain * s.rttvar_ms,
+                                  (timeout_factor - 1.0) * s.srtt_ms);
+    rto = std::max(min_timeout_ms, s.srtt_ms + slack);
+  }
+  // Exponential backoff per consecutive timeout, bounded.
+  const double exponent =
+      std::min<double>(s.consecutive_timeouts, 30.0);
+  const double scale = std::min(config_.max_backoff_factor,
+                                std::pow(config_.backoff_base, exponent));
+  return rto * scale;
+}
+
+void PeerHealth::onResponse(net::NodeId client, net::NodeId target,
+                            double sample_ms, bool from_retransmit) {
+  State& s = state_[pairKey(client, target)];
+  s.consecutive_timeouts = 0;
+  if (from_retransmit || sample_ms < 0.0) return;  // Karn's rule
+  if (!s.has_sample) {
+    s.srtt_ms = sample_ms;
+    s.rttvar_ms = sample_ms / 2.0;
+    s.has_sample = true;
+    return;
+  }
+  s.rttvar_ms = (1.0 - config_.rttvar_beta) * s.rttvar_ms +
+                config_.rttvar_beta * std::abs(s.srtt_ms - sample_ms);
+  s.srtt_ms = (1.0 - config_.srtt_alpha) * s.srtt_ms +
+              config_.srtt_alpha * sample_ms;
+}
+
+bool PeerHealth::onTimeout(net::NodeId client, net::NodeId target,
+                           bool blacklistable) {
+  State& s = state_[pairKey(client, target)];
+  ++s.consecutive_timeouts;
+  if (blacklistable && !s.blacklisted && config_.blacklist_after > 0 &&
+      s.consecutive_timeouts >= config_.blacklist_after) {
+    // Sticky by design: un-blacklisting on a late response would flap the
+    // failover plans derived from this set.
+    s.blacklisted = true;
+    return true;
+  }
+  return false;
+}
+
+bool PeerHealth::blacklisted(net::NodeId client, net::NodeId target) const {
+  const auto it = state_.find(pairKey(client, target));
+  return it != state_.end() && it->second.blacklisted;
+}
+
+std::vector<net::NodeId> PeerHealth::blacklistedTargets(
+    net::NodeId client) const {
+  std::vector<net::NodeId> dead;
+  for (const auto& [key, s] : state_) {
+    if (s.blacklisted && (key >> 32) == client) {
+      dead.push_back(static_cast<net::NodeId>(key & 0xffffffffULL));
+    }
+  }
+  std::sort(dead.begin(), dead.end());
+  return dead;
+}
+
+double PeerHealth::srtt(net::NodeId client, net::NodeId target) const {
+  const auto it = state_.find(pairKey(client, target));
+  if (it == state_.end() || !it->second.has_sample) return -1.0;
+  return it->second.srtt_ms;
+}
+
+std::uint32_t PeerHealth::consecutiveTimeouts(net::NodeId client,
+                                              net::NodeId target) const {
+  const auto it = state_.find(pairKey(client, target));
+  return it == state_.end() ? 0 : it->second.consecutive_timeouts;
+}
+
+}  // namespace rmrn::protocols

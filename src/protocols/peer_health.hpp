@@ -1,0 +1,94 @@
+// Per-(client, target) request-health tracking (DESIGN.md §9).
+//
+// Replaces the static `timeout_factor * RTT` request timeout with a
+// Jacobson/Karn estimator: SRTT/RTTVAR EWMAs fed by matched request->repair
+// samples, RTO = SRTT + max(4*RTTVAR, legacy slack), doubled per consecutive
+// timeout (bounded).  Karn's rule applies — responses to retransmitted
+// requests never contribute RTT samples, but they do reset the consecutive
+// -timeout streak.  After `blacklist_after` consecutive timeouts a non-source
+// target is written off (sticky): RP/RMA skip it and RP replans around it.
+//
+// With no samples and no timeouts the RTO equals the legacy static timeout
+// exactly, so enabling the tracker is behaviour-neutral until the network
+// actually misbehaves.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace rmrn::protocols {
+
+struct PeerHealthConfig {
+  /// Master switch; disabled keeps every protocol on the legacy static
+  /// timeout and skips all per-request bookkeeping.
+  bool enabled = false;
+  /// Jacobson EWMA gains (RFC 6298 defaults).
+  double srtt_alpha = 0.125;
+  double rttvar_beta = 0.25;
+  /// RTO = SRTT + max(rttvar_gain * RTTVAR, legacy slack).
+  double rttvar_gain = 4.0;
+  /// Backoff multiplier per consecutive timeout, capped at
+  /// max_backoff_factor (so a sick peer costs at most that many base RTOs).
+  double backoff_base = 2.0;
+  double max_backoff_factor = 8.0;
+  /// Consecutive timeouts before a target is blacklisted (0 = never).  The
+  /// source is exempt: it is the protocol's fallback of last resort.
+  std::uint32_t blacklist_after = 2;
+  /// Maximum requests one recovery session may issue before giving up and
+  /// leaving the loss outstanding (counted in the residual metric).
+  std::uint32_t retry_budget = 64;
+};
+
+class PeerHealth {
+ public:
+  explicit PeerHealth(const PeerHealthConfig& config);
+
+  /// RTO for client -> target.  `routed_rtt_ms`, `timeout_factor` and
+  /// `min_timeout_ms` parameterize the no-sample fallback (the legacy static
+  /// timeout).
+  [[nodiscard]] double timeout(net::NodeId client, net::NodeId target,
+                               double routed_rtt_ms, double timeout_factor,
+                               double min_timeout_ms) const;
+
+  /// Feeds a matched response.  `sample_ms` updates SRTT/RTTVAR unless
+  /// `from_retransmit` (Karn's rule); either way the consecutive-timeout
+  /// streak resets.
+  void onResponse(net::NodeId client, net::NodeId target, double sample_ms,
+                  bool from_retransmit);
+
+  /// Registers a request timeout.  Returns true when this timeout NEWLY
+  /// blacklists the target (`blacklistable` is false for the source).
+  bool onTimeout(net::NodeId client, net::NodeId target, bool blacklistable);
+
+  [[nodiscard]] bool blacklisted(net::NodeId client, net::NodeId target) const;
+  /// Every target blacklisted for `client`, ascending (deterministic order
+  /// for replanning and reports).
+  [[nodiscard]] std::vector<net::NodeId> blacklistedTargets(
+      net::NodeId client) const;
+
+  /// Smoothed RTT estimate, or a negative value before the first sample.
+  [[nodiscard]] double srtt(net::NodeId client, net::NodeId target) const;
+  [[nodiscard]] std::uint32_t consecutiveTimeouts(net::NodeId client,
+                                                  net::NodeId target) const;
+  [[nodiscard]] const PeerHealthConfig& config() const { return config_; }
+
+ private:
+  struct State {
+    double srtt_ms = 0.0;
+    double rttvar_ms = 0.0;
+    bool has_sample = false;
+    std::uint32_t consecutive_timeouts = 0;
+    bool blacklisted = false;
+  };
+  static std::uint64_t pairKey(net::NodeId client, net::NodeId target) {
+    return (static_cast<std::uint64_t>(client) << 32) | target;
+  }
+
+  PeerHealthConfig config_;
+  std::unordered_map<std::uint64_t, State> state_;
+};
+
+}  // namespace rmrn::protocols

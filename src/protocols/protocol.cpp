@@ -19,7 +19,10 @@ std::uint64_t haveKey(net::NodeId node, std::uint64_t seq) {
 RecoveryProtocol::RecoveryProtocol(sim::SimNetwork& network,
                                    metrics::RecoveryMetrics& metrics,
                                    const ProtocolConfig& config)
-    : network_(network), metrics_(metrics), config_(config) {
+    : network_(network),
+      metrics_(metrics),
+      config_(config),
+      health_(config.health) {
   if (config_.detection_delay_ms < 0.0 || config_.timeout_factor <= 0.0 ||
       config_.min_timeout_ms <= 0.0) {
     throw std::invalid_argument("RecoveryProtocol: bad config");
@@ -36,8 +39,55 @@ void RecoveryProtocol::attach() {
 }
 
 double RecoveryProtocol::requestTimeout(net::NodeId a, net::NodeId b) const {
-  return std::max(config_.min_timeout_ms,
-                  config_.timeout_factor * routing().rtt(a, b));
+  const double rtt = routing().rtt(a, b);
+  if (!config_.health.enabled) {
+    return std::max(config_.min_timeout_ms, config_.timeout_factor * rtt);
+  }
+  return health_.timeout(a, b, rtt, config_.timeout_factor,
+                         config_.min_timeout_ms);
+}
+
+void RecoveryProtocol::noteRequestSent(net::NodeId client, std::uint64_t seq,
+                                       net::NodeId target, bool retransmit,
+                                       bool any_origin) {
+  if (!config_.health.enabled) return;
+  probes_[haveKey(client, seq)].push_back(
+      Probe{target, simulator().now(), retransmit, any_origin});
+}
+
+bool RecoveryProtocol::noteRequestTimeout(net::NodeId client,
+                                          net::NodeId target) {
+  metrics_.recordTimeout(target);
+  if (!config_.health.enabled) return false;
+  const bool newly = health_.onTimeout(client, target,
+                                       /*blacklistable=*/target != source());
+  if (newly) metrics_.recordBlacklist(target);
+  return newly;
+}
+
+void RecoveryProtocol::observeResponse(net::NodeId at,
+                                       const sim::Packet& packet) {
+  if (!config_.health.enabled) return;
+  const auto it = probes_.find(haveKey(at, packet.seq));
+  if (it == probes_.end()) return;
+  const double now = simulator().now();
+  for (const Probe& probe : it->second) {
+    if (probe.any_origin || probe.target == packet.origin) {
+      health_.onResponse(at, probe.target, now - probe.sent_at_ms,
+                         probe.retransmit);
+    }
+  }
+  probes_.erase(it);
+}
+
+void RecoveryProtocol::clientCrashed(net::NodeId client) {
+  metrics_.abandonClient(client);
+  if (config_.health.enabled) {
+    std::erase_if(probes_, [client](const auto& entry) {
+      return (entry.first >> 32) == client;
+    });
+  }
+  onClientCrashed(client);
 }
 
 bool RecoveryProtocol::hasPacket(net::NodeId node, std::uint64_t seq) const {
@@ -82,7 +132,9 @@ void RecoveryProtocol::sourceMulticast(std::uint64_t seq,
                              config_.detection_delay_ms;
     metrics_.recordLoss(client, seq, detect_at);
     simulator().scheduleAt(detect_at, [this, client, seq] {
-      // A repair may beat the detection (e.g. a flooded SRM repair).
+      // A repair may beat the detection (e.g. a flooded SRM repair), and the
+      // client may have crashed since the multicast.
+      if (network_.isAgentFailed(client)) return;
       if (!hasPacket(client, seq)) onLossDetected(client, seq);
     });
   }
@@ -102,11 +154,13 @@ void RecoveryProtocol::dispatch(net::NodeId at, const sim::Packet& packet) {
       onRequest(at, packet);
       break;
     case sim::Packet::Type::kRepair:
+      observeResponse(at, packet);
       if (hasPacket(at, packet.seq)) ++duplicate_deliveries_;
       markHasPacket(at, packet.seq);
       onRepair(at, packet);
       break;
     case sim::Packet::Type::kParity:
+      observeResponse(at, packet);
       onParity(at, packet);
       break;
   }
@@ -116,5 +170,6 @@ void RecoveryProtocol::onRepair(net::NodeId, const sim::Packet&) {}
 void RecoveryProtocol::onParity(net::NodeId, const sim::Packet&) {}
 void RecoveryProtocol::onData(net::NodeId, const sim::Packet&) {}
 void RecoveryProtocol::onPacketObtained(net::NodeId, std::uint64_t) {}
+void RecoveryProtocol::onClientCrashed(net::NodeId) {}
 
 }  // namespace rmrn::protocols

@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "metrics/recovery_metrics.hpp"
 #include "net/types.hpp"
+#include "protocols/peer_health.hpp"
 #include "sim/network.hpp"
 #include "sim/packet.hpp"
 #include "util/rng.hpp"
@@ -35,6 +37,9 @@ struct ProtocolConfig {
   /// min_timeout_ms; covers queueing slack on top of the routed RTT.
   double timeout_factor = 1.5;
   double min_timeout_ms = 1.0;
+  /// Adaptive timeouts, backoff and blacklisting (DESIGN.md §9); when
+  /// health.enabled is false the static policy above applies unchanged.
+  PeerHealthConfig health;
 };
 
 class RecoveryProtocol {
@@ -70,6 +75,14 @@ class RecoveryProtocol {
     return duplicate_deliveries_;
   }
 
+  /// Tells the protocol that `client` crashed (fail-stop): its pending
+  /// losses are written off as abandoned and its live recovery sessions are
+  /// torn down.  The fault-injection harness calls this alongside
+  /// SimNetwork::setAgentFault.
+  void clientCrashed(net::NodeId client);
+
+  [[nodiscard]] const PeerHealth& peerHealth() const { return health_; }
+
  protected:
   /// Scheme-specific reaction to a client noticing a missing packet.
   virtual void onLossDetected(net::NodeId client, std::uint64_t seq) = 0;
@@ -87,6 +100,8 @@ class RecoveryProtocol {
   /// `client` obtained a previously missing packet (via any repair path);
   /// subclasses cancel timers / close sessions here.
   virtual void onPacketObtained(net::NodeId client, std::uint64_t seq);
+  /// `client` crashed; subclasses drop its sessions and timers here.
+  virtual void onClientCrashed(net::NodeId client);
 
   /// Records that `node` now holds `seq`; completes a pending recovery and
   /// fires onPacketObtained() on first receipt.
@@ -107,11 +122,33 @@ class RecoveryProtocol {
   [[nodiscard]] const ProtocolConfig& config() const { return config_; }
   [[nodiscard]] net::NodeId source() const { return topology().source; }
 
-  /// timeout_factor * RTT(a, b), floored at min_timeout_ms.
+  /// Request timeout for a -> b.  Static policy (timeout_factor * RTT,
+  /// floored at min_timeout_ms) by default; with health.enabled it is the
+  /// Jacobson RTO with backoff (identical to the static value until samples
+  /// or timeouts accrue).
   [[nodiscard]] double requestTimeout(net::NodeId a, net::NodeId b) const;
+
+  [[nodiscard]] bool adaptiveTimeouts() const { return config_.health.enabled; }
+  [[nodiscard]] bool peerBlacklisted(net::NodeId client,
+                                     net::NodeId target) const {
+    return config_.health.enabled && health_.blacklisted(client, target);
+  }
+
+  /// Registers an outstanding request so the matching repair (same client +
+  /// seq, origin == target unless `any_origin`) feeds the RTT estimator.
+  /// `retransmit` marks repeat requests to the same target (Karn's rule).
+  /// No-op unless health.enabled.
+  void noteRequestSent(net::NodeId client, std::uint64_t seq,
+                       net::NodeId target, bool retransmit,
+                       bool any_origin = false);
+  /// Registers a request timeout against `target` (metrics + health).
+  /// Returns true when the timeout newly blacklisted the target.
+  bool noteRequestTimeout(net::NodeId client, net::NodeId target);
 
  private:
   void dispatch(net::NodeId at, const sim::Packet& packet);
+  /// Matches an arriving repair/parity against outstanding probes.
+  void observeResponse(net::NodeId at, const sim::Packet& packet);
 
   sim::SimNetwork& network_;
   metrics::RecoveryMetrics& metrics_;
@@ -122,6 +159,16 @@ class RecoveryProtocol {
   /// (node << 32 | seq) pairs a client holds; the source implicitly holds
   /// every sent sequence.
   std::unordered_set<std::uint64_t> have_;
+  PeerHealth health_;
+  struct Probe {
+    net::NodeId target = net::kInvalidNode;
+    double sent_at_ms = 0.0;
+    bool retransmit = false;
+    bool any_origin = false;
+  };
+  /// Outstanding requests by (client << 32 | seq); only maintained when
+  /// health.enabled, cleared on match, recovery or crash.
+  std::unordered_map<std::uint64_t, std::vector<Probe>> probes_;
 };
 
 }  // namespace rmrn::protocols

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace rmrn::protocols {
 
 RmaProtocol::RmaProtocol(sim::SimNetwork& network,
@@ -26,7 +28,10 @@ const std::vector<core::Candidate>& RmaProtocol::searchOrder(
 }
 
 void RmaProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
-  searches_.emplace(key(client, seq), Search{});
+  // Same hazard as RP: a duplicate detection must not restart a live search
+  // and orphan its armed timer.
+  const auto [it, inserted] = searches_.try_emplace(key(client, seq));
+  if (!inserted) return;
   ++searches_started_;
   advanceSearch(client, seq);
 }
@@ -35,21 +40,47 @@ void RmaProtocol::advanceSearch(net::NodeId client, std::uint64_t seq) {
   auto& search = searches_.at(key(client, seq));
   const auto& order = order_.at(client);
 
+  // Skip upstream levels the health tracker has written off.
+  while (search.next_level < order.size() &&
+         peerBlacklisted(client, order[search.next_level].peer)) {
+    ++search.next_level;
+  }
+
+  if (adaptiveTimeouts() && search.attempts >= config().health.retry_budget) {
+    searches_.erase(key(client, seq));  // give up; counted as residual
+    return;
+  }
+
   const bool at_source = search.next_level >= order.size();
   const net::NodeId target =
       at_source ? source() : order[search.next_level].peer;
   if (!at_source) ++search.next_level;  // retries stay at the source
 
+  const bool retransmit = at_source && search.source_attempts > 0;
+  if (at_source) {
+    if (search.source_attempts == 0) {
+      recoveryMetrics().recordSourceFallback(client);
+    }
+    ++search.source_attempts;
+  }
+  if (search.attempts > 0) recoveryMetrics().recordRetry();
+  ++search.attempts;
+
   ++requests_sent_;
   network().unicast(client, target,
                     sim::Packet{sim::Packet::Type::kRequest, seq, client,
                                 client, /*tag=*/0});
+  // RMA repairs are subtree multicasts whose origin is the repairer, which
+  // may differ from the unicast target we probed; accept any origin so
+  // flooded repairs still feed the estimator.
+  noteRequestSent(client, seq, target, retransmit, /*any_origin=*/true);
 
   search.timer = simulator().scheduleAfter(
-      requestTimeout(client, target), [this, client, seq] {
+      requestTimeout(client, target), [this, client, seq, target] {
         const auto it = searches_.find(key(client, seq));
         if (it == searches_.end()) return;  // recovered meanwhile
         it->second.timer_armed = false;
+        noteRequestTimeout(client, target);
         advanceSearch(client, seq);
       });
   search.timer_armed = true;
@@ -67,6 +98,15 @@ void RmaProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
                            /*tag=*/0};
   ++repairs_multicast_;
   if (at == source()) {
+    // Same root-walk hazard as RpProtocol::onRequest: only defined for an
+    // on-tree, non-source requester.
+    const bool walkable = client != source() && tree.contains(client);
+    RMRN_REQUIRE(walkable,
+                 "subgroup repair needs an on-tree, non-source requester");
+    if (!walkable) {
+      network().unicast(at, client, repair);
+      return;
+    }
     net::NodeId branch = client;
     while (tree.parent(branch) != source()) branch = tree.parent(branch);
     network().multicastDownInto(branch, repair);
@@ -80,6 +120,17 @@ void RmaProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
   if (it == searches_.end()) return;
   if (it->second.timer_armed) simulator().cancel(it->second.timer);
   searches_.erase(it);
+}
+
+void RmaProtocol::onClientCrashed(net::NodeId client) {
+  for (auto it = searches_.begin(); it != searches_.end();) {
+    if (static_cast<net::NodeId>(it->first >> 32) == client) {
+      if (it->second.timer_armed) simulator().cancel(it->second.timer);
+      it = searches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace rmrn::protocols

@@ -53,6 +53,7 @@ class RmaProtocol final : public RecoveryProtocol {
   void onLossDetected(net::NodeId client, std::uint64_t seq) override;
   void onRequest(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
+  void onClientCrashed(net::NodeId client) override;
 
   /// Requests the next upstream level (or the source, where retries stay)
   /// and arms the per-step timeout.
@@ -64,6 +65,8 @@ class RmaProtocol final : public RecoveryProtocol {
 
   struct Search {
     std::size_t next_level = 0;  // into the search order; beyond it -> source
+    std::uint32_t attempts = 0;         // requests issued by this search
+    std::uint32_t source_attempts = 0;  // of which addressed to the source
     sim::EventId timer = 0;
     bool timer_armed = false;
   };

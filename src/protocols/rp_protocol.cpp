@@ -1,5 +1,7 @@
 #include "protocols/rp_protocol.hpp"
 
+#include "util/check.hpp"
+
 namespace rmrn::protocols {
 
 RpProtocol::RpProtocol(sim::SimNetwork& network,
@@ -11,14 +13,39 @@ RpProtocol::RpProtocol(sim::SimNetwork& network,
       planner_(planner),
       source_mode_(source_mode) {}
 
+const core::Strategy& RpProtocol::activeStrategy(net::NodeId client) const {
+  const auto it = failover_.find(client);
+  return it != failover_.end() ? it->second : planner_.strategyFor(client);
+}
+
 void RpProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
-  sessions_[sessionKey(client, seq)] = Session{};
+  // A duplicate detection must not restart a live session: overwriting it
+  // would orphan the armed timer, which then fires against the fresh
+  // session and double-advances the list (double-counting requests_sent_).
+  const auto [it, inserted] = sessions_.try_emplace(sessionKey(client, seq));
+  if (!inserted) return;
   advanceSession(client, seq);
 }
 
 void RpProtocol::advanceSession(net::NodeId client, std::uint64_t seq) {
   auto& session = sessions_.at(sessionKey(client, seq));
-  const auto& peers = planner_.strategyFor(client).peers;
+  // Re-fetched every step: a failover replan may swap the list mid-session.
+  // Indexes into the new list stay safe — every entry is blacklist-checked
+  // before use and the walk still ends at the source.
+  const auto& peers = activeStrategy(client).peers;
+
+  // Skip peers the health tracker has written off.
+  while (session.next_index < peers.size() &&
+         peerBlacklisted(client, peers[session.next_index].peer)) {
+    ++session.next_index;
+  }
+
+  if (adaptiveTimeouts() && session.attempts >= config().health.retry_budget) {
+    // Retry budget exhausted: give up rather than hammer a dead path; the
+    // loss stays outstanding and shows up in the residual metric.
+    sessions_.erase(sessionKey(client, seq));
+    return;
+  }
 
   // Next target: the prioritized list, then the source (where the session
   // index stays so retries keep hitting the source until a repair lands).
@@ -27,36 +54,65 @@ void RpProtocol::advanceSession(net::NodeId client, std::uint64_t seq) {
       at_source ? source() : peers[session.next_index].peer;
   if (!at_source) ++session.next_index;
 
+  const bool retransmit = at_source && session.source_attempts > 0;
+  if (at_source) {
+    if (session.source_attempts == 0) {
+      recoveryMetrics().recordSourceFallback(client);
+    }
+    ++session.source_attempts;
+  }
+  if (session.attempts > 0) recoveryMetrics().recordRetry();
+  ++session.attempts;
+
   ++requests_sent_;
   network().unicast(client, target,
                     sim::Packet{sim::Packet::Type::kRequest, seq, client,
                                 client, /*tag=*/0});
+  noteRequestSent(client, seq, target, retransmit);
 
   session.timer = simulator().scheduleAfter(
-      requestTimeout(client, target), [this, client, seq] {
+      requestTimeout(client, target), [this, client, seq, target] {
         auto it = sessions_.find(sessionKey(client, seq));
         if (it == sessions_.end()) return;  // already recovered
         it->second.timer_armed = false;
+        if (noteRequestTimeout(client, target)) adoptFailover(client);
         advanceSession(client, seq);
       });
   session.timer_armed = true;
+}
+
+void RpProtocol::adoptFailover(net::NodeId client) {
+  failover_[client] =
+      planner_.replanExcluding(client, peerHealth().blacklistedTargets(client));
+  recoveryMetrics().recordFailover(client);
 }
 
 void RpProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
   if (!hasPacket(at, packet.seq)) return;  // requester's timeout handles it
   const sim::Packet repair{sim::Packet::Type::kRepair, packet.seq, at,
                            packet.requester, /*tag=*/0};
-  if (at == source() && source_mode_ == SourceRecoveryMode::kSubgroupMulticast) {
+  const auto& tree = topology().tree;
+  if (at == source() &&
+      source_mode_ == SourceRecoveryMode::kSubgroupMulticast) {
     // Repair the whole branch the request came from (paper ref [4]): the
     // subgroup is the subtree under the source's child that is the
-    // requester's depth-1 ancestor.
-    const auto& tree = topology().tree;
-    net::NodeId branch = packet.requester;
-    while (tree.parent(branch) != source()) branch = tree.parent(branch);
-    network().multicastDownInto(branch, repair);
-  } else {
-    network().unicast(at, packet.requester, repair);
+    // requester's depth-1 ancestor.  The root-walk below is only defined
+    // for an on-tree, non-source requester — for the source itself or an
+    // off-tree node it would walk past the root into undefined territory.
+    // A depth-1 requester is its own branch root (zero walk iterations).
+    const bool walkable =
+        packet.requester != source() && tree.contains(packet.requester);
+    RMRN_REQUIRE(walkable,
+                 "subgroup repair needs an on-tree, non-source requester");
+    if (walkable) {
+      net::NodeId branch = packet.requester;
+      while (tree.parent(branch) != source()) branch = tree.parent(branch);
+      network().multicastDownInto(branch, repair);
+      return;
+    }
+    // Checks compiled out: degrade to a unicast repair instead of the walk.
   }
+  network().unicast(at, packet.requester, repair);
 }
 
 void RpProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
@@ -64,6 +120,17 @@ void RpProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
   if (it == sessions_.end()) return;
   if (it->second.timer_armed) simulator().cancel(it->second.timer);
   sessions_.erase(it);
+}
+
+void RpProtocol::onClientCrashed(net::NodeId client) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (static_cast<net::NodeId>(it->first >> 32) == client) {
+      if (it->second.timer_armed) simulator().cancel(it->second.timer);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace rmrn::protocols

@@ -10,6 +10,12 @@
 // Source recovery supports the two modes of §2.2: plain unicast repair, or
 // the subgroup multicast of the paper's ref [4], where the source repairs
 // down the whole source-side branch the request came from.
+//
+// Fault tolerance (DESIGN.md §9): with ProtocolConfig::health enabled,
+// request timeouts adapt per peer (Jacobson/Karn), sessions skip
+// blacklisted peers, each newly blacklisted peer triggers a failover replan
+// (RpPlanner::replanExcluding) adopted for subsequent losses, and a bounded
+// retry budget stops a session from hammering a dead path forever.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +31,7 @@ enum class SourceRecoveryMode {
   kSubgroupMulticast,  // source multicasts into the requester's branch
 };
 
-class RpProtocol final : public RecoveryProtocol {
+class RpProtocol : public RecoveryProtocol {
  public:
   /// `planner` supplies each client's prioritized list and must outlive the
   /// protocol.
@@ -39,17 +45,34 @@ class RpProtocol final : public RecoveryProtocol {
   /// tests and the ablation benches.
   [[nodiscard]] std::uint64_t requestsSent() const { return requests_sent_; }
 
- private:
+  /// The strategy new sessions of `client` use: the failover replan once
+  /// one was adopted, the planner's original list otherwise.
+  [[nodiscard]] const core::Strategy& activeStrategy(net::NodeId client) const;
+  /// Whether `client` has failed over to a replanned list.
+  [[nodiscard]] bool hasFailedOver(net::NodeId client) const {
+    return failover_.contains(client);
+  }
+
+ protected:
+  // Overridable entry points are protected (not private) so fault-injection
+  // tests can drive them directly, e.g. double loss detections.
   void onLossDetected(net::NodeId client, std::uint64_t seq) override;
   void onRequest(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
+  void onClientCrashed(net::NodeId client) override;
 
+ private:
   /// Issues the next request of the session (peer list first, then the
   /// source) and arms the timeout that advances the session on silence.
   void advanceSession(net::NodeId client, std::uint64_t seq);
+  /// Replans `client`'s list around its blacklisted peers and adopts the
+  /// result for subsequent sessions.
+  void adoptFailover(net::NodeId client);
 
   struct Session {
     std::size_t next_index = 0;  // into the peer list; beyond it -> source
+    std::uint32_t attempts = 0;         // requests issued by this session
+    std::uint32_t source_attempts = 0;  // of which addressed to the source
     sim::EventId timer = 0;
     bool timer_armed = false;
   };
@@ -60,6 +83,8 @@ class RpProtocol final : public RecoveryProtocol {
   const core::RpPlanner& planner_;
   SourceRecoveryMode source_mode_;
   std::unordered_map<std::uint64_t, Session> sessions_;
+  /// Adopted failover strategies by client (blacklist-pruned replans).
+  std::unordered_map<net::NodeId, core::Strategy> failover_;
   std::uint64_t requests_sent_ = 0;
 };
 

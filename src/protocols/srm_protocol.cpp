@@ -37,9 +37,16 @@ void SrmProtocol::armRequestTimer(net::NodeId client, std::uint64_t seq) {
     if (it == want_.end()) return;  // recovered meanwhile
     it->second.armed = false;
     ++requests_multicast_;
+    // Re-multicasts (backoff already raised) count as retries; SRM's
+    // requests are group-wide, so RTT samples are attributed to the source
+    // as a group-level estimate and any repair origin matches.
+    const bool repeat = it->second.backoff > 0;
+    if (repeat) recoveryMetrics().recordRetry();
     network().multicastGroup(client,
                              sim::Packet{sim::Packet::Type::kRequest, seq,
                                          client, client, /*tag=*/0});
+    noteRequestSent(client, seq, source(), /*retransmit=*/repeat,
+                    /*any_origin=*/true);
     // Re-arm with backoff in case the request or every repair is lost.
     it->second.backoff = std::min(it->second.backoff + 1, srm_.max_backoff);
     armRequestTimer(client, seq);
@@ -103,6 +110,27 @@ void SrmProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
   if (it == want_.end()) return;
   if (it->second.armed) simulator().cancel(it->second.timer);
   want_.erase(it);
+}
+
+void SrmProtocol::onClientCrashed(net::NodeId client) {
+  // Silence both roles of the crashed member: its pending requests and any
+  // repair it was about to multicast.
+  for (auto it = want_.begin(); it != want_.end();) {
+    if (static_cast<net::NodeId>(it->first >> 32) == client) {
+      if (it->second.armed) simulator().cancel(it->second.timer);
+      it = want_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = repairing_.begin(); it != repairing_.end();) {
+    if (static_cast<net::NodeId>(it->first >> 32) == client) {
+      if (it->second.armed) simulator().cancel(it->second.timer);
+      it = repairing_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace rmrn::protocols

@@ -54,6 +54,7 @@ class SrmProtocol final : public RecoveryProtocol {
   void onRequest(net::NodeId at, const sim::Packet& packet) override;
   void onRepair(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
+  void onClientCrashed(net::NodeId client) override;
 
   /// Arms (or re-arms) u's request timer for `seq` at the current backoff.
   void armRequestTimer(net::NodeId client, std::uint64_t seq);

@@ -1,0 +1,110 @@
+#include "sim/fault_injector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace rmrn::sim {
+
+namespace {
+
+std::size_t victimCount(double fraction, std::size_t population) {
+  return static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(population)));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(SimNetwork& network, const FaultPlan& plan)
+    : network_(network) {
+  if (plan.crash_fraction < 0.0 || plan.stall_fraction < 0.0 ||
+      plan.slow_fraction < 0.0 || plan.crash_fraction > 1.0 ||
+      plan.stall_fraction > 1.0 || plan.slow_fraction > 1.0) {
+    throw std::invalid_argument("FaultInjector: fractions must be in [0, 1]");
+  }
+  if (plan.at_ms < 0.0 || plan.stagger_ms < 0.0 || plan.slow_extra_ms < 0.0) {
+    throw std::invalid_argument("FaultInjector: negative time");
+  }
+
+  const std::vector<net::NodeId>& clients = network_.topology().clients;
+  const std::size_t k = clients.size();
+  const std::size_t crashes = victimCount(plan.crash_fraction, k);
+  const std::size_t stalls = victimCount(plan.stall_fraction, k);
+  const std::size_t slows = victimCount(plan.slow_fraction, k);
+  if (crashes + stalls + slows > k) {
+    throw std::invalid_argument(
+        "FaultInjector: fault fractions exceed the client population");
+  }
+
+  // Seeded shuffle, then slice: crash victims first, stall, then slow.  The
+  // shuffle (not the simulator state) is the only randomness, so the
+  // schedule is a pure function of (plan, client list).
+  std::vector<net::NodeId> victims = clients;
+  util::Rng rng(plan.seed);
+  rng.shuffle(victims);
+
+  schedule_.reserve(crashes + stalls + slows);
+  std::size_t cursor = 0;
+  const auto take = [&](std::size_t count, FaultKind kind) {
+    for (std::size_t i = 0; i < count; ++i, ++cursor) {
+      FaultEvent event;
+      event.at_ms =
+          plan.at_ms + static_cast<double>(schedule_.size()) * plan.stagger_ms;
+      event.node = victims[cursor];
+      event.kind = kind;
+      event.slow_extra_ms = kind == FaultKind::kSlow ? plan.slow_extra_ms : 0.0;
+      schedule_.push_back(event);
+    }
+  };
+  take(crashes, FaultKind::kCrash);
+  take(stalls, FaultKind::kStall);
+  take(slows, FaultKind::kSlow);
+}
+
+FaultInjector::FaultInjector(SimNetwork& network,
+                             std::vector<FaultEvent> schedule)
+    : network_(network), schedule_(std::move(schedule)) {
+  for (const FaultEvent& event : schedule_) {
+    if (event.at_ms < 0.0 || event.slow_extra_ms < 0.0) {
+      throw std::invalid_argument("FaultInjector: negative time in schedule");
+    }
+  }
+}
+
+void FaultInjector::setFaultHandler(FaultHandler handler) {
+  handler_ = std::move(handler);
+}
+
+std::size_t FaultInjector::plannedFaults(FaultKind kind) const {
+  std::size_t count = 0;
+  for (const FaultEvent& event : schedule_) {
+    if (event.kind == kind) ++count;
+  }
+  return count;
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector: already armed");
+  armed_ = true;
+  for (const FaultEvent& event : schedule_) {
+    network_.simulator().scheduleAt(event.at_ms, [this, event] {
+      switch (event.kind) {
+        case FaultKind::kCrash:
+          network_.setAgentFault(event.node, AgentFault::kCrashed);
+          break;
+        case FaultKind::kStall:
+          network_.setAgentFault(event.node, AgentFault::kStalled);
+          break;
+        case FaultKind::kSlow:
+          network_.setAgentFault(event.node, AgentFault::kSlowed,
+                                 event.slow_extra_ms);
+          break;
+      }
+      if (handler_) handler_(event);
+    });
+  }
+}
+
+}  // namespace rmrn::sim

@@ -1,0 +1,104 @@
+// Deterministic client-fault injection (DESIGN.md §9).
+//
+// A FaultPlan names fractions of the client population to crash, stall or
+// slow, plus when the faults begin.  The injector derives an explicit,
+// seed-deterministic schedule at construction (victims are a seeded shuffle
+// of the client list; the fault sets are disjoint) and arm() turns it into
+// simulator events that flip SimNetwork agent fault states.  Two injectors
+// built from the same plan over the same topology produce bit-identical
+// schedules, so faulted experiments stay pure functions of their seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/network.hpp"
+
+namespace rmrn::sim {
+
+enum class FaultKind : std::uint8_t { kCrash, kStall, kSlow };
+
+[[nodiscard]] constexpr std::string_view toString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kSlow:
+      return "slow";
+  }
+  return "?";
+}
+
+/// One scheduled fault: `node` enters `kind` at simulated time `at_ms`.
+struct FaultEvent {
+  double at_ms = 0.0;
+  net::NodeId node = net::kInvalidNode;
+  FaultKind kind = FaultKind::kCrash;
+  double slow_extra_ms = 0.0;  // only meaningful for kSlow
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Declarative fault workload.  Fractions apply to the client count and are
+/// rounded to the nearest whole victim; the three sets are disjoint (crash
+/// victims are picked first, then stall, then slow) and must fit within the
+/// population.
+struct FaultPlan {
+  double crash_fraction = 0.0;
+  double stall_fraction = 0.0;
+  double slow_fraction = 0.0;
+  /// Time of the first fault; subsequent faults follow every `stagger_ms`.
+  double at_ms = 0.0;
+  double stagger_ms = 0.0;
+  /// Extra REQUEST latency imposed on slowed clients.
+  double slow_extra_ms = 50.0;
+  /// Victim-selection seed; keep it fixed across protocols so every scheme
+  /// faces the identical fault workload.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool empty() const {
+    return crash_fraction <= 0.0 && stall_fraction <= 0.0 &&
+           slow_fraction <= 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// Fires after a fault has been applied to the network (e.g. so the
+  /// harness can tell the protocol a client crashed).
+  using FaultHandler = std::function<void(const FaultEvent&)>;
+
+  /// Derives the schedule from `plan` over `network.topology().clients`.
+  /// Throws std::invalid_argument on negative fractions/times or when the
+  /// requested victims exceed the client population.
+  FaultInjector(SimNetwork& network, const FaultPlan& plan);
+
+  /// Uses an explicit schedule verbatim (tests, replayed traces).
+  FaultInjector(SimNetwork& network, std::vector<FaultEvent> schedule);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void setFaultHandler(FaultHandler handler);
+
+  /// Schedules every fault into the network's simulator.  Call exactly once,
+  /// before (or during) the run; throws std::logic_error on reuse.
+  void arm();
+
+  [[nodiscard]] const std::vector<FaultEvent>& schedule() const {
+    return schedule_;
+  }
+  [[nodiscard]] std::size_t plannedFaults(FaultKind kind) const;
+
+ private:
+  SimNetwork& network_;
+  std::vector<FaultEvent> schedule_;
+  FaultHandler handler_;
+  bool armed_ = false;
+};
+
+}  // namespace rmrn::sim

@@ -24,6 +24,15 @@ class LossProcess {
   [[nodiscard]] virtual LinkLossPattern nextPattern() = 0;
 };
 
+/// Reliable-network validity ceiling for the Lemma 1-3 loss model: the audit
+/// layer flags any Bernoulli process with p^2 above this.  0.09 (p <= 0.3)
+/// covers the paper's experimental range (p up to 0.2 in Figs. 7-8) plus
+/// the reliability sweep's 0.3 stress point, where the single-loss
+/// approximation is still defensible; anything beyond is a modelling error,
+/// not a stress test.  (The old ceiling of 0.25 admitted p = 0.5 — a coin
+/// flip per link — which no reading of "reliable network" supports.)
+inline constexpr double kReliableNetworkMaxLossSquared = 0.09;
+
 /// The paper's model: independent Bernoulli(p) per link per packet.
 class BernoulliLossProcess final : public LossProcess {
  public:

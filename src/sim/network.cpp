@@ -21,7 +21,8 @@ SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
   is_agent_.assign(topology_.graph.numNodes(), false);
   is_agent_[topology_.source] = true;
   for (const net::NodeId c : topology_.clients) is_agent_[c] = true;
-  agent_failed_.assign(topology_.graph.numNodes(), false);
+  agent_fault_.assign(topology_.graph.numNodes(), AgentFault::kNone);
+  agent_slow_extra_ms_.assign(topology_.graph.numNodes(), 0.0);
 
   // Precompute loss-free arrival delays down the tree (preorder guarantees
   // parents are computed before children).
@@ -40,15 +41,29 @@ void SimNetwork::setDeliveryHandler(DeliveryHandler handler) {
 
 void SimNetwork::setTraceSink(TraceSink sink) { trace_sink_ = std::move(sink); }
 
-void SimNetwork::setAgentFailed(net::NodeId agent, bool failed) {
+void SimNetwork::setAgentFault(net::NodeId agent, AgentFault fault,
+                               double slow_extra_ms) {
   if (agent >= is_agent_.size() || !is_agent_[agent]) {
     throw std::invalid_argument("SimNetwork: not an agent");
   }
-  agent_failed_[agent] = failed;
+  if (slow_extra_ms < 0.0) {
+    throw std::invalid_argument("SimNetwork: negative slow_extra_ms");
+  }
+  agent_fault_[agent] = fault;
+  agent_slow_extra_ms_[agent] =
+      fault == AgentFault::kSlowed ? slow_extra_ms : 0.0;
+}
+
+AgentFault SimNetwork::agentFault(net::NodeId agent) const {
+  return agent < agent_fault_.size() ? agent_fault_[agent] : AgentFault::kNone;
+}
+
+void SimNetwork::setAgentFailed(net::NodeId agent, bool failed) {
+  setAgentFault(agent, failed ? AgentFault::kCrashed : AgentFault::kNone);
 }
 
 bool SimNetwork::isAgentFailed(net::NodeId agent) const {
-  return agent < agent_failed_.size() && agent_failed_[agent];
+  return agentFault(agent) == AgentFault::kCrashed;
 }
 
 void SimNetwork::trace(TraceEvent::Kind kind, net::NodeId from,
@@ -109,7 +124,32 @@ std::uint64_t SimNetwork::maxRecoveryLinkLoad() const {
 }
 
 void SimNetwork::deliver(net::NodeId at, const Packet& packet) {
-  if (!is_agent_[at] || !handler_ || agent_failed_[at]) return;
+  if (!is_agent_[at] || !handler_) return;
+  switch (agent_fault_[at]) {
+    case AgentFault::kCrashed:
+      return;  // fail-stop: nothing is processed
+    case AgentFault::kStalled:
+      // A stalled peer keeps its state but never answers a recovery plea.
+      if (packet.type == Packet::Type::kRequest) return;
+      break;
+    case AgentFault::kSlowed:
+      if (packet.type == Packet::Type::kRequest &&
+          agent_slow_extra_ms_[at] > 0.0) {
+        simulator_.scheduleAfter(agent_slow_extra_ms_[at],
+                                 [this, at, packet] { deliverNow(at, packet); });
+        return;
+      }
+      break;
+    case AgentFault::kNone:
+      break;
+  }
+  deliverNow(at, packet);
+}
+
+void SimNetwork::deliverNow(net::NodeId at, const Packet& packet) {
+  // Re-check the crash state: the agent may have crashed while a slowed
+  // delivery was in flight.
+  if (!handler_ || agent_fault_[at] == AgentFault::kCrashed) return;
   ++stats_.deliveries;
   const std::size_t index =
       static_cast<std::size_t>(at) * 4 + static_cast<std::size_t>(packet.type);

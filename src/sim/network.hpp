@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,30 @@ namespace rmrn::sim {
 /// is true when the link parent(v) -> v drops the packet.  The root entry is
 /// ignored.  Shared across protocols so all three recover identical losses.
 using LinkLossPattern = std::vector<bool>;
+
+/// Agent fault states (see sim::FaultInjector for the scheduled process).
+///   kCrashed — the agent receives nothing and answers nothing (fail-stop);
+///   kStalled — the agent keeps receiving data/repairs but never sees
+///              REQUESTs, so it silently ignores every recovery plea
+///              (a respond-never Byzantine-ish peer);
+///   kSlowed  — REQUEST deliveries are delayed by an extra latency, so the
+///              agent answers, just late (stresses timeout adaptation).
+/// Routers keep forwarding in every state; only agent behaviour changes.
+enum class AgentFault : std::uint8_t { kNone, kCrashed, kStalled, kSlowed };
+
+[[nodiscard]] constexpr std::string_view toString(AgentFault fault) {
+  switch (fault) {
+    case AgentFault::kNone:
+      return "none";
+    case AgentFault::kCrashed:
+      return "crash";
+    case AgentFault::kStalled:
+      return "stall";
+    case AgentFault::kSlowed:
+      return "slow";
+  }
+  return "?";
+}
 
 struct NetworkStats {
   std::uint64_t data_hops = 0;      // link traversals of DATA packets
@@ -70,9 +95,15 @@ class SimNetwork {
   /// function to disable.  No overhead when unset.
   void setTraceSink(TraceSink sink);
 
-  /// Failure injection: a failed agent stops receiving deliveries (so it
-  /// never answers requests); the underlying router keeps forwarding.
-  /// Protocol timeouts route around it.  Throws on non-agent nodes.
+  /// Failure injection (see AgentFault above).  `slow_extra_ms` is the extra
+  /// REQUEST-delivery latency for kSlowed and ignored otherwise.  Throws on
+  /// non-agent nodes.  Protocol timeouts route around faulted agents.
+  void setAgentFault(net::NodeId agent, AgentFault fault,
+                     double slow_extra_ms = 0.0);
+  [[nodiscard]] AgentFault agentFault(net::NodeId agent) const;
+
+  /// Crash-only shorthands kept for existing callers: `failed` maps to
+  /// AgentFault::kCrashed and isAgentFailed() reports crashes only.
   void setAgentFailed(net::NodeId agent, bool failed);
   [[nodiscard]] bool isAgentFailed(net::NodeId agent) const;
 
@@ -132,6 +163,7 @@ class SimNetwork {
 
  private:
   void deliver(net::NodeId at, const Packet& packet);
+  void deliverNow(net::NodeId at, const Packet& packet);
   void forwardUnicast(std::vector<net::NodeId> path, std::size_t hop,
                       Packet packet);
   /// Floods from `node` over tree links, skipping `came_from`.  `down_only`
@@ -154,7 +186,8 @@ class SimNetwork {
   DeliveryHandler handler_;
   TraceSink trace_sink_;
   std::vector<bool> is_agent_;               // clients + source, by NodeId
-  std::vector<bool> agent_failed_;           // crash injection, by NodeId
+  std::vector<AgentFault> agent_fault_;      // fault injection, by NodeId
+  std::vector<double> agent_slow_extra_ms_;  // kSlowed request delay, by NodeId
   std::vector<net::DelayMs> arrival_delay_;  // by memberIndex
   NetworkStats stats_;
   // deliveries_by_type_[node * 4 + type]; sized lazily on first delivery.

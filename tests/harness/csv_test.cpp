@@ -45,6 +45,13 @@ TEST(CsvWriterTest, ResultsCsvShape) {
   rp.avg_bandwidth_hops = 8.25;
   rp.recovery_hops = 82;
   rp.fully_recovered = true;
+  rp.retries = 3;
+  rp.timeouts = 4;
+  rp.blacklist_events = 1;
+  rp.failovers = 1;
+  rp.source_fallbacks = 2;
+  rp.abandoned = 5;
+  rp.residual = 0;
   result.protocols.push_back(rp);
 
   std::ostringstream out;
@@ -57,8 +64,9 @@ TEST(CsvWriterTest, ResultsCsvShape) {
   EXPECT_EQ(header,
             "num_nodes,clients,loss_prob,protocol,losses,recoveries,"
             "avg_latency_ms,avg_bandwidth_hops,recovery_hops,"
-            "fully_recovered");
-  EXPECT_EQ(row, "100,37,0.05,RP,10,10,42.5,8.25,82,true");
+            "fully_recovered,retries,timeouts,blacklist_events,failovers,"
+            "source_fallbacks,abandoned,residual");
+  EXPECT_EQ(row, "100,37,0.05,RP,10,10,42.5,8.25,82,true,3,4,1,1,2,5,0");
   std::string extra;
   EXPECT_FALSE(std::getline(lines, extra));
 }

@@ -1,0 +1,116 @@
+// End-to-end fault tolerance (DESIGN.md §9): crash/stall/slow a slice of the
+// group mid-run and require every SURVIVING client's loss to be recovered —
+// the issue's acceptance bar — with the resilience counters explaining how.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace rmrn::harness {
+namespace {
+
+constexpr ProtocolKind kRpOnly[] = {ProtocolKind::kRp};
+
+// 60-node group, 40 packets at 50ms spacing; 20% of the clients crash
+// shortly after the packet-16 multicast (mid-run), staggered 10ms apart.
+ExperimentConfig faultedConfig(std::uint64_t seed = 9) {
+  ExperimentConfig config;
+  config.num_nodes = 60;
+  config.loss_prob = 0.05;
+  config.num_packets = 40;
+  config.seed = seed;
+  config.faults.crash_fraction = 0.2;
+  config.faults.at_ms = 16.0 * config.data_interval_ms + 2.0;
+  config.faults.stagger_ms = 10.0;
+  config.faults.seed = seed;
+  return config;
+}
+
+TEST(ResilienceTest, RpRecoversEverySurvivorLossUnderCrashes) {
+  const ExperimentResult result = runExperiment(faultedConfig(), kRpOnly);
+  const ProtocolResult& rp = result.result(ProtocolKind::kRp);
+
+  // The acceptance bar: zero residual — no surviving client's loss is left
+  // unrecovered, crashes notwithstanding.
+  EXPECT_EQ(rp.residual, 0u);
+  EXPECT_TRUE(rp.fully_recovered);
+  EXPECT_GT(rp.recoveries, 0u);
+  // Every registered loss is accounted for: recovered or voided by a crash.
+  EXPECT_EQ(rp.losses, rp.recoveries + rp.abandoned);
+
+  // The machinery that got us there actually engaged: requests to dead
+  // peers timed out, the peers were blacklisted, and clients failed over
+  // onto replanned lists.
+  EXPECT_GT(rp.timeouts, 0u);
+  EXPECT_GT(rp.retries, 0u);
+  EXPECT_GE(rp.blacklist_events, 1u);
+  EXPECT_GE(rp.failovers, 1u);
+}
+
+TEST(ResilienceTest, AllProtocolsSurviveTheSameCrashes) {
+  const ProtocolKind all[] = {ProtocolKind::kSrm, ProtocolKind::kRma,
+                              ProtocolKind::kRp, ProtocolKind::kSourceDirect,
+                              ProtocolKind::kParityFec};
+  const ExperimentResult result = runExperiment(faultedConfig(), all);
+  for (const ProtocolResult& r : result.protocols) {
+    EXPECT_EQ(r.residual, 0u) << toString(r.kind);
+    EXPECT_TRUE(r.fully_recovered) << toString(r.kind);
+    EXPECT_EQ(r.losses, r.recoveries + r.abandoned) << toString(r.kind);
+  }
+}
+
+TEST(ResilienceTest, FaultedRunsAreDeterministic) {
+  const ExperimentResult a = runExperiment(faultedConfig(11), kRpOnly);
+  const ExperimentResult b = runExperiment(faultedConfig(11), kRpOnly);
+  const ProtocolResult& ra = a.result(ProtocolKind::kRp);
+  const ProtocolResult& rb = b.result(ProtocolKind::kRp);
+  EXPECT_EQ(ra.losses, rb.losses);
+  EXPECT_EQ(ra.recoveries, rb.recoveries);
+  EXPECT_EQ(ra.abandoned, rb.abandoned);
+  EXPECT_EQ(ra.residual, rb.residual);
+  EXPECT_EQ(ra.retries, rb.retries);
+  EXPECT_EQ(ra.timeouts, rb.timeouts);
+  EXPECT_EQ(ra.blacklist_events, rb.blacklist_events);
+  EXPECT_EQ(ra.failovers, rb.failovers);
+  EXPECT_DOUBLE_EQ(ra.avg_latency_ms, rb.avg_latency_ms);
+}
+
+TEST(ResilienceTest, SurvivorLatencyStaysWithinTwiceBaseline) {
+  // The issue's delay bound: with 20% of clients crashed, the survivors'
+  // mean recovery delay stays within 2x the fault-free baseline.
+  ExperimentConfig baseline = faultedConfig(5);
+  baseline.faults = {};
+  const ExperimentResult clean = runAveragedExperiment(baseline, 3, kRpOnly);
+  const ExperimentResult faulted =
+      runAveragedExperiment(faultedConfig(5), 3, kRpOnly);
+  const double clean_ms = clean.result(ProtocolKind::kRp).avg_latency_ms;
+  const double faulted_ms = faulted.result(ProtocolKind::kRp).avg_latency_ms;
+  ASSERT_GT(clean_ms, 0.0);
+  EXPECT_LE(faulted_ms, 2.0 * clean_ms);
+}
+
+TEST(ResilienceTest, StalledAndSlowedPeersDoNotBlockRecovery) {
+  ExperimentConfig config = faultedConfig(13);
+  config.faults.crash_fraction = 0.0;
+  config.faults.stall_fraction = 0.15;  // receive data, never answer requests
+  config.faults.slow_fraction = 0.15;   // answer, but 20ms late
+  config.faults.slow_extra_ms = 20.0;
+  const ExperimentResult result = runExperiment(config, kRpOnly);
+  const ProtocolResult& rp = result.result(ProtocolKind::kRp);
+  // Stalled/slowed clients still run their own recovery, so nothing is
+  // abandoned — and nothing may be left outstanding either.
+  EXPECT_EQ(rp.residual, 0u);
+  EXPECT_EQ(rp.abandoned, 0u);
+  EXPECT_TRUE(rp.fully_recovered);
+  EXPECT_EQ(rp.losses, rp.recoveries);
+}
+
+TEST(ResilienceTest, NonEmptyFaultPlanAutoEnablesAdaptiveTimeouts) {
+  // faultedConfig leaves protocol.health.enabled at its false default; the
+  // harness must still flip it on for faulted runs — blacklist events are
+  // only ever recorded through the health tracker.
+  const ExperimentResult result = runExperiment(faultedConfig(), kRpOnly);
+  EXPECT_GE(result.result(ProtocolKind::kRp).blacklist_events, 1u);
+}
+
+}  // namespace
+}  // namespace rmrn::harness

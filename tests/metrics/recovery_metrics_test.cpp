@@ -82,6 +82,62 @@ TEST(RecoveryMetricsTest, RejectsHugeSequence) {
   EXPECT_THROW(m.recordLoss(1, 1ULL << 40, 0.0), std::invalid_argument);
 }
 
+TEST(RecoveryMetricsTest, AbandonWritesOffPendingLossesOnly) {
+  RecoveryMetrics m;
+  m.recordLoss(5, 0, 100.0);
+  m.recordLoss(5, 1, 110.0);
+  m.recordLoss(6, 0, 100.0);
+  EXPECT_TRUE(m.recordRecovery(5, 0, 120.0));  // already recovered: kept
+
+  EXPECT_EQ(m.abandonClient(5), 1u);  // only the pending seq 1
+  EXPECT_EQ(m.abandoned(), 1u);
+  EXPECT_EQ(m.recoveries(), 1u);
+  EXPECT_EQ(m.outstanding(), 1u);  // client 6's loss is untouched
+  EXPECT_TRUE(m.isRecovered(5, 0));
+
+  // A repair arriving after the crash is void.
+  EXPECT_FALSE(m.recordRecovery(5, 1, 200.0));
+  EXPECT_EQ(m.recoveries(), 1u);
+
+  // Abandoning again is a no-op.
+  EXPECT_EQ(m.abandonClient(5), 0u);
+  EXPECT_EQ(m.abandoned(), 1u);
+}
+
+TEST(RecoveryMetricsTest, OutstandingExcludesAbandoned) {
+  RecoveryMetrics m;
+  m.recordLoss(1, 0, 0.0);
+  m.recordLoss(2, 0, 0.0);
+  EXPECT_EQ(m.outstanding(), 2u);
+  m.abandonClient(1);
+  EXPECT_EQ(m.outstanding(), 1u);
+  m.recordRecovery(2, 0, 5.0);
+  EXPECT_EQ(m.outstanding(), 0u);  // all losses accounted: recovered or dead
+}
+
+TEST(RecoveryMetricsTest, ResilienceCountersAccumulate) {
+  RecoveryMetrics m;
+  EXPECT_EQ(m.retries(), 0u);
+  EXPECT_EQ(m.timeouts(), 0u);
+  m.recordRetry();
+  m.recordRetry();
+  m.recordTimeout(7);
+  m.recordTimeout(7);
+  m.recordTimeout(9);
+  m.recordBlacklist(7);
+  m.recordFailover(3);
+  m.recordSourceFallback(3);
+  EXPECT_EQ(m.retries(), 2u);
+  EXPECT_EQ(m.timeouts(), 3u);
+  EXPECT_EQ(m.timeoutsFor(7), 2u);
+  EXPECT_EQ(m.timeoutsFor(9), 1u);
+  EXPECT_EQ(m.timeoutsFor(8), 0u);  // never timed out
+  EXPECT_EQ(m.timeoutsByTarget().size(), 2u);
+  EXPECT_EQ(m.blacklistEvents(), 1u);
+  EXPECT_EQ(m.failovers(), 1u);
+  EXPECT_EQ(m.sourceFallbacks(), 1u);
+}
+
 TEST(RecoveryMetricsTest, LatencyDistribution) {
   RecoveryMetrics m;
   for (std::uint64_t i = 0; i < 10; ++i) {

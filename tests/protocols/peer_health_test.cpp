@@ -1,0 +1,132 @@
+// PeerHealth: Jacobson/Karn RTT estimation, exponential backoff and sticky
+// blacklisting (DESIGN.md §9).
+#include "protocols/peer_health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rmrn::protocols {
+namespace {
+
+constexpr net::NodeId kClient = 3;
+constexpr net::NodeId kPeer = 7;
+
+TEST(PeerHealthTest, NoSamplesNoTimeoutsEqualsLegacyTimeout) {
+  // Behavioural-compatibility invariant: until the estimator has data the
+  // adaptive RTO is exactly the static policy, so enabling health never
+  // perturbs a healthy run.
+  const PeerHealth health{PeerHealthConfig{}};
+  EXPECT_DOUBLE_EQ(health.timeout(kClient, kPeer, 10.0, 1.5, 1.0), 15.0);
+  EXPECT_DOUBLE_EQ(health.timeout(kClient, kPeer, 0.2, 1.5, 1.0), 1.0);
+}
+
+TEST(PeerHealthTest, FirstSampleSeedsSrttAndRttvar)  {
+  PeerHealth health{PeerHealthConfig{}};
+  health.onResponse(kClient, kPeer, 20.0, /*from_retransmit=*/false);
+  EXPECT_DOUBLE_EQ(health.srtt(kClient, kPeer), 20.0);
+  // RFC 6298 seeding: RTTVAR = sample / 2, so RTO = 20 + max(4*10, slack).
+  EXPECT_DOUBLE_EQ(health.timeout(kClient, kPeer, 10.0, 1.5, 1.0), 60.0);
+}
+
+TEST(PeerHealthTest, SamplesConvergeOnStableRtt) {
+  PeerHealth health{PeerHealthConfig{}};
+  for (int i = 0; i < 200; ++i) {
+    health.onResponse(kClient, kPeer, 20.0, false);
+  }
+  EXPECT_NEAR(health.srtt(kClient, kPeer), 20.0, 1e-9);
+  // RTTVAR decays toward 0; the legacy slack (factor-1)*SRTT floors the RTO.
+  EXPECT_NEAR(health.timeout(kClient, kPeer, 10.0, 1.5, 1.0), 30.0, 0.1);
+}
+
+TEST(PeerHealthTest, KarnRuleSkipsRetransmitSamples) {
+  PeerHealth health{PeerHealthConfig{}};
+  health.onResponse(kClient, kPeer, 20.0, false);
+  // A wildly late retransmit response must not pollute the estimate…
+  health.onResponse(kClient, kPeer, 5000.0, /*from_retransmit=*/true);
+  EXPECT_DOUBLE_EQ(health.srtt(kClient, kPeer), 20.0);
+  // …but it does clear the consecutive-timeout streak.
+  health.onTimeout(kClient, kPeer, true);
+  EXPECT_EQ(health.consecutiveTimeouts(kClient, kPeer), 1u);
+  health.onResponse(kClient, kPeer, 1.0, true);
+  EXPECT_EQ(health.consecutiveTimeouts(kClient, kPeer), 0u);
+}
+
+TEST(PeerHealthTest, TimeoutsBackOffExponentiallyAndAreCapped) {
+  PeerHealthConfig config;
+  config.blacklist_after = 0;  // isolate backoff from blacklisting
+  PeerHealth health{config};
+  health.onResponse(kClient, kPeer, 10.0, false);
+  const double base = health.timeout(kClient, kPeer, 10.0, 1.5, 1.0);
+  health.onTimeout(kClient, kPeer, true);
+  EXPECT_DOUBLE_EQ(health.timeout(kClient, kPeer, 10.0, 1.5, 1.0), 2.0 * base);
+  health.onTimeout(kClient, kPeer, true);
+  EXPECT_DOUBLE_EQ(health.timeout(kClient, kPeer, 10.0, 1.5, 1.0), 4.0 * base);
+  for (int i = 0; i < 10; ++i) health.onTimeout(kClient, kPeer, true);
+  // Bounded by max_backoff_factor (default 8).
+  EXPECT_DOUBLE_EQ(health.timeout(kClient, kPeer, 10.0, 1.5, 1.0), 8.0 * base);
+}
+
+TEST(PeerHealthTest, BlacklistsAfterConsecutiveTimeouts) {
+  PeerHealth health{PeerHealthConfig{}};  // blacklist_after = 2
+  EXPECT_FALSE(health.onTimeout(kClient, kPeer, true));
+  EXPECT_FALSE(health.blacklisted(kClient, kPeer));
+  // Second consecutive timeout newly blacklists — exactly once.
+  EXPECT_TRUE(health.onTimeout(kClient, kPeer, true));
+  EXPECT_TRUE(health.blacklisted(kClient, kPeer));
+  EXPECT_FALSE(health.onTimeout(kClient, kPeer, true));
+  // Sticky: even a response does not un-blacklist.
+  health.onResponse(kClient, kPeer, 5.0, false);
+  EXPECT_TRUE(health.blacklisted(kClient, kPeer));
+}
+
+TEST(PeerHealthTest, ResponseBetweenTimeoutsResetsTheStreak) {
+  PeerHealth health{PeerHealthConfig{}};
+  EXPECT_FALSE(health.onTimeout(kClient, kPeer, true));
+  health.onResponse(kClient, kPeer, 5.0, false);
+  EXPECT_FALSE(health.onTimeout(kClient, kPeer, true));  // streak restarted
+  EXPECT_FALSE(health.blacklisted(kClient, kPeer));
+}
+
+TEST(PeerHealthTest, SourceExemptViaBlacklistableFlag) {
+  PeerHealth health{PeerHealthConfig{}};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(health.onTimeout(kClient, kPeer, /*blacklistable=*/false));
+  }
+  EXPECT_FALSE(health.blacklisted(kClient, kPeer));
+}
+
+TEST(PeerHealthTest, BlacklistedTargetsSortedPerClient) {
+  PeerHealth health{PeerHealthConfig{}};
+  for (const net::NodeId peer : {9u, 4u, 7u}) {
+    health.onTimeout(kClient, peer, true);
+    health.onTimeout(kClient, peer, true);
+  }
+  health.onTimeout(kClient + 1, 5, true);  // other client: separate books
+  const std::vector<net::NodeId> expected{4, 7, 9};
+  EXPECT_EQ(health.blacklistedTargets(kClient), expected);
+  EXPECT_TRUE(health.blacklistedTargets(kClient + 1).empty());
+}
+
+TEST(PeerHealthTest, PairsAreIndependent) {
+  PeerHealth health{PeerHealthConfig{}};
+  health.onResponse(kClient, kPeer, 20.0, false);
+  EXPECT_LT(health.srtt(kClient, kPeer + 1), 0.0);  // untouched pair
+  health.onTimeout(kClient, kPeer + 1, true);
+  EXPECT_EQ(health.consecutiveTimeouts(kClient, kPeer), 0u);
+}
+
+TEST(PeerHealthTest, BadConfigRejected) {
+  PeerHealthConfig bad;
+  bad.srtt_alpha = 0.0;
+  EXPECT_THROW(PeerHealth{bad}, std::invalid_argument);
+  bad = {};
+  bad.backoff_base = 0.5;
+  EXPECT_THROW(PeerHealth{bad}, std::invalid_argument);
+  bad = {};
+  bad.retry_budget = 0;
+  EXPECT_THROW(PeerHealth{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrn::protocols

@@ -1,0 +1,207 @@
+// FaultInjector: seed-deterministic fault schedules and the per-kind agent
+// semantics they flip on (crash = fail-stop, stall = respond-never, slow =
+// late REQUEST delivery).
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::sim {
+namespace {
+
+struct Rig {
+  net::Topology topo;
+  net::Routing routing;
+  Simulator sim;
+  SimNetwork network;
+
+  explicit Rig(std::uint64_t seed = 1, std::uint32_t n = 60)
+      : topo(make(seed, n)),
+        routing(topo.graph),
+        network(sim, topo, routing, 0.0, util::Rng(seed)) {}
+
+  static net::Topology make(std::uint64_t seed, std::uint32_t n) {
+    util::Rng rng(seed);
+    net::TopologyConfig config;
+    config.num_nodes = n;
+    return net::generateTopology(config, rng);
+  }
+};
+
+TEST(FaultInjectorTest, ScheduleIsSeedDeterministic) {
+  Rig rig;
+  FaultPlan plan;
+  plan.crash_fraction = 0.2;
+  plan.stall_fraction = 0.1;
+  plan.slow_fraction = 0.1;
+  plan.at_ms = 500.0;
+  plan.stagger_ms = 10.0;
+  plan.seed = 42;
+
+  const FaultInjector a(rig.network, plan);
+  const FaultInjector b(rig.network, plan);
+  EXPECT_EQ(a.schedule(), b.schedule());
+
+  // A different victim seed reshuffles who gets hit (same counts).
+  FaultPlan other = plan;
+  other.seed = 43;
+  const FaultInjector c(rig.network, other);
+  EXPECT_EQ(c.plannedFaults(FaultKind::kCrash),
+            a.plannedFaults(FaultKind::kCrash));
+  EXPECT_NE(a.schedule(), c.schedule());
+}
+
+TEST(FaultInjectorTest, VictimSetsAreDisjointAndSized) {
+  Rig rig;
+  FaultPlan plan;
+  plan.crash_fraction = 0.25;
+  plan.stall_fraction = 0.25;
+  plan.slow_fraction = 0.25;
+  const FaultInjector injector(rig.network, plan);
+
+  const auto k = static_cast<double>(rig.topo.clients.size());
+  EXPECT_EQ(injector.plannedFaults(FaultKind::kCrash),
+            static_cast<std::size_t>(std::llround(0.25 * k)));
+  std::set<net::NodeId> victims;
+  for (const FaultEvent& event : injector.schedule()) {
+    EXPECT_TRUE(victims.insert(event.node).second)
+        << "node " << event.node << " faulted twice";
+    EXPECT_TRUE(rig.topo.isClient(event.node));
+  }
+}
+
+TEST(FaultInjectorTest, StaggerSpacesFaultTimes) {
+  Rig rig;
+  FaultPlan plan;
+  plan.crash_fraction = 0.2;
+  plan.at_ms = 100.0;
+  plan.stagger_ms = 25.0;
+  const FaultInjector injector(rig.network, plan);
+  ASSERT_GE(injector.schedule().size(), 2u);
+  for (std::size_t i = 0; i < injector.schedule().size(); ++i) {
+    EXPECT_DOUBLE_EQ(injector.schedule()[i].at_ms, 100.0 + 25.0 * i);
+  }
+}
+
+TEST(FaultInjectorTest, BadPlansRejected) {
+  Rig rig;
+  FaultPlan negative;
+  negative.crash_fraction = -0.1;
+  EXPECT_THROW(FaultInjector(rig.network, negative), std::invalid_argument);
+  FaultPlan overfull;
+  overfull.crash_fraction = 0.7;
+  overfull.stall_fraction = 0.7;
+  EXPECT_THROW(FaultInjector(rig.network, overfull), std::invalid_argument);
+  FaultPlan past;
+  past.crash_fraction = 0.1;
+  past.at_ms = -1.0;
+  EXPECT_THROW(FaultInjector(rig.network, past), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, ArmAppliesFaultsAtScheduledTimes) {
+  Rig rig;
+  const net::NodeId victim = rig.topo.clients.front();
+  FaultInjector injector(
+      rig.network, {{200.0, victim, FaultKind::kCrash, 0.0}});
+  std::vector<FaultEvent> seen;
+  injector.setFaultHandler(
+      [&seen](const FaultEvent& event) { seen.push_back(event); });
+  injector.arm();
+  EXPECT_THROW(injector.arm(), std::logic_error);
+
+  EXPECT_EQ(rig.network.agentFault(victim), AgentFault::kNone);
+  rig.sim.run();
+  EXPECT_EQ(rig.network.agentFault(victim), AgentFault::kCrashed);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen.front().node, victim);
+  EXPECT_EQ(seen.front().kind, FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(seen.front().at_ms, 200.0);
+}
+
+struct DeliveryCounter {
+  std::uint64_t requests = 0;
+  std::uint64_t repairs = 0;
+  double last_request_at = -1.0;
+};
+
+TEST(FaultInjectorTest, FaultKindsGateDeliveriesAsSpecified) {
+  Rig rig;
+  ASSERT_GE(rig.topo.clients.size(), 3u);
+  const net::NodeId crashed = rig.topo.clients[0];
+  const net::NodeId stalled = rig.topo.clients[1];
+  const net::NodeId slowed = rig.topo.clients[2];
+  rig.network.setAgentFault(crashed, AgentFault::kCrashed);
+  rig.network.setAgentFault(stalled, AgentFault::kStalled);
+  rig.network.setAgentFault(slowed, AgentFault::kSlowed,
+                            /*slow_extra_ms=*/500.0);
+
+  std::unordered_map<net::NodeId, DeliveryCounter> seen;
+  rig.network.setDeliveryHandler(
+      [&seen, &rig](net::NodeId at, const Packet& packet) {
+        auto& c = seen[at];
+        if (packet.type == Packet::Type::kRequest) {
+          ++c.requests;
+          c.last_request_at = rig.sim.now();
+        } else if (packet.type == Packet::Type::kRepair) {
+          ++c.repairs;
+        }
+      });
+
+  const net::NodeId source = rig.topo.source;
+  for (const net::NodeId target : {crashed, stalled, slowed}) {
+    rig.network.unicast(source, target,
+                        Packet{Packet::Type::kRequest, 0, source, source, 0});
+    rig.network.unicast(source, target,
+                        Packet{Packet::Type::kRepair, 0, source, source, 0});
+  }
+  rig.sim.run();
+
+  // Crashed: nothing at all.  Stalled: repairs only.  Slowed: everything,
+  // with the REQUEST held back by the extra latency.
+  EXPECT_EQ(seen[crashed].requests, 0u);
+  EXPECT_EQ(seen[crashed].repairs, 0u);
+  EXPECT_EQ(seen[stalled].requests, 0u);
+  EXPECT_EQ(seen[stalled].repairs, 1u);
+  EXPECT_EQ(seen[slowed].requests, 1u);
+  EXPECT_EQ(seen[slowed].repairs, 1u);
+  EXPECT_GE(seen[slowed].last_request_at,
+            rig.routing.distance(source, slowed) + 500.0);
+}
+
+TEST(FaultInjectorTest, CrashWhileSlowedDeliveryInFlightDropsIt) {
+  // A slowed REQUEST already queued for late delivery must still be dropped
+  // when the agent crashes before the delayed delivery fires.
+  Rig rig;
+  const net::NodeId victim = rig.topo.clients.front();
+  rig.network.setAgentFault(victim, AgentFault::kSlowed,
+                            /*slow_extra_ms=*/1000.0);
+  std::uint64_t delivered = 0;
+  rig.network.setDeliveryHandler(
+      [&delivered, victim](net::NodeId at, const Packet& packet) {
+        if (at == victim && packet.type == Packet::Type::kRequest) {
+          ++delivered;
+        }
+      });
+  const net::NodeId source = rig.topo.source;
+  rig.network.unicast(source, victim,
+                      Packet{Packet::Type::kRequest, 0, source, source, 0});
+  // Crash strictly between arrival and the delayed delivery.
+  rig.sim.scheduleAt(
+      rig.routing.distance(source, victim) + 500.0,
+      [&rig, victim] { rig.network.setAgentFault(victim,
+                                                 AgentFault::kCrashed); });
+  rig.sim.run();
+  EXPECT_EQ(delivered, 0u);
+}
+
+}  // namespace
+}  // namespace rmrn::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.hpp"
+
 namespace rmrn::sim {
 namespace {
 
@@ -32,9 +34,24 @@ TEST(BernoulliLossTest, RejectsBadProbability) {
 }
 
 TEST(BernoulliLossTest, PatternSize) {
-  BernoulliLossProcess process(17, 0.5, util::Rng(2));
+  BernoulliLossProcess process(17, 0.2, util::Rng(2));
   EXPECT_EQ(process.nextPattern().size(), 17u);
 }
+
+#if RMRN_AUDIT_CHECKS_ENABLED
+TEST(BernoulliLossTest, AuditRejectsUnreliableNetworkLossRate) {
+  // Beyond the envelope the single-loss assumption (p^2 ~ 0, DESIGN.md §9)
+  // no longer holds and audit builds must refuse to simulate.
+  EXPECT_THROW(BernoulliLossProcess(8, 0.5, util::Rng(1)),
+               util::ContractViolation);
+  EXPECT_THROW(BernoulliLossProcess(8, 0.4, util::Rng(1)),
+               util::ContractViolation);
+  // At the envelope's edge (p = 0.3, the sweep's stress point) it still
+  // runs.
+  BernoulliLossProcess at_edge(8, 0.3, util::Rng(1));
+  EXPECT_EQ(at_edge.nextPattern().size(), 8u);
+}
+#endif  // RMRN_AUDIT_CHECKS_ENABLED
 
 TEST(GilbertElliottTest, CalibrationMath) {
   const auto config = GilbertElliottConfig::calibrate(0.05, 4.0);
@@ -66,6 +83,34 @@ TEST(GilbertElliottTest, StationaryLossRateMatchesTarget) {
     }
   }
   EXPECT_NEAR(static_cast<double>(losses) / (40.0 * kPackets), 0.08, 0.01);
+}
+
+TEST(GilbertElliottTest, CalibrateRoundTripsLossRateAndBurstLength) {
+  // Property check over a long trace: simulating a calibrated chain must
+  // reproduce BOTH calibration targets — the marginal loss rate and the
+  // mean length of a loss burst (maximal run of consecutive losses).
+  constexpr double kTargetLoss = 0.06;
+  constexpr double kTargetBurst = 3.5;
+  const auto config =
+      GilbertElliottConfig::calibrate(kTargetLoss, kTargetBurst);
+  GilbertElliottLossProcess process(1, config, util::Rng(23));
+
+  std::uint64_t losses = 0;
+  std::uint64_t bursts = 0;
+  bool prev = false;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const bool lost = process.nextPattern()[0];
+    if (lost) {
+      ++losses;
+      if (!prev) ++bursts;  // a new maximal run starts here
+    }
+    prev = lost;
+  }
+  ASSERT_GT(bursts, 1000u);
+  EXPECT_NEAR(static_cast<double>(losses) / kDraws, kTargetLoss, 0.01);
+  EXPECT_NEAR(static_cast<double>(losses) / static_cast<double>(bursts),
+              kTargetBurst, 0.25);
 }
 
 TEST(GilbertElliottTest, LossesAreBursty) {
