@@ -7,6 +7,7 @@
 // trends) is the reproduction target (see EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -151,12 +152,32 @@ inline sim::FaultPlan parseFaultPlan(int argc, char** argv) {
   return plan;
 }
 
+/// Simulator events fired across every protocol of one experiment.
+inline std::uint64_t totalEvents(const harness::ExperimentResult& result) {
+  std::uint64_t events = 0;
+  for (const harness::ProtocolResult& r : result.protocols) {
+    events += r.events_processed;
+  }
+  return events;
+}
+
+/// Progress trailer: engine throughput over the whole sweep.
+inline void printEngineRate(std::uint64_t events, double wall_ms) {
+  std::cerr << "  engine: " << events << " events in " << wall_ms << " ms ("
+            << (wall_ms > 0.0
+                    ? static_cast<double>(events) / (wall_ms / 1000.0)
+                    : 0.0)
+            << " events/sec)\n";
+}
+
 /// Runs the Fig. 5/6 client-count sweep and returns one row per size.
 inline std::vector<FigureRow> runClientSweep(Metric metric,
                                              std::uint32_t runs = 3,
                                              unsigned threads = 0,
                                              const sim::FaultPlan& faults = {}) {
   std::vector<FigureRow> rows;
+  std::uint64_t sweep_events = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
   for (const std::uint32_t n : figure56Sizes()) {
     harness::ExperimentConfig config = baseConfig();
     config.num_nodes = n;
@@ -167,13 +188,20 @@ inline std::vector<FigureRow> runClientSweep(Metric metric,
         harness::runAveragedExperimentParallel(config, runs,
                                                harness::kAllProtocols,
                                                threads);
+    const std::uint64_t events = totalEvents(result);
+    sweep_events += events;
     rows.push_back(
         {result.num_clients, result.num_clients,
          metricOf(result.result(harness::ProtocolKind::kSrm), metric),
          metricOf(result.result(harness::ProtocolKind::kRma), metric),
          metricOf(result.result(harness::ProtocolKind::kRp), metric)});
-    std::cerr << "  n=" << n << " done (k~" << result.num_clients << ")\n";
+    std::cerr << "  n=" << n << " done (k~" << result.num_clients << ", "
+              << events << " events)\n";
   }
+  printEngineRate(sweep_events,
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count());
   return rows;
 }
 
@@ -183,6 +211,8 @@ inline std::vector<FigureRow> runLossSweep(Metric metric,
                                            unsigned threads = 0,
                                            const sim::FaultPlan& faults = {}) {
   std::vector<FigureRow> rows;
+  std::uint64_t sweep_events = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
   for (const double p : figure78LossProbs()) {
     harness::ExperimentConfig config = baseConfig();
     config.num_nodes = 500;
@@ -192,13 +222,19 @@ inline std::vector<FigureRow> runLossSweep(Metric metric,
         harness::runAveragedExperimentParallel(config, runs,
                                                harness::kAllProtocols,
                                                threads);
+    const std::uint64_t events = totalEvents(result);
+    sweep_events += events;
     rows.push_back(
         {100.0 * p, result.num_clients,
          metricOf(result.result(harness::ProtocolKind::kSrm), metric),
          metricOf(result.result(harness::ProtocolKind::kRma), metric),
          metricOf(result.result(harness::ProtocolKind::kRp), metric)});
-    std::cerr << "  p=" << 100.0 * p << "% done\n";
+    std::cerr << "  p=" << 100.0 * p << "% done (" << events << " events)\n";
   }
+  printEngineRate(sweep_events,
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count());
   return rows;
 }
 

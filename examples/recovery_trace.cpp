@@ -6,6 +6,7 @@
 // Usage: recovery_trace [seed]
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "core/planner.hpp"
 #include "metrics/recovery_metrics.hpp"

@@ -44,6 +44,7 @@
 //   rmrn_cli config [--out file]
 //       Print (or write) a complete default experiment config to edit.
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -247,21 +248,37 @@ int cmdRun(const util::Flags& flags) {
   const auto threads = static_cast<unsigned>(flags.getUnsigned("threads", 0));
   if (const int rc = failUnknownFlags(flags)) return rc;
 
+  const auto wall_start = std::chrono::steady_clock::now();
   const harness::ExperimentResult result =
       harness::runAveragedExperimentParallel(config, runs, kinds, threads);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
 
   std::cout << "n=" << config.num_nodes << " (k~" << result.num_clients
             << "), p=" << config.loss_prob * 100.0 << "%, "
             << config.num_packets << " packets x " << runs << " run(s)\n";
   harness::TextTable table({"protocol", "losses", "recovered",
-                            "avg latency (ms)", "avg bandwidth (hops)"});
+                            "avg latency (ms)", "avg bandwidth (hops)",
+                            "events"});
+  std::uint64_t total_events = 0;
   for (const harness::ProtocolResult& r : result.protocols) {
+    total_events += r.events_processed;
     table.addRow({std::string(toString(r.kind)), std::to_string(r.losses),
                   std::to_string(r.recoveries),
                   harness::TextTable::num(r.avg_latency_ms),
-                  harness::TextTable::num(r.avg_bandwidth_hops)});
+                  harness::TextTable::num(r.avg_bandwidth_hops),
+                  std::to_string(r.events_processed)});
   }
   table.print(std::cout);
+  std::cout << "engine: " << total_events << " events in "
+            << harness::TextTable::num(wall_ms) << " ms ("
+            << harness::TextTable::num(
+                   wall_ms > 0.0
+                       ? static_cast<double>(total_events) / (wall_ms / 1000.0)
+                       : 0.0)
+            << " events/sec)\n";
 
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);

@@ -100,6 +100,7 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
 
   ProtocolResult result;
   result.kind = kind;
+  result.events_processed = simulator.eventsProcessed();
   result.losses = recovery.losses();
   result.recoveries = recovery.recoveries();
   result.avg_latency_ms = recovery.latency().mean();
@@ -224,6 +225,7 @@ ExperimentResult aggregate(std::vector<ExperimentResult> results) {
       acc.source_fallbacks += cur.source_fallbacks;
       acc.abandoned += cur.abandoned;
       acc.residual += cur.residual;
+      acc.events_processed += cur.events_processed;
     }
   }
   const auto n = static_cast<double>(results.size());

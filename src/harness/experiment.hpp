@@ -113,6 +113,9 @@ struct ProtocolResult {
   std::uint64_t source_fallbacks = 0;  // sessions that fell back to the source
   std::size_t abandoned = 0;           // losses voided by client crashes
   std::size_t residual = 0;            // surviving-client losses unrecovered
+  /// Simulator events fired during the run (summed across repetitions in
+  /// averaged experiments); drivers report events/sec from it.
+  std::uint64_t events_processed = 0;
 };
 
 struct ExperimentResult {

@@ -140,17 +140,22 @@ DelayMs Routing::rtt(NodeId a, NodeId b) const {
 }
 
 std::vector<NodeId> Routing::path(NodeId a, NodeId b) const {
+  std::vector<NodeId> result;
+  pathInto(a, b, result);
+  return result;
+}
+
+void Routing::pathInto(NodeId a, NodeId b, std::vector<NodeId>& out) const {
   const std::size_t row = rowOf(a);
   checkNode(b);
-  if (dist_[row * n_ + b] == kInf) return {};
-  std::vector<NodeId> result;
+  out.clear();
+  if (dist_[row * n_ + b] == kInf) return;
   const NodeId* pred = &pred_[row * n_];
   for (NodeId cur = b; cur != kInvalidNode; cur = pred[cur]) {
-    result.push_back(cur);
+    out.push_back(cur);
     if (cur == a) break;
   }
-  std::reverse(result.begin(), result.end());
-  return result;
+  std::reverse(out.begin(), out.end());
 }
 
 NodeId Routing::nextHop(NodeId from, NodeId to) const {

@@ -51,6 +51,10 @@ class Routing {
   /// Empty when unreachable; {a} when a == b.
   [[nodiscard]] std::vector<NodeId> path(NodeId a, NodeId b) const;
 
+  /// path() into a caller-owned buffer (cleared first), reusing its capacity
+  /// so repeated route lookups stay allocation-free.
+  void pathInto(NodeId a, NodeId b, std::vector<NodeId>& out) const;
+
   /// First hop on the shortest path from `from` towards `to`.
   /// kInvalidNode when unreachable or from == to.
   [[nodiscard]] NodeId nextHop(NodeId from, NodeId to) const;

@@ -47,14 +47,38 @@ void ParityProtocol::sendNack(net::NodeId client, std::uint64_t block,
   if (state.timer_armed) simulator().cancel(state.retry_timer);
   const double wait = requestTimeout(client, source()) +
                       parity_.gather_window_ms;
-  state.retry_timer = simulator().scheduleAfter(wait, [this, client, block] {
+  state.retry_timer = scheduleTimerAfter(wait, kTimerRetry, client, block);
+  state.timer_armed = true;
+}
+
+void ParityProtocol::onTimer(std::uint32_t kind, std::uint64_t a,
+                             std::uint64_t b, std::uint64_t c) {
+  if (kind == kTimerRetry) {
+    const auto client = static_cast<net::NodeId>(a);
+    const std::uint64_t block = b;
     const auto it = client_blocks_.find(key(client, block));
     if (it == client_blocks_.end() || it->second.missing.empty()) return;
     it->second.timer_armed = false;
     noteRequestTimeout(client, source());
     sendNack(client, block, /*retransmit=*/true);
-  });
-  state.timer_armed = true;
+    return;
+  }
+  if (kind == kTimerGather) {
+    const std::uint64_t block = a;
+    auto& src = source_blocks_.at(block);
+    src.gathering = false;
+    const std::uint32_t count = src.wave_request;
+    src.wave_request = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ++parities_sent_;
+      // REPAIR.seq = block id, REPAIR.tag = fresh parity index.
+      network().multicastFromSource(
+          sim::Packet{sim::Packet::Type::kParity, block, source(),
+                      net::kInvalidNode, src.next_parity_index++});
+    }
+    return;
+  }
+  RecoveryProtocol::onTimer(kind, a, b, c);  // throws
 }
 
 void ParityProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
@@ -66,19 +90,7 @@ void ParityProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
   if (state.gathering) return;
   state.gathering = true;
   state.gather_timer =
-      simulator().scheduleAfter(parity_.gather_window_ms, [this, block] {
-        auto& src = source_blocks_.at(block);
-        src.gathering = false;
-        const std::uint32_t count = src.wave_request;
-        src.wave_request = 0;
-        for (std::uint32_t i = 0; i < count; ++i) {
-          ++parities_sent_;
-          // REPAIR.seq = block id, REPAIR.tag = fresh parity index.
-          network().multicastFromSource(
-              sim::Packet{sim::Packet::Type::kParity, block, source(),
-                          net::kInvalidNode, src.next_parity_index++});
-        }
-      });
+      scheduleTimerAfter(parity_.gather_window_ms, kTimerGather, block);
 }
 
 void ParityProtocol::onParity(net::NodeId at, const sim::Packet& packet) {

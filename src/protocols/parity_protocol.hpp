@@ -51,6 +51,13 @@ class ParityProtocol final : public RecoveryProtocol {
   void onParity(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
   void onClientCrashed(net::NodeId client) override;
+  void onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+               std::uint64_t c) override;
+
+  /// Client NACK retry: a = client, b = block.
+  static constexpr std::uint32_t kTimerRetry = kTimerSubclass;
+  /// Source gather window closed: a = block.
+  static constexpr std::uint32_t kTimerGather = kTimerSubclass + 1;
 
   [[nodiscard]] std::uint64_t blockOf(std::uint64_t seq) const {
     return seq / parity_.block_size;

@@ -131,17 +131,53 @@ void RecoveryProtocol::sourceMulticast(std::uint64_t seq,
     const double detect_at = now + network_.treeArrivalDelay(client) +
                              config_.detection_delay_ms;
     metrics_.recordLoss(client, seq, detect_at);
-    simulator().scheduleAt(detect_at, [this, client, seq] {
-      // A repair may beat the detection (e.g. a flooded SRM repair), and the
-      // client may have crashed since the multicast.
-      if (network_.isAgentFailed(client)) return;
-      if (!hasPacket(client, seq)) onLossDetected(client, seq);
-    });
+    scheduleTimerAt(detect_at, kTimerLossDetect, client, seq);
   }
 
   sim::Packet data{sim::Packet::Type::kData, seq, topology().source,
                    net::kInvalidNode, 0};
   network_.multicastFromSource(data, &losses);
+}
+
+sim::EventId RecoveryProtocol::scheduleTimerAt(double at, std::uint32_t kind,
+                                               std::uint64_t a,
+                                               std::uint64_t b,
+                                               std::uint64_t c) {
+  sim::EventRecord record{sim::EventKind::kTimer, {}};
+  record.data.timer = sim::TimerEvent{kind, a, b, c};
+  return simulator().scheduleEventAt(at, this, record);
+}
+
+sim::EventId RecoveryProtocol::scheduleTimerAfter(double delay,
+                                                  std::uint32_t kind,
+                                                  std::uint64_t a,
+                                                  std::uint64_t b,
+                                                  std::uint64_t c) {
+  sim::EventRecord record{sim::EventKind::kTimer, {}};
+  record.data.timer = sim::TimerEvent{kind, a, b, c};
+  return simulator().scheduleEventAfter(delay, this, record);
+}
+
+void RecoveryProtocol::onEvent(const sim::EventRecord& event) {
+  if (event.kind != sim::EventKind::kTimer) {
+    throw std::logic_error("RecoveryProtocol: unexpected event kind");
+  }
+  const sim::TimerEvent& timer = event.data.timer;
+  if (timer.kind == kTimerLossDetect) {
+    const auto client = static_cast<net::NodeId>(timer.a);
+    const std::uint64_t seq = timer.b;
+    // A repair may beat the detection (e.g. a flooded SRM repair), and the
+    // client may have crashed since the multicast.
+    if (network_.isAgentFailed(client)) return;
+    if (!hasPacket(client, seq)) onLossDetected(client, seq);
+    return;
+  }
+  onTimer(timer.kind, timer.a, timer.b, timer.c);
+}
+
+void RecoveryProtocol::onTimer(std::uint32_t, std::uint64_t, std::uint64_t,
+                               std::uint64_t) {
+  throw std::logic_error("RecoveryProtocol: unhandled timer kind");
 }
 
 void RecoveryProtocol::dispatch(net::NodeId at, const sim::Packet& packet) {

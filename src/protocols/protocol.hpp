@@ -42,7 +42,7 @@ struct ProtocolConfig {
   PeerHealthConfig health;
 };
 
-class RecoveryProtocol {
+class RecoveryProtocol : public sim::EventSink {
  public:
   RecoveryProtocol(sim::SimNetwork& network, metrics::RecoveryMetrics& metrics,
                    const ProtocolConfig& config);
@@ -83,7 +83,30 @@ class RecoveryProtocol {
 
   [[nodiscard]] const PeerHealth& peerHealth() const { return health_; }
 
+  /// Typed-timer dispatch (sim/event.hpp): kTimerLossDetect is handled here,
+  /// every other kind is routed to the subclass via onTimer().
+  void onEvent(const sim::EventRecord& event) final;
+
  protected:
+  /// Timer kinds.  The base class owns kTimerLossDetect; subclasses number
+  /// their own kinds from kTimerSubclass upward.
+  static constexpr std::uint32_t kTimerLossDetect = 0;
+  static constexpr std::uint32_t kTimerSubclass = 1;
+
+  /// Schedules a protocol timer on the queue's allocation-free typed lane.
+  /// `a`/`b`/`c` are opaque payload words echoed back to onTimer().
+  sim::EventId scheduleTimerAt(double at, std::uint32_t kind,
+                               std::uint64_t a = 0, std::uint64_t b = 0,
+                               std::uint64_t c = 0);
+  sim::EventId scheduleTimerAfter(double delay, std::uint32_t kind,
+                                  std::uint64_t a = 0, std::uint64_t b = 0,
+                                  std::uint64_t c = 0);
+
+  /// A subclass timer (kind >= kTimerSubclass) fired.  The default throws:
+  /// a scheme that schedules its own timers must override this.
+  virtual void onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c);
+
   /// Scheme-specific reaction to a client noticing a missing packet.
   virtual void onLossDetected(net::NodeId client, std::uint64_t seq) = 0;
   /// A REQUEST packet reached agent `at`.

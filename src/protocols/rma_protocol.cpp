@@ -75,15 +75,25 @@ void RmaProtocol::advanceSearch(net::NodeId client, std::uint64_t seq) {
   // flooded repairs still feed the estimator.
   noteRequestSent(client, seq, target, retransmit, /*any_origin=*/true);
 
-  search.timer = simulator().scheduleAfter(
-      requestTimeout(client, target), [this, client, seq, target] {
-        const auto it = searches_.find(key(client, seq));
-        if (it == searches_.end()) return;  // recovered meanwhile
-        it->second.timer_armed = false;
-        noteRequestTimeout(client, target);
-        advanceSearch(client, seq);
-      });
+  search.timer = scheduleTimerAfter(requestTimeout(client, target),
+                                    kTimerSearch, client, seq, target);
   search.timer_armed = true;
+}
+
+void RmaProtocol::onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) {
+  if (kind != kTimerSearch) {
+    RecoveryProtocol::onTimer(kind, a, b, c);  // throws
+    return;
+  }
+  const auto client = static_cast<net::NodeId>(a);
+  const std::uint64_t seq = b;
+  const auto target = static_cast<net::NodeId>(c);
+  const auto it = searches_.find(key(client, seq));
+  if (it == searches_.end()) return;  // recovered meanwhile
+  it->second.timer_armed = false;
+  noteRequestTimeout(client, target);
+  advanceSearch(client, seq);
 }
 
 void RmaProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {

@@ -54,6 +54,11 @@ class RmaProtocol final : public RecoveryProtocol {
   void onRequest(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
   void onClientCrashed(net::NodeId client) override;
+  void onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+               std::uint64_t c) override;
+
+  /// Per-step search timeout: a = client, b = seq, c = target.
+  static constexpr std::uint32_t kTimerSearch = kTimerSubclass;
 
   /// Requests the next upstream level (or the source, where retries stay)
   /// and arms the per-step timeout.

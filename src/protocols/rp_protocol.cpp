@@ -70,15 +70,25 @@ void RpProtocol::advanceSession(net::NodeId client, std::uint64_t seq) {
                                 client, /*tag=*/0});
   noteRequestSent(client, seq, target, retransmit);
 
-  session.timer = simulator().scheduleAfter(
-      requestTimeout(client, target), [this, client, seq, target] {
-        auto it = sessions_.find(sessionKey(client, seq));
-        if (it == sessions_.end()) return;  // already recovered
-        it->second.timer_armed = false;
-        if (noteRequestTimeout(client, target)) adoptFailover(client);
-        advanceSession(client, seq);
-      });
+  session.timer = scheduleTimerAfter(requestTimeout(client, target),
+                                     kTimerRequest, client, seq, target);
   session.timer_armed = true;
+}
+
+void RpProtocol::onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+                         std::uint64_t c) {
+  if (kind != kTimerRequest) {
+    RecoveryProtocol::onTimer(kind, a, b, c);  // throws
+    return;
+  }
+  const auto client = static_cast<net::NodeId>(a);
+  const std::uint64_t seq = b;
+  const auto target = static_cast<net::NodeId>(c);
+  const auto it = sessions_.find(sessionKey(client, seq));
+  if (it == sessions_.end()) return;  // already recovered
+  it->second.timer_armed = false;
+  if (noteRequestTimeout(client, target)) adoptFailover(client);
+  advanceSession(client, seq);
 }
 
 void RpProtocol::adoptFailover(net::NodeId client) {

@@ -60,8 +60,13 @@ class RpProtocol : public RecoveryProtocol {
   void onRequest(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
   void onClientCrashed(net::NodeId client) override;
+  void onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+               std::uint64_t c) override;
 
  private:
+  /// Session request timeout: a = client, b = seq, c = target.
+  static constexpr std::uint32_t kTimerRequest = kTimerSubclass;
+
   /// Issues the next request of the session (peer list first, then the
   /// source) and arms the timeout that advances the session on silence.
   void advanceSession(net::NodeId client, std::uint64_t seq);

@@ -32,26 +32,42 @@ void SrmProtocol::armRequestTimer(net::NodeId client, std::uint64_t seq) {
       std::max(config().min_timeout_ms,
                scale * rng_.uniformReal(srm_.c1, srm_.c1 + srm_.c2) * d);
 
-  state.timer = simulator().scheduleAfter(delay, [this, client, seq] {
-    const auto it = want_.find(key(client, seq));
-    if (it == want_.end()) return;  // recovered meanwhile
-    it->second.armed = false;
-    ++requests_multicast_;
-    // Re-multicasts (backoff already raised) count as retries; SRM's
-    // requests are group-wide, so RTT samples are attributed to the source
-    // as a group-level estimate and any repair origin matches.
-    const bool repeat = it->second.backoff > 0;
-    if (repeat) recoveryMetrics().recordRetry();
-    network().multicastGroup(client,
-                             sim::Packet{sim::Packet::Type::kRequest, seq,
-                                         client, client, /*tag=*/0});
-    noteRequestSent(client, seq, source(), /*retransmit=*/repeat,
-                    /*any_origin=*/true);
-    // Re-arm with backoff in case the request or every repair is lost.
-    it->second.backoff = std::min(it->second.backoff + 1, srm_.max_backoff);
-    armRequestTimer(client, seq);
-  });
+  state.timer = scheduleTimerAfter(delay, kTimerRequest, client, seq);
   state.armed = true;
+}
+
+void SrmProtocol::onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+                          std::uint64_t c) {
+  switch (kind) {
+    case kTimerRequest:
+      fireRequestTimer(static_cast<net::NodeId>(a), b);
+      return;
+    case kTimerRepair:
+      fireRepairTimer(static_cast<net::NodeId>(a), b);
+      return;
+    default:
+      RecoveryProtocol::onTimer(kind, a, b, c);  // throws
+  }
+}
+
+void SrmProtocol::fireRequestTimer(net::NodeId client, std::uint64_t seq) {
+  const auto it = want_.find(key(client, seq));
+  if (it == want_.end()) return;  // recovered meanwhile
+  it->second.armed = false;
+  ++requests_multicast_;
+  // Re-multicasts (backoff already raised) count as retries; SRM's
+  // requests are group-wide, so RTT samples are attributed to the source
+  // as a group-level estimate and any repair origin matches.
+  const bool repeat = it->second.backoff > 0;
+  if (repeat) recoveryMetrics().recordRetry();
+  network().multicastGroup(client,
+                           sim::Packet{sim::Packet::Type::kRequest, seq,
+                                       client, client, /*tag=*/0});
+  noteRequestSent(client, seq, source(), /*retransmit=*/repeat,
+                  /*any_origin=*/true);
+  // Re-arm with backoff in case the request or every repair is lost.
+  it->second.backoff = std::min(it->second.backoff + 1, srm_.max_backoff);
+  armRequestTimer(client, seq);
 }
 
 void SrmProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
@@ -68,21 +84,7 @@ void SrmProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
     const double delay =
         std::max(config().min_timeout_ms,
                  rng_.uniformReal(srm_.d1, srm_.d1 + srm_.d2) * d);
-    const std::uint64_t seq = packet.seq;
-    it->second.timer = simulator().scheduleAfter(delay, [this, at, seq] {
-      const auto rit = repairing_.find(key(at, seq));
-      if (rit == repairing_.end() || !rit->second.armed) return;
-      rit->second.armed = false;
-      const auto h = hold_until_.find(key(at, seq));
-      if (h != hold_until_.end() && simulator().now() < h->second) return;
-      ++repairs_multicast_;
-      network().multicastGroup(
-          at, sim::Packet{sim::Packet::Type::kRepair, seq, at,
-                          net::kInvalidNode, /*tag=*/0});
-      hold_until_[key(at, seq)] =
-          simulator().now() +
-          srm_.hold_factor * routing().distance(at, source());
-    });
+    it->second.timer = scheduleTimerAfter(delay, kTimerRepair, at, packet.seq);
     it->second.armed = true;
   } else {
     // Fellow loser: suppress own request via exponential backoff.
@@ -92,6 +94,20 @@ void SrmProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
       armRequestTimer(at, packet.seq);
     }
   }
+}
+
+void SrmProtocol::fireRepairTimer(net::NodeId at, std::uint64_t seq) {
+  const auto rit = repairing_.find(key(at, seq));
+  if (rit == repairing_.end() || !rit->second.armed) return;
+  rit->second.armed = false;
+  const auto h = hold_until_.find(key(at, seq));
+  if (h != hold_until_.end() && simulator().now() < h->second) return;
+  ++repairs_multicast_;
+  network().multicastGroup(at,
+                           sim::Packet{sim::Packet::Type::kRepair, seq, at,
+                                       net::kInvalidNode, /*tag=*/0});
+  hold_until_[key(at, seq)] =
+      simulator().now() + srm_.hold_factor * routing().distance(at, source());
 }
 
 void SrmProtocol::onRepair(net::NodeId at, const sim::Packet& packet) {

@@ -55,6 +55,16 @@ class SrmProtocol final : public RecoveryProtocol {
   void onRepair(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
   void onClientCrashed(net::NodeId client) override;
+  void onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
+               std::uint64_t c) override;
+
+  /// Request-suppression timer expired: a = client, b = seq.
+  static constexpr std::uint32_t kTimerRequest = kTimerSubclass;
+  /// Repair-suppression timer expired: a = holder, b = seq.
+  static constexpr std::uint32_t kTimerRepair = kTimerSubclass + 1;
+
+  void fireRequestTimer(net::NodeId client, std::uint64_t seq);
+  void fireRepairTimer(net::NodeId at, std::uint64_t seq);
 
   /// Arms (or re-arms) u's request timer for `seq` at the current backoff.
   void armRequestTimer(net::NodeId client, std::uint64_t seq);

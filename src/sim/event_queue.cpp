@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -8,6 +9,14 @@
 
 namespace rmrn::sim {
 
+std::uint32_t EventQueue::acquireSlotSlow() {
+  if (slots_.size() >= kMaxSlots) {
+    throw std::length_error("EventQueue: more than 2^20 pending events");
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
 EventId EventQueue::schedule(TimeMs at, std::function<void()> action) {
   if (!std::isfinite(at)) {
     throw std::invalid_argument("EventQueue: non-finite event time");
@@ -15,45 +24,81 @@ EventId EventQueue::schedule(TimeMs at, std::function<void()> action) {
   if (!action) {
     throw std::invalid_argument("EventQueue: empty action");
   }
-  RMRN_REQUIRE(at >= last_fired_,
-               "event scheduled in the simulated past (time monotonicity)");
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(action)});
-  pending_.insert(id);
-  return id;
-}
-
-bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
-
-void EventQueue::skipDead() const {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-    heap_.pop();
+  const std::uint32_t slot = acquireSlot();
+  std::uint32_t closure;
+  if (!free_closures_.empty()) {
+    closure = free_closures_.back();
+    free_closures_.pop_back();
+    closures_[closure] = std::move(action);
+  } else {
+    closure = static_cast<std::uint32_t>(closures_.size());
+    closures_.push_back(std::move(action));
   }
+  Slot& s = slots_[slot];
+  s.kind = EventKind::kClosure;
+  s.sink = nullptr;
+  s.data.closure = closure;
+  return push(at, slot);
 }
 
-bool EventQueue::empty() const {
-  skipDead();
-  return heap_.empty();
+bool EventQueue::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
+  freeSlot(slot);  // the heap entry goes stale and is skipped/compacted
+  --live_;
+  ++dead_in_heap_;
+  maybeCompact();
+  return true;
+}
+
+void EventQueue::maybeCompact() {
+  if (dead_in_heap_ < kCompactMinDead || dead_in_heap_ <= 2 * live_) return;
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (!entryDead(entry)) heap_[kept++] = entry;
+  }
+  heap_.resize(kept);
+  dead_in_heap_ = 0;
+  // Floyd heap construction over the surviving entries.
+  for (std::size_t i = heap_.size() / 4 + 1; i-- > 0;) siftDown(i);
 }
 
 TimeMs EventQueue::nextTime() const {
+  if (empty()) throw std::logic_error("EventQueue::nextTime on empty");
   skipDead();
-  if (heap_.empty()) throw std::logic_error("EventQueue::nextTime on empty");
-  return heap_.top().time;
+  return heap_[0].time;
 }
 
 EventQueue::Fired EventQueue::pop() {
+  if (empty()) throw std::logic_error("EventQueue::pop on empty");
   skipDead();
-  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty");
-  // priority_queue::top() is const; the entry is about to be discarded, so a
-  // move via const_cast of the action is safe and avoids a copy.
-  auto& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, top.id, std::move(top.action)};
-  heap_.pop();
-  pending_.erase(fired.id);
+  const HeapEntry top = heap_[0];
+  popRoot();
+  const std::uint32_t slot = top.slot();
+  Slot& s = slots_[slot];
+  Fired fired;
+  fired.time = top.time;
+  fired.id = makeId(slot, s.gen);
+  fired.record.kind = s.kind;
+  fired.record.data = s.data;
+  fired.sink = s.sink;
+  if (s.kind == EventKind::kClosure) {
+    fired.action = std::move(closures_[s.data.closure]);
+  }
+  freeSlot(slot);
+  --live_;
   RMRN_ENSURE(fired.time >= last_fired_,
               "event queue popped an event earlier than the previous one");
   last_fired_ = fired.time;
+  return fired;
+}
+
+TimeMs EventQueue::popAndFire() {
+  TimeMs fired;
+  if (!fireNext(std::numeric_limits<TimeMs>::infinity(), &fired)) {
+    throw std::logic_error("EventQueue::popAndFire on empty");
+  }
   return fired;
 }
 

@@ -1,49 +1,102 @@
-// Cancellable discrete-event queue.
+// Cancellable discrete-event queue: slab-backed typed events plus a
+// type-erased fallback lane.
 //
-// Events are (time, insertion-sequence) ordered callbacks; ties in time
-// resolve in insertion order so runs are fully deterministic.  Cancellation
-// (needed for SRM's suppression timers and the protocols' request timeouts)
-// is lazy: cancelled entries stay in the heap, flagged dead, and are skipped
-// on pop.
+// Events are (time, insertion-sequence) ordered; ties in time resolve in
+// insertion order so runs are fully deterministic.  Storage is a slab of
+// POD-sized slots recycled through a free list; handles carry a generation
+// counter so cancel() is O(1), can never revoke a slot's later tenant, and
+// frees the payload immediately (no dead-entry accumulation — the protocols'
+// cancel-heavy timer pattern reuses a bounded working set of slots).  The
+// ordering index is a flat 4-ary heap of 24-byte keys; entries whose slot was
+// cancelled are skipped lazily on pop and compacted away wholesale when they
+// outnumber live entries 2:1, so the heap footprint stays proportional to
+// the live event count.
+//
+// Typed events (sim/event.hpp) are stored inline — scheduling one performs
+// no heap allocation at steady state.  `std::function` callers use the
+// closure lane, which stores the function in a separate recycled slab.
+//
+// Heap keys are 16 bytes: the event time plus a single word packing
+// (insertion seq << 20) | slot.  Packing keeps tie-breaks a one-word compare
+// and fits two keys per cache line, which matters because sift traffic
+// dominates the engine's cost.  The packed widths bound the queue at 2^20
+// simultaneously-pending events and 2^44 total scheduled events per queue —
+// both enforced, both far past anything a simulation here reaches.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_set>
+#include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "sim/event.hpp"
+#include "util/check.hpp"
 
 namespace rmrn::sim {
 
-using TimeMs = double;
-using EventId = std::uint64_t;
-
 class EventQueue {
  public:
-  /// Schedules `action` at absolute time `at`.  Returns a handle usable with
-  /// cancel().  Throws std::invalid_argument for non-finite times.
+  /// Closure lane: schedules `action` at absolute time `at`.  Returns a
+  /// handle usable with cancel().  Throws std::invalid_argument for
+  /// non-finite times or an empty action.
   EventId schedule(TimeMs at, std::function<void()> action);
 
-  /// Cancels a pending event.  Returns true if the event was pending (i.e.
-  /// not yet fired and not already cancelled).
+  /// Typed lane: schedules `record` for dispatch to `sink->onEvent()`.
+  /// Allocation-free once the slab and heap have warmed up.
+  EventId scheduleEvent(TimeMs at, EventSink* sink, const EventRecord& record);
+
+  /// Cancels a pending event.  Returns true if the event was pending (not
+  /// yet fired and not already cancelled).  A stale handle — one whose slot
+  /// has been recycled for a newer event — never cancels that newer event.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Time of the next live event.  Requires !empty().
   [[nodiscard]] TimeMs nextTime() const;
 
   /// Pops and returns the next live event.  Requires !empty().
   struct Fired {
-    TimeMs time;
-    EventId id;
-    std::function<void()> action;
+    TimeMs time = 0.0;
+    EventId id = 0;
+    EventRecord record;
+    EventSink* sink = nullptr;
+    std::function<void()> action;  // closure lane only
+
+    /// Runs the event: invokes the closure or dispatches to the sink.
+    void fire() {
+      if (record.kind == EventKind::kClosure) {
+        action();
+      } else {
+        sink->onEvent(record);
+      }
+    }
   };
   Fired pop();
 
+  /// Pops and runs the next live event in one step, returning its time.
+  /// Equivalent to pop().fire() without marshalling a Fired.
+  /// Requires !empty().
+  TimeMs popAndFire();
+
+  /// Fires the next live event if there is one and it is due at or before
+  /// `until`: stores its time in *clock (before running the handler, so
+  /// handlers observe the advanced clock) and returns true.  Returns false —
+  /// leaving *clock untouched — when the queue is empty or the next event is
+  /// later than `until`.  The hot path for Simulator::run(): one dead-entry
+  /// sweep and one root read serve the bound check, clock advance, and fire.
+  bool fireNext(TimeMs until, TimeMs* clock);
+
   /// Live (scheduled, not cancelled, not fired) event count.
-  [[nodiscard]] std::size_t pendingCount() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pendingCount() const { return live_; }
+
+  /// Heap index entries, including lazily-skipped cancelled ones.  Bounded
+  /// at ~3x pendingCount() by compaction; exposed so tests can assert that.
+  [[nodiscard]] std::size_t heapSize() const { return heap_.size(); }
 
   /// Time of the most recently popped event; -infinity before the first
   /// pop.  Simulation time never runs backwards: pop() enforces
@@ -52,24 +105,195 @@ class EventQueue {
   [[nodiscard]] TimeMs lastFiredTime() const { return last_fired_; }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  /// Compaction floor: below this many dead entries the heap is left alone
+  /// (rebuilding tiny heaps buys nothing).
+  static constexpr std::size_t kCompactMinDead = 64;
+  /// Packed-key widths: low 20 bits slot, high 44 bits insertion seq.
+  static constexpr std::uint32_t kSlotBits = 20;
+  static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
+  static constexpr std::uint64_t kSlotMask = kMaxSlots - 1;
+  static constexpr std::uint64_t kMaxSeq = 1ull << (64 - kSlotBits);
+  /// Tenant seq of a free slot; never equals a real (bounded) seq.
+  static constexpr std::uint64_t kNoSeq = ~0ull;
+
+  struct Slot {
+    std::uint64_t seq = kNoSeq;  // current tenant's insertion seq
+    std::uint32_t gen = 1;       // bumped on free; 0 is never a live gen
+    std::uint32_t next_free = kNil;
+    EventKind kind = EventKind::kClosure;
+    EventSink* sink = nullptr;
+    EventData data;
+  };
+  /// 4-ary heap key: (time, seq) with seq the global insertion sequence.
+  /// Slots never repeat within the pending set, so key order is seq order.
+  struct HeapEntry {
     TimeMs time;
-    EventId id;  // doubles as the insertion sequence for tie-breaking
-    std::function<void()> action;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+    std::uint64_t key;  // (seq << kSlotBits) | slot
+
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key & kSlotMask);
     }
+    [[nodiscard]] std::uint64_t seq() const { return key >> kSlotBits; }
   };
 
-  void skipDead() const;
+  [[nodiscard]] static EventId makeId(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 0;
+  // The slab and heap primitives live in the header so the schedule/fire hot
+  // path inlines into callers; per-event call overhead is measurable at the
+  // engine's event rates.
+
+  [[nodiscard]] std::uint32_t acquireSlot() {
+    if (free_slots_ != kNil) {
+      const std::uint32_t slot = free_slots_;
+      free_slots_ = slots_[slot].next_free;
+      slots_[slot].next_free = kNil;
+      return slot;
+    }
+    return acquireSlotSlow();
+  }
+  [[nodiscard]] std::uint32_t acquireSlotSlow();
+  void freeSlot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    if (s.kind == EventKind::kClosure) {
+      // Release the captured state now; the std::function shell is recycled.
+      closures_[s.data.closure] = nullptr;
+      free_closures_.push_back(s.data.closure);
+    }
+    s.sink = nullptr;
+    s.seq = kNoSeq;  // marks the slot's heap entry dead
+    ++s.gen;         // invalidates every outstanding handle to this slot
+    s.next_free = free_slots_;
+    free_slots_ = slot;
+  }
+  EventId push(TimeMs at, std::uint32_t slot) {
+    if (!std::isfinite(at)) {
+      freeSlot(slot);
+      throw std::invalid_argument("EventQueue: non-finite event time");
+    }
+    RMRN_REQUIRE(at >= last_fired_,
+                 "event scheduled in the simulated past (time monotonicity)");
+    const std::uint64_t seq = next_seq_++;
+    if (seq >= kMaxSeq) {
+      throw std::length_error("EventQueue: insertion sequence exhausted");
+    }
+    slots_[slot].seq = seq;
+    heap_.push_back(HeapEntry{at, (seq << kSlotBits) | slot});
+    siftUp(heap_.size() - 1);
+    ++live_;
+    return makeId(slot, slots_[slot].gen);
+  }
+
+  [[nodiscard]] static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+  void siftUp(std::size_t i) const {
+    const HeapEntry entry = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(entry, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = entry;
+  }
+  void siftDown(std::size_t i) const;
+  void popRoot() const {
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(0);
+  }
+  [[nodiscard]] bool entryDead(const HeapEntry& e) const {
+    return slots_[e.slot()].seq != e.seq();
+  }
+  /// Drops cancelled entries off the heap top so the root is live.
+  void skipDead() const {
+    while (!heap_.empty() && entryDead(heap_[0])) {
+      popRoot();
+      --dead_in_heap_;
+    }
+  }
+  /// Rebuilds the heap without dead entries once they outnumber live 2:1.
+  void maybeCompact();
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_slots_ = kNil;  // intrusive free list through next_free
+  // The heap is an ordering index only; lazily dropping dead entries from
+  // the top mutates no observable state, hence mutable for const queries.
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::size_t dead_in_heap_ = 0;
+  std::vector<std::function<void()>> closures_;
+  std::vector<std::uint32_t> free_closures_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
   TimeMs last_fired_ = -std::numeric_limits<TimeMs>::infinity();
 };
+
+// Inline hot path: scheduling, the sift, and the pop-fire step.  These run
+// once per simulated event, so keeping them visible to callers (for inlining)
+// is worth the header weight; cold and rare paths stay in event_queue.cpp.
+
+inline void EventQueue::siftDown(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[i];
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+inline EventId EventQueue::scheduleEvent(TimeMs at, EventSink* sink,
+                                         const EventRecord& record) {
+  if (sink == nullptr || record.kind == EventKind::kClosure) {
+    throw std::invalid_argument("EventQueue: typed event needs a sink");
+  }
+  const std::uint32_t slot = acquireSlot();
+  Slot& s = slots_[slot];
+  s.kind = record.kind;
+  s.sink = sink;
+  s.data = record.data;
+  return push(at, slot);
+}
+
+inline bool EventQueue::fireNext(TimeMs until, TimeMs* clock) {
+  if (empty()) return false;
+  skipDead();
+  const HeapEntry top = heap_[0];
+  if (top.time > until) return false;
+  popRoot();
+  const std::uint32_t slot = top.slot();
+  Slot& s = slots_[slot];
+  RMRN_ENSURE(top.time >= last_fired_,
+              "event queue popped an event earlier than the previous one");
+  last_fired_ = top.time;
+  --live_;
+  // The clock advances before the handler runs: handlers schedule relative
+  // to the owning simulator's now().
+  *clock = top.time;
+  if (s.kind == EventKind::kClosure) {
+    auto action = std::move(closures_[s.data.closure]);
+    freeSlot(slot);
+    action();
+  } else {
+    // Copy out before freeing: the handler may schedule, growing slots_.
+    EventSink* const sink = s.sink;
+    const EventRecord record{s.kind, s.data};
+    freeSlot(slot);
+    sink->onEvent(record);
+  }
+  return true;
+}
 
 }  // namespace rmrn::sim

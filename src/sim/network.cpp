@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace rmrn::sim {
 
 SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
@@ -18,11 +20,13 @@ SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
   if (loss_prob_ < 0.0 || loss_prob_ >= 1.0) {
     throw std::invalid_argument("SimNetwork: loss_prob must be in [0, 1)");
   }
-  is_agent_.assign(topology_.graph.numNodes(), false);
+  const std::size_t n = topology_.graph.numNodes();
+  is_agent_.assign(n, false);
   is_agent_[topology_.source] = true;
   for (const net::NodeId c : topology_.clients) is_agent_[c] = true;
-  agent_fault_.assign(topology_.graph.numNodes(), AgentFault::kNone);
-  agent_slow_extra_ms_.assign(topology_.graph.numNodes(), 0.0);
+  agent_fault_.assign(n, AgentFault::kNone);
+  agent_slow_extra_ms_.assign(n, 0.0);
+  deliveries_by_type_.assign(n * 4, 0);
 
   // Precompute loss-free arrival delays down the tree (preorder guarantees
   // parents are computed before children).
@@ -33,6 +37,59 @@ SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
     arrival_delay_[tree.memberIndex(v)] =
         arrival_delay_[tree.memberIndex(tree.parent(v))] + treeLinkDelay(v);
   }
+
+  // CSR edge index with deterministic undirected edge ids: rows hold each
+  // node's neighbors ascending; ids are assigned scanning rows in node order
+  // and numbering each edge at its min-endpoint row, then mirrored into the
+  // max-endpoint row by binary search.
+  edge_offset_.assign(n + 1, 0);
+  for (net::NodeId v = 0; v < n; ++v) {
+    edge_offset_[v + 1] =
+        edge_offset_[v] + static_cast<std::uint32_t>(topology_.graph.degree(v));
+  }
+  edge_peer_.resize(edge_offset_[n]);
+  edge_id_.assign(edge_offset_[n], 0);
+  for (net::NodeId v = 0; v < n; ++v) {
+    auto* row = edge_peer_.data() + edge_offset_[v];
+    std::size_t i = 0;
+    for (const net::HalfEdge& half : topology_.graph.neighbors(v)) {
+      row[i++] = half.to;
+    }
+    std::sort(row, row + i);
+  }
+  std::uint32_t next_edge = 0;
+  edge_delay_.assign(edge_offset_[n], 0.0);
+  for (net::NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t i = edge_offset_[v]; i < edge_offset_[v + 1]; ++i) {
+      const net::NodeId w = edge_peer_[i];
+      if (w > v) {
+        edge_id_[i] = next_edge++;
+      } else {
+        edge_id_[i] = edge_id_[edgeSlot(w, v)];  // mirror from w's row
+      }
+      edge_delay_[i] = *topology_.graph.edgeDelay(v, w);
+    }
+  }
+  RMRN_ENSURE(next_edge == topology_.graph.numEdges(),
+              "CSR edge index count mismatch");
+  link_load_.assign(next_edge, 0);
+
+  tree_slot_.assign(tree.numMembers(), kNilSlot);
+  for (const net::NodeId v : tree.members()) {
+    if (v == tree.root()) continue;
+    tree_slot_[tree.memberIndex(v)] = edgeSlot(tree.parent(v), v);
+  }
+}
+
+std::uint32_t SimNetwork::edgeSlot(net::NodeId a, net::NodeId b) const {
+  const auto* begin = edge_peer_.data() + edge_offset_[a];
+  const auto* end = edge_peer_.data() + edge_offset_[a + 1];
+  const auto* it = std::lower_bound(begin, end, b);
+  if (it == end || *it != b) {
+    throw std::invalid_argument("SimNetwork: no edge " + std::to_string(a) +
+                                " -- " + std::to_string(b));
+  }
+  return static_cast<std::uint32_t>(it - edge_peer_.data());
 }
 
 void SimNetwork::setDeliveryHandler(DeliveryHandler handler) {
@@ -88,22 +145,21 @@ net::DelayMs SimNetwork::treeArrivalDelay(net::NodeId v) const {
   return arrival_delay_[topology_.tree.memberIndex(v)];
 }
 
-void SimNetwork::countHop(const Packet& packet, net::NodeId from,
-                          net::NodeId to) {
+void SimNetwork::countHopSlot(const Packet& packet, std::uint32_t slot) {
   if (packet.type == Packet::Type::kData) {
     ++stats_.data_hops;
     return;
   }
   ++stats_.recovery_hops;
   if (link_accounting_) {
-    ++link_load_[LinkId{std::min(from, to), std::max(from, to)}];
+    ++link_load_[edge_id_[slot]];
   }
 }
 
 void SimNetwork::resetStats() {
   stats_ = {};
-  deliveries_by_type_.clear();
-  link_load_.clear();
+  std::fill(deliveries_by_type_.begin(), deliveries_by_type_.end(), 0);
+  std::fill(link_load_.begin(), link_load_.end(), 0);
 }
 
 std::uint64_t SimNetwork::deliveriesAt(net::NodeId v,
@@ -117,10 +173,83 @@ void SimNetwork::enableLinkAccounting(bool enabled) {
   link_accounting_ = enabled;
 }
 
+std::uint64_t SimNetwork::recoveryLinkLoad(net::NodeId a, net::NodeId b) const {
+  return link_load_[edge_id_[edgeSlot(a, b)]];
+}
+
+std::uint64_t SimNetwork::totalRecoveryLinkLoad() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : link_load_) total += count;
+  return total;
+}
+
 std::uint64_t SimNetwork::maxRecoveryLinkLoad() const {
   std::uint64_t best = 0;
-  for (const auto& [link, count] : link_load_) best = std::max(best, count);
+  for (const std::uint64_t count : link_load_) best = std::max(best, count);
   return best;
+}
+
+std::uint32_t SimNetwork::acquirePath() {
+  if (!free_paths_.empty()) {
+    const std::uint32_t path = free_paths_.back();
+    free_paths_.pop_back();
+    return path;
+  }
+  paths_.emplace_back();
+  // A simple route visits at most every node; reserving up front means no
+  // route written into this slot ever reallocates.
+  paths_.back().reserve(topology_.graph.numNodes());
+  return static_cast<std::uint32_t>(paths_.size() - 1);
+}
+
+void SimNetwork::releasePath(std::uint32_t path) {
+  free_paths_.push_back(path);  // the slot keeps its capacity for reuse
+}
+
+std::uint32_t SimNetwork::acquirePattern(const LinkLossPattern& loss) {
+  std::uint32_t pattern;
+  if (!free_patterns_.empty()) {
+    pattern = free_patterns_.back();
+    free_patterns_.pop_back();
+    patterns_[pattern].assign(loss.begin(), loss.end());
+  } else {
+    pattern = static_cast<std::uint32_t>(patterns_.size());
+    patterns_.push_back(loss);
+    pattern_refs_.push_back(0);
+  }
+  pattern_refs_[pattern] = 1;
+  return pattern;
+}
+
+void SimNetwork::patternAddRef(std::uint32_t pattern) {
+  ++pattern_refs_[pattern];
+}
+
+void SimNetwork::patternRelease(std::uint32_t pattern) {
+  RMRN_REQUIRE(pattern_refs_[pattern] > 0, "pattern arena refcount underflow");
+  if (--pattern_refs_[pattern] == 0) free_patterns_.push_back(pattern);
+}
+
+void SimNetwork::onEvent(const EventRecord& event) {
+  switch (event.kind) {
+    case EventKind::kDeliver:
+      if (event.data.deliver.direct) {
+        deliverNow(event.data.deliver.at, event.data.deliver.packet);
+      } else {
+        deliver(event.data.deliver.at, event.data.deliver.packet);
+      }
+      return;
+    case EventKind::kForwardHop:
+      onForwardHop(event.data.forward);
+      return;
+    case EventKind::kFloodStep:
+      onFloodStep(event.data.flood);
+      return;
+    case EventKind::kClosure:
+    case EventKind::kTimer:
+      break;
+  }
+  throw std::logic_error("SimNetwork: unexpected event kind");
 }
 
 void SimNetwork::deliver(net::NodeId at, const Packet& packet) {
@@ -135,8 +264,9 @@ void SimNetwork::deliver(net::NodeId at, const Packet& packet) {
     case AgentFault::kSlowed:
       if (packet.type == Packet::Type::kRequest &&
           agent_slow_extra_ms_[at] > 0.0) {
-        simulator_.scheduleAfter(agent_slow_extra_ms_[at],
-                                 [this, at, packet] { deliverNow(at, packet); });
+        EventRecord slowed{EventKind::kDeliver, {}};
+        slowed.data.deliver = DeliverEvent{at, /*direct=*/true, packet};
+        simulator_.scheduleEventAfter(agent_slow_extra_ms_[at], this, slowed);
         return;
       }
       break;
@@ -153,9 +283,6 @@ void SimNetwork::deliverNow(net::NodeId at, const Packet& packet) {
   ++stats_.deliveries;
   const std::size_t index =
       static_cast<std::size_t>(at) * 4 + static_cast<std::size_t>(packet.type);
-  if (deliveries_by_type_.size() <= index) {
-    deliveries_by_type_.resize(topology_.graph.numNodes() * 4, 0);
-  }
   ++deliveries_by_type_[index];
   trace(TraceEvent::Kind::kDeliver, net::kInvalidNode, at, packet);
   handler_(at, packet);
@@ -164,42 +291,53 @@ void SimNetwork::deliverNow(net::NodeId at, const Packet& packet) {
 void SimNetwork::unicast(net::NodeId from, net::NodeId to, Packet packet) {
   ++stats_.packets_sent;
   if (from == to) {
-    simulator_.scheduleAfter(0.0, [this, to, packet] { deliver(to, packet); });
+    EventRecord self{EventKind::kDeliver, {}};
+    self.data.deliver = DeliverEvent{to, /*direct=*/false, packet};
+    simulator_.scheduleEventAfter(0.0, this, self);
     return;
   }
-  auto path = routing_.path(from, to);
-  if (path.size() < 2) {
+  const std::uint32_t path = acquirePath();
+  routing_.pathInto(from, to, paths_[path]);
+  if (paths_[path].size() < 2) {
+    releasePath(path);
     throw std::invalid_argument("SimNetwork::unicast: no route " +
                                 std::to_string(from) + " -> " +
                                 std::to_string(to));
   }
-  forwardUnicast(std::move(path), 0, packet);
+  sendHop(path, 0, packet);
 }
 
-void SimNetwork::forwardUnicast(std::vector<net::NodeId> path, std::size_t hop,
-                                Packet packet) {
-  const net::NodeId a = path[hop];
-  const net::NodeId b = path[hop + 1];
-  countHop(packet, a, b);
+void SimNetwork::sendHop(std::uint32_t path, std::uint32_t hop,
+                         const Packet& packet) {
+  const std::vector<net::NodeId>& route = paths_[path];
+  const net::NodeId a = route[hop];
+  const net::NodeId b = route[hop + 1];
+  // One CSR search serves the hop count, accounting id, and delay (and
+  // doubles as the routing-uses-real-edges check: edgeSlot throws if not).
+  const std::uint32_t slot = edgeSlot(a, b);
+  countHopSlot(packet, slot);
   trace(TraceEvent::Kind::kHopSend, a, b, packet);
   if (rng_.bernoulli(loss_prob_)) {
     ++stats_.packets_lost;
     trace(TraceEvent::Kind::kHopDrop, a, b, packet);
+    releasePath(path);
     return;
   }
-  const auto delay = topology_.graph.edgeDelay(a, b);
-  if (!delay) {
-    throw std::logic_error("SimNetwork: routing used a missing edge");
+  EventRecord record{EventKind::kForwardHop, {}};
+  record.data.forward = ForwardHopEvent{path, hop, packet};
+  simulator_.scheduleEventAfter(edge_delay_[slot], this, record);
+}
+
+void SimNetwork::onForwardHop(const ForwardHopEvent& event) {
+  // The packet arrived at hop `hop + 1` of its route.
+  const std::uint32_t next = event.hop + 1;
+  if (next + 1 == paths_[event.path].size()) {
+    const net::NodeId at = paths_[event.path][next];
+    releasePath(event.path);  // before deliver: the handler may send again
+    deliver(at, event.packet);
+    return;
   }
-  const bool final_hop = hop + 2 == path.size();
-  simulator_.scheduleAfter(
-      *delay, [this, path = std::move(path), hop, packet, final_hop]() mutable {
-        if (final_hop) {
-          deliver(path[hop + 1], packet);
-        } else {
-          forwardUnicast(std::move(path), hop + 1, packet);
-        }
-      });
+  sendHop(event.path, next, event.packet);
 }
 
 void SimNetwork::multicastFromSource(Packet packet,
@@ -209,20 +347,19 @@ void SimNetwork::multicastFromSource(Packet packet,
     throw std::invalid_argument(
         "SimNetwork: forced loss pattern size mismatch");
   }
-  // Copy the pattern: the flood's scheduled events outlive the caller's
-  // argument.
-  std::shared_ptr<const LinkLossPattern> shared_loss =
-      forced_loss ? std::make_shared<const LinkLossPattern>(*forced_loss)
-                  : nullptr;
-  floodTree(topology_.tree.root(), net::kInvalidNode, packet,
-            /*down_only=*/true, /*boundary=*/net::kInvalidNode,
-            std::move(shared_loss));
+  // Copy the pattern into the arena: the flood's scheduled events outlive
+  // the caller's argument.
+  const std::uint32_t pattern =
+      forced_loss ? acquirePattern(*forced_loss) : kNoPattern;
+  floodFrom(topology_.tree.root(), net::kInvalidNode, packet,
+            /*down_only=*/true, /*boundary=*/net::kInvalidNode, pattern);
+  if (pattern != kNoPattern) patternRelease(pattern);  // drop the send's ref
 }
 
 void SimNetwork::multicastGroup(net::NodeId from, Packet packet) {
   ++stats_.packets_sent;
-  floodTree(from, net::kInvalidNode, packet, /*down_only=*/false,
-            /*boundary=*/net::kInvalidNode, nullptr);
+  floodFrom(from, net::kInvalidNode, packet, /*down_only=*/false,
+            /*boundary=*/net::kInvalidNode, kNoPattern);
 }
 
 void SimNetwork::multicastSubtree(net::NodeId subtree_root, net::NodeId from,
@@ -232,56 +369,56 @@ void SimNetwork::multicastSubtree(net::NodeId subtree_root, net::NodeId from,
         "SimNetwork::multicastSubtree: sender outside subtree");
   }
   ++stats_.packets_sent;
-  floodTree(from, net::kInvalidNode, packet, /*down_only=*/false,
-            /*boundary=*/subtree_root, nullptr);
+  floodFrom(from, net::kInvalidNode, packet, /*down_only=*/false,
+            /*boundary=*/subtree_root, kNoPattern);
 }
 
 void SimNetwork::multicastDownInto(net::NodeId subtree_root, Packet packet) {
   ++stats_.packets_sent;
   const auto& tree = topology_.tree;
   if (subtree_root == tree.root()) {
-    floodTree(subtree_root, net::kInvalidNode, packet, /*down_only=*/true,
-              /*boundary=*/net::kInvalidNode, nullptr);
+    floodFrom(subtree_root, net::kInvalidNode, packet, /*down_only=*/true,
+              /*boundary=*/net::kInvalidNode, kNoPattern);
     return;
   }
   const net::NodeId parent = tree.parent(subtree_root);
-  countHop(packet, parent, subtree_root);
+  const std::uint32_t slot = tree_slot_[tree.memberIndex(subtree_root)];
+  countHopSlot(packet, slot);
   trace(TraceEvent::Kind::kHopSend, parent, subtree_root, packet);
   if (rng_.bernoulli(loss_prob_)) {
     ++stats_.packets_lost;
     trace(TraceEvent::Kind::kHopDrop, parent, subtree_root, packet);
     return;
   }
-  simulator_.scheduleAfter(
-      treeLinkDelay(subtree_root), [this, subtree_root, parent, packet] {
-        deliver(subtree_root, packet);
-        floodTree(subtree_root, parent, packet, /*down_only=*/true,
-                  /*boundary=*/net::kInvalidNode, nullptr);
-      });
+  EventRecord record{EventKind::kFloodStep, {}};
+  record.data.flood = FloodStepEvent{subtree_root, parent,
+                                     /*boundary=*/net::kInvalidNode, kNoPattern,
+                                     /*down_only=*/true, packet};
+  simulator_.scheduleEventAfter(edge_delay_[slot], this, record);
 }
 
-void SimNetwork::floodTree(net::NodeId node, net::NodeId came_from,
-                           Packet packet, bool down_only, net::NodeId boundary,
-                           std::shared_ptr<const LinkLossPattern> forced_loss) {
+void SimNetwork::floodFrom(net::NodeId node, net::NodeId came_from,
+                           const Packet& packet, bool down_only,
+                           net::NodeId boundary, std::uint32_t pattern) {
   const auto& tree = topology_.tree;
 
   const auto sendAcross = [&](net::NodeId next, net::NodeId link_child) {
-    countHop(packet, node, next);
+    const std::size_t member = tree.memberIndex(link_child);
+    countHopSlot(packet, tree_slot_[member]);
     trace(TraceEvent::Kind::kHopSend, node, next, packet);
-    const bool lost =
-        forced_loss ? (*forced_loss)[tree.memberIndex(link_child)]
-                    : rng_.bernoulli(loss_prob_);
+    const bool lost = pattern != kNoPattern ? patterns_[pattern][member]
+                                            : rng_.bernoulli(loss_prob_);
     if (lost) {
       ++stats_.packets_lost;
       trace(TraceEvent::Kind::kHopDrop, node, next, packet);
       return;
     }
-    simulator_.scheduleAfter(
-        treeLinkDelay(link_child),
-        [this, next, node, packet, down_only, boundary, forced_loss] {
-          deliver(next, packet);
-          floodTree(next, node, packet, down_only, boundary, forced_loss);
-        });
+    if (pattern != kNoPattern) patternAddRef(pattern);
+    EventRecord record{EventKind::kFloodStep, {}};
+    record.data.flood =
+        FloodStepEvent{next, node, boundary, pattern, down_only, packet};
+    simulator_.scheduleEventAfter(edge_delay_[tree_slot_[member]], this,
+                                  record);
   };
 
   if (!down_only && node != boundary && node != tree.root()) {
@@ -291,6 +428,13 @@ void SimNetwork::floodTree(net::NodeId node, net::NodeId came_from,
   for (const net::NodeId child : tree.children(node)) {
     if (child != came_from) sendAcross(child, /*link_child=*/child);
   }
+}
+
+void SimNetwork::onFloodStep(const FloodStepEvent& event) {
+  deliver(event.next, event.packet);
+  floodFrom(event.next, event.came_from, event.packet, event.down_only,
+            event.boundary, event.pattern);
+  if (event.pattern != kNoPattern) patternRelease(event.pattern);
 }
 
 }  // namespace rmrn::sim

@@ -7,20 +7,27 @@
 // packet recovered (hops)" metric.  Per §5.1 of the paper, link delay and
 // loss are independent of load.
 //
+// The forwarding hot path is allocation-free at steady state: in-flight
+// events are typed records (sim/event.hpp) in the queue's slab, unicast
+// routes live in a recycled per-send path arena (one slot per in-flight
+// unicast, released on drop or delivery), forced loss patterns in a
+// refcounted pattern arena shared by every event of one flood, and per-link
+// recovery accounting is a flat vector indexed by a CSR edge table built
+// once at construction.
+//
 // Protocol agents live at the source and the clients; the network invokes the
 // delivery handler only at those nodes (routers forward but never process).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "net/types.hpp"
+#include "sim/event.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -65,21 +72,7 @@ struct NetworkStats {
   std::uint64_t deliveries = 0;     // handler invocations
 };
 
-/// Identifies an undirected link by its normalized endpoint pair.
-struct LinkId {
-  net::NodeId a = net::kInvalidNode;  // min endpoint
-  net::NodeId b = net::kInvalidNode;  // max endpoint
-  friend bool operator==(const LinkId&, const LinkId&) = default;
-};
-
-struct LinkIdHash {
-  [[nodiscard]] std::size_t operator()(const LinkId& link) const {
-    return std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(link.a) << 32) | link.b);
-  }
-};
-
-class SimNetwork {
+class SimNetwork final : public EventSink {
  public:
   using DeliveryHandler =
       std::function<void(net::NodeId at, const Packet& packet)>;
@@ -146,12 +139,15 @@ class SimNetwork {
                                            Packet::Type type) const;
 
   /// Per-link traversal accounting for RECOVERY traffic (requests, repairs,
-  /// parities); off by default because of its per-hop map cost.
+  /// parities); off by default.  When on, each traversal is one increment of
+  /// a flat per-edge counter (no hashing on the hot path).
   void enableLinkAccounting(bool enabled);
-  [[nodiscard]] const std::unordered_map<LinkId, std::uint64_t, LinkIdHash>&
-  recoveryLinkLoad() const {
-    return link_load_;
-  }
+  /// Recovery traversals of the undirected edge {a, b}.  Throws
+  /// std::invalid_argument when the graph has no such edge.
+  [[nodiscard]] std::uint64_t recoveryLinkLoad(net::NodeId a,
+                                               net::NodeId b) const;
+  /// Total recovery traversals across all links (0 when accounting is off).
+  [[nodiscard]] std::uint64_t totalRecoveryLinkLoad() const;
   /// Heaviest-loaded link's recovery traversal count (0 when accounting is
   /// off or no recovery traffic flowed).
   [[nodiscard]] std::uint64_t maxRecoveryLinkLoad() const;
@@ -161,22 +157,44 @@ class SimNetwork {
   [[nodiscard]] const net::Routing& routing() const { return routing_; }
   [[nodiscard]] Simulator& simulator() { return simulator_; }
 
+  /// Typed-event dispatch (deliveries, forwarding hops, flood steps).
+  void onEvent(const EventRecord& event) override;
+
  private:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
   void deliver(net::NodeId at, const Packet& packet);
   void deliverNow(net::NodeId at, const Packet& packet);
-  void forwardUnicast(std::vector<net::NodeId> path, std::size_t hop,
-                      Packet packet);
+  /// Sends the unicast in path-arena slot `path` across hop `hop` (draws the
+  /// loss, schedules the arrival).  Releases the slot on a drop.
+  void sendHop(std::uint32_t path, std::uint32_t hop, const Packet& packet);
+  void onForwardHop(const ForwardHopEvent& event);
   /// Floods from `node` over tree links, skipping `came_from`.  `down_only`
   /// restricts to child links; `boundary` (kInvalidNode = none) is a node
-  /// whose parent link must not be crossed upward.  The loss pattern is
-  /// shared-owned because the flood outlives the caller's argument.
-  void floodTree(net::NodeId node, net::NodeId came_from, Packet packet,
-                 bool down_only, net::NodeId boundary,
-                 std::shared_ptr<const LinkLossPattern> forced_loss);
-  void countHop(const Packet& packet, net::NodeId from, net::NodeId to);
+  /// whose parent link must not be crossed upward.  `pattern` indexes the
+  /// loss-pattern arena (kNoPattern = sample Bernoulli losses); every event
+  /// this schedules takes a reference on it.
+  void floodFrom(net::NodeId node, net::NodeId came_from, const Packet& packet,
+                 bool down_only, net::NodeId boundary, std::uint32_t pattern);
+  void onFloodStep(const FloodStepEvent& event);
+  /// Counts a hop across the CSR half-edge `slot` — the hot paths resolve
+  /// the slot once and reuse it for delay, edge id, and accounting.
+  void countHopSlot(const Packet& packet, std::uint32_t slot);
   [[nodiscard]] net::DelayMs treeLinkDelay(net::NodeId child) const;
   void trace(TraceEvent::Kind kind, net::NodeId from, net::NodeId to,
              const Packet& packet);
+
+  // Arena slot management.  Released slots keep their vector capacity, so a
+  // warmed-up arena serves the steady state without touching the heap.
+  [[nodiscard]] std::uint32_t acquirePath();
+  void releasePath(std::uint32_t path);
+  [[nodiscard]] std::uint32_t acquirePattern(const LinkLossPattern& loss);
+  void patternAddRef(std::uint32_t pattern);
+  void patternRelease(std::uint32_t pattern);
+
+  /// Flat id of the undirected edge {a, b} in the CSR edge index; throws
+  /// std::invalid_argument when absent.
+  [[nodiscard]] std::uint32_t edgeSlot(net::NodeId a, net::NodeId b) const;
 
   Simulator& simulator_;
   const net::Topology& topology_;
@@ -190,10 +208,34 @@ class SimNetwork {
   std::vector<double> agent_slow_extra_ms_;  // kSlowed request delay, by NodeId
   std::vector<net::DelayMs> arrival_delay_;  // by memberIndex
   NetworkStats stats_;
-  // deliveries_by_type_[node * 4 + type]; sized lazily on first delivery.
+  // deliveries_by_type_[node * 4 + type]; sized at construction so reads
+  // before the first delivery are well-defined.
   std::vector<std::uint64_t> deliveries_by_type_;
+
+  // CSR edge index: neighbors of v are edge_peer_[edge_offset_[v] ..
+  // edge_offset_[v+1]) in ascending NodeId order; edge_id_ and edge_delay_
+  // in parallel map each half-edge to its undirected edge's flat id in
+  // [0, numEdges()) and its propagation delay, so one binary search per hop
+  // yields delay, accounting id, and hop counting together.
+  std::vector<std::uint32_t> edge_offset_;
+  std::vector<net::NodeId> edge_peer_;
+  std::vector<std::uint32_t> edge_id_;
+  std::vector<net::DelayMs> edge_delay_;
+  // CSR slot of each member's parent link, by memberIndex (kNilSlot for the
+  // root): floods walk tree links only, so they never search the CSR.
+  std::vector<std::uint32_t> tree_slot_;
   bool link_accounting_ = false;
-  std::unordered_map<LinkId, std::uint64_t, LinkIdHash> link_load_;
+  std::vector<std::uint64_t> link_load_;  // by undirected edge id
+
+  // Path arena: one in-flight unicast route per slot.
+  std::vector<std::vector<net::NodeId>> paths_;
+  std::vector<std::uint32_t> free_paths_;
+
+  // Loss-pattern arena: one forced pattern per flood, refcounted by the
+  // flood's outstanding events (plus one for the sending scope).
+  std::vector<LinkLossPattern> patterns_;
+  std::vector<std::uint32_t> pattern_refs_;
+  std::vector<std::uint32_t> free_patterns_;
 };
 
 }  // namespace rmrn::sim

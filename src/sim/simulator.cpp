@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -19,22 +20,34 @@ EventId Simulator::scheduleAfter(TimeMs delay, std::function<void()> action) {
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
+EventId Simulator::scheduleEventAt(TimeMs at, EventSink* sink,
+                                   const EventRecord& record) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator: scheduling into the past");
+  }
+  return queue_.scheduleEvent(at, sink, record);
+}
+
+EventId Simulator::scheduleEventAfter(TimeMs delay, EventSink* sink,
+                                      const EventRecord& record) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulator: negative delay");
+  }
+  return queue_.scheduleEvent(now_ + delay, sink, record);
+}
+
 std::uint64_t Simulator::run(TimeMs until) {
   std::uint64_t fired = 0;
-  while (!queue_.empty() && queue_.nextTime() <= until) {
-    auto event = queue_.pop();
-    now_ = event.time;
-    event.action();
-    ++fired;
-  }
+  while (queue_.fireNext(until, &now_)) ++fired;
+  total_fired_ += fired;
   return fired;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  auto event = queue_.pop();
-  now_ = event.time;
-  event.action();
+  if (!queue_.fireNext(std::numeric_limits<TimeMs>::infinity(), &now_)) {
+    return false;
+  }
+  ++total_fired_;
   return true;
 }
 

@@ -18,6 +18,13 @@ class Simulator {
   /// Schedules `delay >= 0` after now().
   EventId scheduleAfter(TimeMs delay, std::function<void()> action);
 
+  /// Typed-event lane (sim/event.hpp): allocation-free scheduling for the
+  /// data plane's deliveries, forwarding hops, flood steps and timers.
+  EventId scheduleEventAt(TimeMs at, EventSink* sink,
+                          const EventRecord& record);
+  EventId scheduleEventAfter(TimeMs delay, EventSink* sink,
+                             const EventRecord& record);
+
   bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Runs until the queue drains or the clock would pass `until`
@@ -32,10 +39,15 @@ class Simulator {
     return queue_.pendingCount();
   }
 
+  /// Cumulative events fired over the simulator's lifetime (all run()/step()
+  /// calls) — the throughput numerator the drivers report as events/sec.
+  [[nodiscard]] std::uint64_t eventsProcessed() const { return total_fired_; }
+
   static constexpr TimeMs kForever = 1e300;
 
  private:
   TimeMs now_ = 0.0;
+  std::uint64_t total_fired_ = 0;
   EventQueue queue_;
 };
 

@@ -1,0 +1,112 @@
+#include "util/alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed is enough: tests snapshot the counters on one thread between
+// quiescent points, never mid-allocation on another.
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_deallocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* countedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must return a unique pointer.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* countedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*) : alignment,
+                     size == 0 ? 1 : size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void countedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  g_deallocations.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+namespace rmrn::util {
+
+AllocCounts allocCounts() noexcept {
+  return {g_allocations.load(std::memory_order_relaxed),
+          g_deallocations.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace rmrn::util
+
+void* operator new(std::size_t size) {
+  if (void* p = countedAlloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = countedAlloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  if (void* p =
+          countedAlignedAlloc(size, static_cast<std::size_t>(alignment))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  if (void* p =
+          countedAlignedAlloc(size, static_cast<std::size_t>(alignment))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return countedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return countedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { countedFree(p); }
+void operator delete[](void* p) noexcept { countedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { countedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { countedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { countedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { countedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  countedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  countedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  countedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  countedFree(p);
+}

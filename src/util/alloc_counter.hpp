@@ -1,0 +1,25 @@
+// Global-operator-new instrumentation for zero-allocation assertions.
+//
+// Linking alloc_counter.cpp into a binary replaces the global allocation
+// functions with counting wrappers over malloc/free.  It is deliberately NOT
+// part of rmrn_util: only the allocation test and the simcore benchmark link
+// it, so ordinary binaries keep the default allocator.  The wrappers call
+// malloc/free (never a private pool), so ASan/TSan still interpose and heap
+// diagnostics keep working.
+#pragma once
+
+#include <cstdint>
+
+namespace rmrn::util {
+
+struct AllocCounts {
+  std::uint64_t allocations = 0;    // operator new calls (all variants)
+  std::uint64_t deallocations = 0;  // operator delete calls on non-null
+  std::uint64_t bytes = 0;          // total bytes requested
+};
+
+/// Snapshot of the process-wide counters (zeros when alloc_counter.cpp is
+/// not linked in).
+[[nodiscard]] AllocCounts allocCounts() noexcept;
+
+}  // namespace rmrn::util

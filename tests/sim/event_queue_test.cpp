@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -125,6 +127,163 @@ TEST(EventQueueTest, ManyEventsStressOrder) {
     EXPECT_GE(fired.time, last);
     last = fired.time;
   }
+}
+
+// ---- Typed-event lane -----------------------------------------------------
+
+/// Records every event it receives, for dispatch assertions.
+class RecordingSink final : public EventSink {
+ public:
+  void onEvent(const EventRecord& event) override { events.push_back(event); }
+  std::vector<EventRecord> events;
+};
+
+TEST(EventQueueTypedTest, DispatchesToSinkWithPayload) {
+  EventQueue q;
+  RecordingSink sink;
+  EventRecord record{EventKind::kTimer, {}};
+  record.data.timer = TimerEvent{7, 11, 22, 33};
+  const EventId id = q.scheduleEvent(3.0, &sink, record);
+  EXPECT_NE(id, 0u);
+  auto fired = q.pop();
+  EXPECT_DOUBLE_EQ(fired.time, 3.0);
+  EXPECT_EQ(fired.id, id);
+  fired.fire();
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].kind, EventKind::kTimer);
+  EXPECT_EQ(sink.events[0].data.timer.kind, 7u);
+  EXPECT_EQ(sink.events[0].data.timer.a, 11u);
+  EXPECT_EQ(sink.events[0].data.timer.b, 22u);
+  EXPECT_EQ(sink.events[0].data.timer.c, 33u);
+}
+
+TEST(EventQueueTypedTest, RejectsNullSinkAndClosureKind) {
+  EventQueue q;
+  RecordingSink sink;
+  EventRecord record{EventKind::kTimer, {}};
+  EXPECT_THROW(q.scheduleEvent(1.0, nullptr, record), std::invalid_argument);
+  record.kind = EventKind::kClosure;
+  EXPECT_THROW(q.scheduleEvent(1.0, &sink, record), std::invalid_argument);
+}
+
+TEST(EventQueueTypedTest, EqualTimestampOrderingAcrossLanes) {
+  // Typed and closure events at the same time fire in exact insertion order:
+  // both lanes share one global sequence counter.
+  EventQueue q;
+  std::vector<int> order;
+  class PushSink final : public EventSink {
+   public:
+    explicit PushSink(std::vector<int>& out) : out_(out) {}
+    void onEvent(const EventRecord& event) override {
+      out_.push_back(static_cast<int>(event.data.timer.a));
+    }
+
+   private:
+    std::vector<int>& out_;
+  } sink(order);
+  for (int i = 0; i < 8; ++i) {
+    if (i % 2 == 0) {
+      EventRecord record{EventKind::kTimer, {}};
+      record.data.timer = TimerEvent{0, static_cast<std::uint64_t>(i), 0, 0};
+      q.scheduleEvent(5.0, &sink, record);
+    } else {
+      q.schedule(5.0, [&order, i] { order.push_back(i); });
+    }
+  }
+  while (!q.empty()) q.pop().fire();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+// ---- Handle safety --------------------------------------------------------
+
+TEST(EventQueueHandleTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.pop().fire();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueHandleTest, StaleHandleNeverCancelsSlotReuser) {
+  // Fire an event, then keep rescheduling; the first handle's slot is
+  // recycled with a bumped generation, so cancelling the stale handle must
+  // never revoke the slot's newer tenants.
+  EventQueue q;
+  const EventId stale = q.schedule(1.0, [] {});
+  q.pop().fire();
+  for (int i = 0; i < 50; ++i) {
+    int fired = 0;
+    const EventId fresh = q.schedule(1.0 + i, [&fired] { ++fired; });
+    EXPECT_NE(fresh, stale);
+    EXPECT_FALSE(q.cancel(stale));
+    EXPECT_EQ(q.pendingCount(), 1u);
+    q.pop().fire();
+    EXPECT_EQ(fired, 1);
+  }
+}
+
+TEST(EventQueueHandleTest, CancelledSlotReusedWithoutCrossCancel) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  int fired = 0;
+  q.schedule(2.0, [&fired] { ++fired; });  // reuses a's slot
+  EXPECT_FALSE(q.cancel(a));               // stale generation
+  while (!q.empty()) q.pop().fire();
+  EXPECT_EQ(fired, 1);
+}
+
+// ---- Dead-entry compaction ------------------------------------------------
+
+TEST(EventQueueCompactionTest, HeapStaysBoundedUnderScheduleCancelChurn) {
+  // The protocols' timer pattern: schedule a timeout, cancel it when the
+  // repair lands, repeat.  100k rounds against a small live set must keep
+  // the heap index bounded (compaction rebuilds once dead entries outnumber
+  // live 2:1) instead of growing by one dead entry per round.
+  EventQueue q;
+  constexpr std::size_t kLive = 32;
+  std::vector<EventId> live;
+  double t = 1.0;
+  for (std::size_t i = 0; i < kLive; ++i) {
+    live.push_back(q.schedule(t, [] {}));
+    t += 1.0;
+  }
+  std::size_t max_heap = 0;
+  for (int round = 0; round < 100000; ++round) {
+    const EventId id = q.schedule(t, [] {});
+    t += 1.0;
+    ASSERT_TRUE(q.cancel(id));
+    max_heap = std::max(max_heap, q.heapSize());
+  }
+  EXPECT_EQ(q.pendingCount(), kLive);
+  // Bound: live + 2x live dead before a rebuild triggers, plus the
+  // compaction floor below which tiny heaps are left alone.
+  const std::size_t bound = 3 * kLive + 64 + 1;
+  EXPECT_LE(max_heap, bound);
+  EXPECT_LE(q.heapSize(), bound);
+  // The live set is intact and still fires in order.
+  std::size_t popped = 0;
+  double last = 0.0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GT(fired.time, last);
+    last = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, kLive);
+}
+
+TEST(EventQueueCompactionTest, SlotSlabReusedUnderChurn) {
+  // Cancel-heavy churn must also recycle payload slots: pendingCount stays
+  // exact and every handle from a recycled slot still cancels correctly.
+  EventQueue q;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId a = q.schedule(1.0, [] {});
+    const EventId b = q.schedule(2.0, [] {});
+    EXPECT_TRUE(q.cancel(b));
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_EQ(q.pendingCount(), 0u);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

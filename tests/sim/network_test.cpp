@@ -221,11 +221,15 @@ TEST_F(NetworkFixture, LinkAccountingTracksRecoveryTraversals) {
   // 3 -> 4 unicast uses links 3-1, 1-0, 0-2, 2-4 once each.
   network_.unicast(3, 4, request(1, 3));
   sim_.run();
-  const auto& load = network_.recoveryLinkLoad();
-  EXPECT_EQ(load.size(), 4u);
-  EXPECT_EQ(load.at(LinkId{1, 3}), 1u);
-  EXPECT_EQ(load.at(LinkId{0, 1}), 1u);
+  EXPECT_EQ(network_.totalRecoveryLinkLoad(), 4u);
+  EXPECT_EQ(network_.recoveryLinkLoad(1, 3), 1u);
+  EXPECT_EQ(network_.recoveryLinkLoad(0, 1), 1u);
+  EXPECT_EQ(network_.recoveryLinkLoad(3, 4), 0u);  // direct edge unused
+  // Both orientations address the same undirected counter.
+  EXPECT_EQ(network_.recoveryLinkLoad(3, 1), 1u);
   EXPECT_EQ(network_.maxRecoveryLinkLoad(), 1u);
+  // Asking about a non-edge is an error, not a zero.
+  EXPECT_THROW(network_.recoveryLinkLoad(0, 4), std::invalid_argument);
   // Second identical unicast doubles the per-link counts.
   network_.unicast(3, 4, request(2, 3));
   sim_.run();
@@ -236,24 +240,42 @@ TEST_F(NetworkFixture, LinkAccountingIgnoresDataAndDefaultsOff) {
   network_.multicastFromSource(Packet{Packet::Type::kData, 0, 0,
                                       net::kInvalidNode, 0});
   sim_.run();
-  EXPECT_TRUE(network_.recoveryLinkLoad().empty());  // off by default
+  EXPECT_EQ(network_.totalRecoveryLinkLoad(), 0u);  // off by default
   network_.enableLinkAccounting(true);
   network_.multicastFromSource(Packet{Packet::Type::kData, 1, 0,
                                       net::kInvalidNode, 0});
   sim_.run();
-  EXPECT_TRUE(network_.recoveryLinkLoad().empty());  // data never counted
+  EXPECT_EQ(network_.totalRecoveryLinkLoad(), 0u);  // data never counted
 }
 
 TEST_F(NetworkFixture, ResetStatsClearsCounters) {
+  network_.enableLinkAccounting(true);
   network_.unicast(3, 4, request(1, 3));
   sim_.run();
   EXPECT_GT(network_.stats().recovery_hops, 0u);
+  EXPECT_GT(network_.totalRecoveryLinkLoad(), 0u);
   network_.resetStats();
   EXPECT_EQ(network_.stats().recovery_hops, 0u);
   EXPECT_EQ(network_.stats().packets_sent, 0u);
   EXPECT_EQ(network_.stats().deliveries, 0u);
   EXPECT_EQ(network_.deliveriesAt(4, Packet::Type::kRequest), 0u);
-  EXPECT_TRUE(network_.recoveryLinkLoad().empty());
+  EXPECT_EQ(network_.totalRecoveryLinkLoad(), 0u);
+}
+
+TEST_F(NetworkFixture, DeliveriesAtReadableBeforeAnyDelivery) {
+  // The per-type delivery table is sized at construction: querying any
+  // agent/type before the first delivery (and after resetStats) is a
+  // well-defined zero, never a read past an empty vector.
+  for (const NodeId v : {0u, 1u, 2u, 3u, 4u}) {
+    EXPECT_EQ(network_.deliveriesAt(v, Packet::Type::kData), 0u);
+    EXPECT_EQ(network_.deliveriesAt(v, Packet::Type::kRequest), 0u);
+    EXPECT_EQ(network_.deliveriesAt(v, Packet::Type::kRepair), 0u);
+    EXPECT_EQ(network_.deliveriesAt(v, Packet::Type::kParity), 0u);
+  }
+  // Out-of-range nodes still answer zero rather than throwing.
+  EXPECT_EQ(network_.deliveriesAt(999, Packet::Type::kData), 0u);
+  network_.resetStats();
+  EXPECT_EQ(network_.deliveriesAt(4, Packet::Type::kData), 0u);
 }
 
 // Property: with loss off, a group multicast from any member delivers to
