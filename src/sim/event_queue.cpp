@@ -60,8 +60,10 @@ void EventQueue::maybeCompact() {
   }
   heap_.resize(kept);
   dead_in_heap_ = 0;
-  // Floyd heap construction over the surviving entries.
-  for (std::size_t i = heap_.size() / 4 + 1; i-- > 0;) siftDown(i);
+  // Floyd heap construction over the surviving entries.  The start index
+  // covers every parent and is zero on an empty heap (all entries dead),
+  // so siftDown is never asked to read a nonexistent root.
+  for (std::size_t i = (heap_.size() + 3) / 4; i-- > 0;) siftDown(i);
 }
 
 TimeMs EventQueue::nextTime() const {

@@ -7,7 +7,7 @@
 // counter so cancel() is O(1), can never revoke a slot's later tenant, and
 // frees the payload immediately (no dead-entry accumulation — the protocols'
 // cancel-heavy timer pattern reuses a bounded working set of slots).  The
-// ordering index is a flat 4-ary heap of 24-byte keys; entries whose slot was
+// ordering index is a flat 4-ary heap of 16-byte keys; entries whose slot was
 // cancelled are skipped lazily on pop and compacted away wholesale when they
 // outnumber live entries 2:1, so the heap footprint stays proportional to
 // the live event count.
@@ -175,10 +175,11 @@ class EventQueue {
     }
     RMRN_REQUIRE(at >= last_fired_,
                  "event scheduled in the simulated past (time monotonicity)");
-    const std::uint64_t seq = next_seq_++;
-    if (seq >= kMaxSeq) {
+    if (next_seq_ >= kMaxSeq) {
+      freeSlot(slot);
       throw std::length_error("EventQueue: insertion sequence exhausted");
     }
+    const std::uint64_t seq = next_seq_++;
     slots_[slot].seq = seq;
     heap_.push_back(HeapEntry{at, (seq << kSlotBits) | slot});
     siftUp(heap_.size() - 1);

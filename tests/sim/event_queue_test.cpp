@@ -272,6 +272,28 @@ TEST(EventQueueCompactionTest, HeapStaysBoundedUnderScheduleCancelChurn) {
   EXPECT_EQ(popped, kLive);
 }
 
+TEST(EventQueueCompactionTest, CompactionWithZeroSurvivorsLeavesEmptyHeap) {
+  // Regression: when every heap entry is dead at compaction time, the rebuild
+  // must handle the zero-survivor case — the Floyd loop used to siftDown(0)
+  // into an empty vector.  Scheduling exactly the compaction-floor count (64)
+  // and cancelling all of it makes the first compaction run with live == 0.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(q.schedule(1.0 + i, [] {}));
+  }
+  for (const EventId id : ids) {
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.heapSize(), 0u);
+  // The queue stays usable after the empty rebuild.
+  const EventId later = q.schedule(5.0, [] {});
+  EXPECT_EQ(q.pendingCount(), 1u);
+  EXPECT_EQ(q.pop().id, later);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueCompactionTest, SlotSlabReusedUnderChurn) {
   // Cancel-heavy churn must also recycle payload slots: pendingCount stays
   // exact and every handle from a recycled slot still cancels correctly.
