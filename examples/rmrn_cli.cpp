@@ -41,6 +41,18 @@
 //       survivors' mean recovery delay vs the baseline.  Writes the sweep as
 //       JSON to --out; --json prints the same JSON to stdout (CI smoke).
 //
+//   rmrn_cli chaos [--nodes N] [--loss P%] [--packets K] [--seed S]
+//                  [--runs R] [--threads T] [--out BENCH_chaos.json] [--json]
+//       Chaos sweep (RP protocol): a fixed grid of link-fault scenarios —
+//       group partition (healed and permanent) x link flaps x per-link
+//       duplication/reorder jitter — each run with the per-session liveness
+//       watchdog and failover-plan auditing on.  Gates per row: zero
+//       unrecovered losses among source-reachable clients, recovered
+//       fraction 1 for them, no duplicate recovery sessions at <= 20%
+//       duplication, and zero failover-plan audit violations.  Writes the
+//       sweep as JSON to --out; --json prints it to stdout (CI smoke); exit
+//       1 when any gate fails.
+//
 //   rmrn_cli config [--out file]
 //       Print (or write) a complete default experiment config to edit.
 #include <algorithm>
@@ -65,7 +77,7 @@ using namespace rmrn;
 
 int usage() {
   std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|audit|resilience"
-               "|config> [--flags]\n"
+               "|chaos|config> [--flags]\n"
                "  see the header comment of examples/rmrn_cli.cpp\n";
   return 2;
 }
@@ -410,13 +422,24 @@ int cmdResilience(const util::Flags& flags) {
       rows.front().result.result(harness::ProtocolKind::kRp);
   const double baseline_delay = baseline.avg_latency_ms;
 
+  // Per-run client counts are integers (one per repetition, seed order);
+  // mean_clients is their average.  Identical for every rate of the sweep
+  // (same seeds -> same topologies), so report them once.
+  const std::vector<std::uint32_t>& clients_per_run =
+      rows.front().result.clients_per_run;
+
   std::ostringstream json;
   json.precision(10);
   json << "{\n";
   json << "  \"bench\": \"resilience\",\n";
   json << "  \"protocol\": \"RP\",\n";
   json << "  \"nodes\": " << config.num_nodes << ",\n";
-  json << "  \"clients\": " << num_clients << ",\n";
+  json << "  \"mean_clients\": " << num_clients << ",\n";
+  json << "  \"clients_per_run\": [";
+  for (std::size_t i = 0; i < clients_per_run.size(); ++i) {
+    json << (i ? ", " : "") << clients_per_run[i];
+  }
+  json << "],\n";
   json << "  \"loss_prob\": " << config.loss_prob << ",\n";
   json << "  \"packets\": " << config.num_packets << ",\n";
   json << "  \"runs\": " << runs << ",\n";
@@ -491,6 +514,209 @@ int cmdResilience(const util::Flags& flags) {
   return ok ? 0 : 1;
 }
 
+int cmdChaos(const util::Flags& flags) {
+  harness::ExperimentConfig config;
+  config.num_nodes = static_cast<std::uint32_t>(
+      flags.getUnsigned("nodes", config.num_nodes));
+  if (flags.has("loss")) {
+    config.loss_prob = flags.getDouble("loss", 5.0) / 100.0;
+  }
+  config.num_packets = static_cast<std::uint32_t>(
+      flags.getUnsigned("packets", config.num_packets));
+  config.seed = flags.getUnsigned("seed", config.seed);
+  const auto runs = static_cast<std::uint32_t>(flags.getUnsigned("runs", 2));
+  const auto threads = static_cast<unsigned>(flags.getUnsigned("threads", 0));
+  const std::string out_path = flags.getString("out", "BENCH_chaos.json");
+  const bool json_stdout = flags.getBool("json", false);
+  if (const int rc = failUnknownFlags(flags)) return rc;
+
+  // Every failover replan RP adopts is re-refereed by the PlanAuditor with
+  // the blacklisted peers excluded.
+  config.audit_failover_plans = true;
+
+  // Under link chaos the watchdog (not the retry budget) is the terminal
+  // authority: a session must ride out a whole flap/partition-heal outage
+  // — during which every request dies — without running out of attempts,
+  // so that only genuinely unreachable clients are ever abandoned.  With
+  // capped exponential backoff, 256 attempts outlast the 10 s watchdog.
+  config.protocol.health.retry_budget = 256;
+
+  // Chaos hits mid-stream; times scale with the data span so shorter CI
+  // sweeps keep the same shape.
+  const double span = config.num_packets * config.data_interval_ms;
+  const double chaos_time = 0.4 * span;
+
+  // Fixed scenario grid: partition (none / healed / permanent) x link flaps
+  // x per-link duplication + reorder jitter.  The all-zero row is the
+  // chaos-off baseline.
+  struct Partition {
+    const char* tag;
+    double fraction;
+    double heal_ms;  // 0 = permanent
+  };
+  const Partition partitions[] = {
+      {"none", 0.0, 0.0},
+      {"heal25", 0.25, 0.2 * span},
+      {"perm25", 0.25, 0.0},
+  };
+  const double flap_rates[] = {0.0, 0.15};
+  struct DupJitter {
+    double dup;
+    double jitter_ms;
+  };
+  const DupJitter dup_jitters[] = {{0.0, 0.0}, {0.15, 2.0}};
+
+  struct Row {
+    std::string name;
+    sim::FaultPlan plan;
+    harness::ExperimentResult result;
+    bool ok = false;
+  };
+  const harness::ProtocolKind kinds[] = {harness::ProtocolKind::kRp};
+  std::vector<Row> rows;
+  for (const Partition& part : partitions) {
+    for (const double flap : flap_rates) {
+      for (const DupJitter& dj : dup_jitters) {
+        sim::FaultPlan plan;
+        plan.seed = config.seed;
+        plan.at_ms = chaos_time;
+        plan.stagger_ms = config.data_interval_ms;
+        plan.partition_fraction = part.fraction;
+        plan.partition_heal_ms = part.heal_ms;
+        plan.link_flap_fraction = flap;
+        if (flap > 0.0) {
+          plan.flap_down_ms = 0.1 * span;
+          plan.flap_cycles = 2;
+          plan.flap_period_ms = 0.25 * span;
+        }
+        plan.duplicate_prob = dj.dup;
+        plan.reorder_jitter_ms = dj.jitter_ms;
+
+        std::ostringstream name;
+        name << "part=" << part.tag << " flap=" << flap * 100.0
+             << "% dup=" << dj.dup * 100.0 << "% jitter=" << dj.jitter_ms
+             << "ms";
+
+        harness::ExperimentConfig swept = config;
+        swept.faults = plan;
+        Row row;
+        row.name = name.str();
+        row.plan = plan;
+        row.result =
+            harness::runAveragedExperimentParallel(swept, runs, kinds, threads);
+
+        const harness::ProtocolResult& r =
+            row.result.result(harness::ProtocolKind::kRp);
+        // Gates: every source-reachable client recovered everything, no
+        // duplicate recovery sessions at moderate duplication, and every
+        // adopted failover plan passed the independent audit.
+        row.ok = r.residual_reachable == 0 &&
+                 r.reachable_losses == r.reachable_recoveries &&
+                 r.plan_audit_violations == 0 &&
+                 (plan.duplicate_prob > 0.2 || r.duplicate_sessions == 0);
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  const std::vector<std::uint32_t>& clients_per_run =
+      rows.front().result.clients_per_run;
+  const double num_clients = rows.front().result.num_clients;
+
+  std::ostringstream json;
+  json.precision(10);
+  json << "{\n";
+  json << "  \"bench\": \"chaos\",\n";
+  json << "  \"protocol\": \"RP\",\n";
+  json << "  \"nodes\": " << config.num_nodes << ",\n";
+  json << "  \"mean_clients\": " << num_clients << ",\n";
+  json << "  \"clients_per_run\": [";
+  for (std::size_t i = 0; i < clients_per_run.size(); ++i) {
+    json << (i ? ", " : "") << clients_per_run[i];
+  }
+  json << "],\n";
+  json << "  \"loss_prob\": " << config.loss_prob << ",\n";
+  json << "  \"packets\": " << config.num_packets << ",\n";
+  json << "  \"runs\": " << runs << ",\n";
+  json << "  \"chaos_time_ms\": " << chaos_time << ",\n";
+  json << "  \"sweep\": [\n";
+  bool all_ok = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const harness::ProtocolResult& r =
+        row.result.result(harness::ProtocolKind::kRp);
+    const double recovered_fraction =
+        r.reachable_losses == 0
+            ? 1.0
+            : static_cast<double>(r.reachable_recoveries) /
+                  static_cast<double>(r.reachable_losses);
+    all_ok &= row.ok;
+    json << "    {\"name\": \"" << row.name << "\""
+         << ", \"partition_fraction\": " << row.plan.partition_fraction
+         << ", \"partition_heal_ms\": " << row.plan.partition_heal_ms
+         << ", \"link_flap_fraction\": " << row.plan.link_flap_fraction
+         << ", \"duplicate_prob\": " << row.plan.duplicate_prob
+         << ", \"reorder_jitter_ms\": " << row.plan.reorder_jitter_ms
+         << ", \"losses\": " << r.losses
+         << ", \"recoveries\": " << r.recoveries
+         << ", \"abandoned\": " << r.abandoned
+         << ", \"abandoned_sessions\": " << r.abandoned_sessions
+         << ", \"unreachable_clients\": " << r.unreachable_clients
+         << ", \"reachable_losses\": " << r.reachable_losses
+         << ", \"reachable_recoveries\": " << r.reachable_recoveries
+         << ", \"residual_unrecovered_reachable\": " << r.residual_reachable
+         << ", \"recovered_fraction_reachable\": " << recovered_fraction
+         << ", \"chaos_link_drops\": " << r.chaos_link_drops
+         << ", \"duplicates_created\": " << r.duplicates_created
+         << ", \"duplicate_requests_suppressed\": "
+         << r.duplicate_requests_suppressed
+         << ", \"duplicate_sessions\": " << r.duplicate_sessions
+         << ", \"retries\": " << r.retries
+         << ", \"timeouts\": " << r.timeouts
+         << ", \"blacklist_events\": " << r.blacklist_events
+         << ", \"failovers\": " << r.failovers
+         << ", \"source_fallbacks\": " << r.source_fallbacks
+         << ", \"plan_audit_violations\": " << r.plan_audit_violations
+         << ", \"mean_delay_ms\": " << r.avg_latency_ms
+         << ", \"ok\": " << (row.ok ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"ok\": " << (all_ok ? "true" : "false") << "\n";
+  json << "}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+  }
+  if (json_stdout) {
+    std::cout << json.str();
+  } else {
+    std::cout << "RP chaos sweep: n=" << config.num_nodes << " (k~"
+              << num_clients << "), p=" << config.loss_prob * 100.0 << "%, "
+              << config.num_packets << " packets x " << runs
+              << " run(s), chaos at " << chaos_time << " ms\n";
+    harness::TextTable table({"scenario", "losses", "recovered", "abandoned",
+                              "unreach", "resid(reach)", "dups", "dup sess",
+                              "audit", "ok"});
+    for (const Row& row : rows) {
+      const harness::ProtocolResult& r =
+          row.result.result(harness::ProtocolKind::kRp);
+      table.addRow({row.name, std::to_string(r.losses),
+                    std::to_string(r.recoveries), std::to_string(r.abandoned),
+                    std::to_string(r.unreachable_clients),
+                    std::to_string(r.residual_reachable),
+                    std::to_string(r.duplicates_created),
+                    std::to_string(r.duplicate_sessions),
+                    std::to_string(r.plan_audit_violations),
+                    row.ok ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    if (!out_path.empty()) std::cout << "wrote " << out_path << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
 int cmdConfig(const util::Flags& flags) {
   const std::string out_path = flags.getString("out", "");
   if (const int rc = failUnknownFlags(flags)) return rc;
@@ -518,6 +744,7 @@ int main(int argc, char** argv) {
     if (command == "transfer") return cmdTransfer(flags);
     if (command == "audit") return cmdAudit(flags);
     if (command == "resilience") return cmdResilience(flags);
+    if (command == "chaos") return cmdChaos(flags);
     if (command == "config") return cmdConfig(flags);
     return usage();
   } catch (const std::exception& e) {

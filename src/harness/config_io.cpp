@@ -70,6 +70,8 @@ void writeConfig(std::ostream& out, const ExperimentConfig& c) {
       << "\n";
   out << "protocol.timeout_factor = " << c.protocol.timeout_factor << "\n";
   out << "protocol.min_timeout_ms = " << c.protocol.min_timeout_ms << "\n";
+  out << "protocol.session_deadline_ms = " << c.protocol.session_deadline_ms
+      << "\n";
   out << "health.enabled = " << (c.protocol.health.enabled ? "true" : "false")
       << "\n";
   out << "health.blacklist_after = " << c.protocol.health.blacklist_after
@@ -84,6 +86,16 @@ void writeConfig(std::ostream& out, const ExperimentConfig& c) {
   out << "faults.stagger_ms = " << c.faults.stagger_ms << "\n";
   out << "faults.slow_extra_ms = " << c.faults.slow_extra_ms << "\n";
   out << "faults.seed = " << c.faults.seed << "\n";
+  out << "faults.link_flap_fraction = " << c.faults.link_flap_fraction << "\n";
+  out << "faults.flap_down_ms = " << c.faults.flap_down_ms << "\n";
+  out << "faults.flap_cycles = " << c.faults.flap_cycles << "\n";
+  out << "faults.flap_period_ms = " << c.faults.flap_period_ms << "\n";
+  out << "faults.partition_fraction = " << c.faults.partition_fraction << "\n";
+  out << "faults.partition_heal_ms = " << c.faults.partition_heal_ms << "\n";
+  out << "faults.duplicate_prob = " << c.faults.duplicate_prob << "\n";
+  out << "faults.reorder_jitter_ms = " << c.faults.reorder_jitter_ms << "\n";
+  out << "audit_failover_plans = "
+      << (c.audit_failover_plans ? "true" : "false") << "\n";
   out << "srm.c1 = " << c.srm.c1 << "\n";
   out << "srm.c2 = " << c.srm.c2 << "\n";
   out << "srm.d1 = " << c.srm.d1 << "\n";
@@ -158,6 +170,8 @@ ExperimentConfig readConfig(std::istream& in) {
        asDouble(config.protocol.detection_delay_ms)},
       {"protocol.timeout_factor", asDouble(config.protocol.timeout_factor)},
       {"protocol.min_timeout_ms", asDouble(config.protocol.min_timeout_ms)},
+      {"protocol.session_deadline_ms",
+       asDouble(config.protocol.session_deadline_ms)},
       {"health.enabled", asBool(config.protocol.health.enabled)},
       {"health.blacklist_after", asU32(config.protocol.health.blacklist_after)},
       {"health.retry_budget", asU32(config.protocol.health.retry_budget)},
@@ -173,6 +187,17 @@ ExperimentConfig readConfig(std::istream& in) {
        [&config](const std::string& v) {
          config.faults.seed = std::stoull(v);
        }},
+      {"faults.link_flap_fraction",
+       asDouble(config.faults.link_flap_fraction)},
+      {"faults.flap_down_ms", asDouble(config.faults.flap_down_ms)},
+      {"faults.flap_cycles", asU32(config.faults.flap_cycles)},
+      {"faults.flap_period_ms", asDouble(config.faults.flap_period_ms)},
+      {"faults.partition_fraction",
+       asDouble(config.faults.partition_fraction)},
+      {"faults.partition_heal_ms", asDouble(config.faults.partition_heal_ms)},
+      {"faults.duplicate_prob", asDouble(config.faults.duplicate_prob)},
+      {"faults.reorder_jitter_ms", asDouble(config.faults.reorder_jitter_ms)},
+      {"audit_failover_plans", asBool(config.audit_failover_plans)},
       {"srm.c1", asDouble(config.srm.c1)},
       {"srm.c2", asDouble(config.srm.c2)},
       {"srm.d1", asDouble(config.srm.d1)},

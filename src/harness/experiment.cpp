@@ -5,7 +5,9 @@
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <unordered_set>
 
+#include "core/auditor.hpp"
 #include "metrics/recovery_metrics.hpp"
 #include "net/routing.hpp"
 #include "protocols/rma_protocol.hpp"
@@ -22,6 +24,11 @@ namespace {
 constexpr std::uint64_t kTopologyStream = 1;
 constexpr std::uint64_t kDataLossStream = 2;
 constexpr std::uint64_t kProtocolStreamBase = 100;
+
+// Watchdog default for link-chaos runs whose caller did not pick a deadline:
+// long enough to ride out transient flaps/partitions, short enough that a
+// permanently partitioned session still terminates well within the run.
+constexpr double kChaosSessionDeadlineMs = 10000.0;
 
 ProtocolResult runOneProtocol(const ExperimentConfig& config,
                               ProtocolKind kind, const net::Topology& topology,
@@ -42,6 +49,13 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
   // (default: legacy, bit-identical) behavior.
   protocols::ProtocolConfig proto_config = config.protocol;
   if (!config.faults.empty()) proto_config.health.enabled = true;
+  // Link chaos can strand a session forever (permanent partition + schemes
+  // that re-request indefinitely); the watchdog guarantees bounded-time
+  // termination unless the caller pinned a deadline explicitly.
+  if (config.faults.hasLinkChaos() &&
+      proto_config.session_deadline_ms == 0.0) {
+    proto_config.session_deadline_ms = kChaosSessionDeadlineMs;
+  }
 
   std::unique_ptr<protocols::RecoveryProtocol> protocol;
   std::unique_ptr<core::RpPlanner> degenerate_planner;
@@ -97,6 +111,10 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
         [&protocol, &losses, i] { protocol->sourceMulticast(i, losses[i]); });
   }
   simulator.run();
+  // Liveness sweep: with the watchdog on, every detected loss must have
+  // terminated (recovered or explicitly abandoned) and no session may
+  // remain open.
+  protocol->finalizeRun();
 
   ProtocolResult result;
   result.kind = kind;
@@ -121,6 +139,57 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
   result.source_fallbacks = recovery.sourceFallbacks();
   result.abandoned = recovery.abandoned();
   result.residual = recovery.outstanding();
+  result.chaos_link_drops = network.stats().chaos_link_drops;
+  result.duplicates_created = network.stats().duplicates_created;
+  result.duplicate_requests_suppressed =
+      protocol->duplicateRequestsSuppressed();
+  result.duplicate_sessions = protocol->duplicateSessions();
+  result.abandoned_sessions = recovery.abandonedSessions();
+
+  // Reachability-aware accounting: a partitioned client's abandoned losses
+  // are expected; a source-reachable client leaving residual is a protocol
+  // bug.  Crashed clients carry no obligation and are skipped.
+  if (network.chaosEnabled()) {
+    std::unordered_set<net::NodeId> crashed;
+    if (injector) {
+      for (const sim::FaultEvent& event : injector->schedule()) {
+        if (event.kind == sim::FaultKind::kCrash) crashed.insert(event.node);
+      }
+    }
+    for (const net::NodeId client : topology.clients) {
+      if (crashed.contains(client)) continue;
+      if (!network.reachableFromSource(client)) {
+        ++result.unreachable_clients;
+        continue;
+      }
+      result.reachable_losses += recovery.lossesFor(client);
+      result.reachable_recoveries += recovery.recoveriesFor(client);
+      result.residual_reachable += recovery.outstandingFor(client);
+    }
+  } else {
+    result.reachable_losses = result.losses;
+    result.reachable_recoveries = result.recoveries;
+    result.residual_reachable = result.residual;
+  }
+
+  // Failover-plan audit: every list RP adopted after blacklisting must still
+  // satisfy the paper's lemmas with the dead peers excluded.
+  if (config.audit_failover_plans && kind == ProtocolKind::kRp) {
+    if (const auto* rp =
+            dynamic_cast<const protocols::RpProtocol*>(protocol.get())) {
+      const core::PlanAuditor auditor(topology, routing);
+      const core::AuditOptions audit_options =
+          core::AuditOptions::fromPlanner(planner);
+      for (const net::NodeId client : topology.clients) {
+        if (!rp->hasFailedOver(client)) continue;
+        const std::vector<net::NodeId> excluded =
+            rp->peerHealth().blacklistedTargets(client);
+        const core::AuditReport report = auditor.auditStrategyExcluding(
+            client, rp->activeStrategy(client), audit_options, excluded);
+        result.plan_audit_violations += report.violations.size();
+      }
+    }
+  }
   return result;
 }
 
@@ -177,6 +246,8 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   ExperimentResult result;
   result.num_nodes = config.num_nodes;
   result.num_clients = static_cast<double>(topology.clients.size());
+  result.clients_per_run.push_back(
+      static_cast<std::uint32_t>(topology.clients.size()));
   result.loss_prob = config.loss_prob;
   for (const ProtocolKind kind : kinds) {
     result.protocols.push_back(runOneProtocol(config, kind, topology, routing,
@@ -205,6 +276,9 @@ ExperimentResult aggregate(std::vector<ExperimentResult> results) {
   for (std::size_t r = 1; r < results.size(); ++r) {
     const ExperimentResult& one = results[r];
     total.num_clients += one.num_clients;
+    total.clients_per_run.insert(total.clients_per_run.end(),
+                                 one.clients_per_run.begin(),
+                                 one.clients_per_run.end());
     for (std::size_t i = 0; i < total.protocols.size(); ++i) {
       ProtocolResult& acc = total.protocols[i];
       const ProtocolResult& cur = one.protocols[i];
@@ -225,6 +299,16 @@ ExperimentResult aggregate(std::vector<ExperimentResult> results) {
       acc.source_fallbacks += cur.source_fallbacks;
       acc.abandoned += cur.abandoned;
       acc.residual += cur.residual;
+      acc.chaos_link_drops += cur.chaos_link_drops;
+      acc.duplicates_created += cur.duplicates_created;
+      acc.duplicate_requests_suppressed += cur.duplicate_requests_suppressed;
+      acc.duplicate_sessions += cur.duplicate_sessions;
+      acc.abandoned_sessions += cur.abandoned_sessions;
+      acc.unreachable_clients += cur.unreachable_clients;
+      acc.reachable_losses += cur.reachable_losses;
+      acc.reachable_recoveries += cur.reachable_recoveries;
+      acc.residual_reachable += cur.residual_reachable;
+      acc.plan_audit_violations += cur.plan_audit_violations;
       acc.events_processed += cur.events_processed;
     }
   }

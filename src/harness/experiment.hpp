@@ -76,6 +76,11 @@ struct ExperimentConfig {
   /// set it explicitly.
   sim::FaultPlan faults;
 
+  /// After an RP run, re-audit every adopted failover plan with
+  /// core::PlanAuditor::auditStrategyExcluding (blacklisted peers excluded);
+  /// violation counts land in ProtocolResult::plan_audit_violations.
+  bool audit_failover_plans = false;
+
   net::TopologyConfig topology;  // num_nodes is overwritten from above
   protocols::ProtocolConfig protocol;
   protocols::SrmConfig srm;
@@ -113,6 +118,29 @@ struct ProtocolResult {
   std::uint64_t source_fallbacks = 0;  // sessions that fell back to the source
   std::size_t abandoned = 0;           // losses voided by client crashes
   std::size_t residual = 0;            // surviving-client losses unrecovered
+  /// Chaos counters (all zero when the run had no link chaos).
+  std::uint64_t chaos_link_drops = 0;   // packets eaten by down links
+  std::uint64_t duplicates_created = 0; // extra copies injected by links
+  /// Network-duplicated requests the responder-side dedup absorbed (§8 I9).
+  std::uint64_t duplicate_requests_suppressed = 0;
+  /// Duplicate loss detections that would have opened a second session.
+  std::uint64_t duplicate_sessions = 0;
+  /// Losses given up one at a time (watchdog / retry-budget exhaustion);
+  /// subset of `abandoned`, which also counts whole-client crash write-offs.
+  std::uint64_t abandoned_sessions = 0;
+  /// Reachability-aware accounting (chaos runs only; in chaos-free runs
+  /// every client is reachable, so reachable_* mirror the global counters).
+  /// A client is source-reachable when, in the end-of-run link state, both
+  /// its static unicast route from the source and its multicast-tree root
+  /// path are fully up.
+  std::size_t unreachable_clients = 0;
+  std::size_t reachable_losses = 0;
+  std::size_t reachable_recoveries = 0;
+  /// Unrecovered, unabandoned losses of reachable clients — the invariant a
+  /// chaos run must drive to zero.
+  std::size_t residual_reachable = 0;
+  /// Failover-plan audit violations (RP with audit_failover_plans).
+  std::uint64_t plan_audit_violations = 0;
   /// Simulator events fired during the run (summed across repetitions in
   /// averaged experiments); drivers report events/sec from it.
   std::uint64_t events_processed = 0;
@@ -121,6 +149,10 @@ struct ProtocolResult {
 struct ExperimentResult {
   std::uint32_t num_nodes = 0;
   double num_clients = 0.0;  // fractional when averaged over seeds
+  /// Exact per-repetition client counts in seed order (one entry per run);
+  /// num_clients is their mean.  Reported as integers in the resilience and
+  /// chaos JSON so per-run population is never obscured by averaging.
+  std::vector<std::uint32_t> clients_per_run;
   double loss_prob = 0.0;
   std::vector<ProtocolResult> protocols;
 

@@ -21,6 +21,7 @@ void RecoveryMetrics::recordLoss(net::NodeId client, std::uint64_t seq,
     throw std::logic_error("RecoveryMetrics: duplicate loss record");
   }
   ++losses_;
+  ++losses_by_client_[client];
 }
 
 bool RecoveryMetrics::recordRecovery(net::NodeId client, std::uint64_t seq,
@@ -34,6 +35,17 @@ bool RecoveryMetrics::recordRecovery(net::NodeId client, std::uint64_t seq,
   // A repair can arrive before the client even notices the loss (e.g. an
   // SRM repair triggered by somebody else); the effective wait is zero.
   latency_.add(latency > 0.0 ? latency : 0.0);
+  ++recoveries_by_client_[client];
+  return true;
+}
+
+bool RecoveryMetrics::abandonLoss(net::NodeId client, std::uint64_t seq) {
+  const auto it = pending_.find(key(client, seq));
+  if (it == pending_.end() || it->second.recovered) return false;
+  pending_.erase(it);
+  ++abandoned_;
+  ++abandoned_sessions_;
+  ++abandoned_by_client_[client];
   return true;
 }
 
@@ -49,6 +61,32 @@ std::size_t RecoveryMetrics::abandonClient(net::NodeId client) {
     }
   }
   abandoned_ += count;
+  abandoned_by_client_[client] += count;
+  return count;
+}
+
+std::uint64_t RecoveryMetrics::lossesFor(net::NodeId client) const {
+  const auto it = losses_by_client_.find(client);
+  return it == losses_by_client_.end() ? 0 : it->second;
+}
+
+std::uint64_t RecoveryMetrics::recoveriesFor(net::NodeId client) const {
+  const auto it = recoveries_by_client_.find(client);
+  return it == recoveries_by_client_.end() ? 0 : it->second;
+}
+
+std::uint64_t RecoveryMetrics::abandonedFor(net::NodeId client) const {
+  const auto it = abandoned_by_client_.find(client);
+  return it == abandoned_by_client_.end() ? 0 : it->second;
+}
+
+std::size_t RecoveryMetrics::outstandingFor(net::NodeId client) const {
+  std::size_t count = 0;
+  for (const auto& [key, pending] : pending_) {
+    if (static_cast<net::NodeId>(key >> 32) == client && !pending.recovered) {
+      ++count;
+    }
+  }
   return count;
 }
 

@@ -34,6 +34,12 @@ class RecoveryMetrics {
   /// and can no longer be recovered.
   std::size_t abandonClient(net::NodeId client);
 
+  /// Explicit single-loss abandonment (liveness watchdog, retry-budget
+  /// exhaustion): writes off one pending unrecovered loss so the session
+  /// terminates as *abandoned* rather than silently stuck.  Returns false
+  /// (and records nothing) when the pair is unknown or already recovered.
+  bool abandonLoss(net::NodeId client, std::uint64_t seq);
+
   [[nodiscard]] bool wasLost(net::NodeId client, std::uint64_t seq) const;
   [[nodiscard]] bool isRecovered(net::NodeId client, std::uint64_t seq) const;
 
@@ -42,11 +48,25 @@ class RecoveryMetrics {
     return latency_.count();
   }
   [[nodiscard]] std::size_t abandoned() const { return abandoned_; }
+  /// Of abandoned(): losses given up one session at a time via abandonLoss()
+  /// (the rest came from whole-client crash write-offs).
+  [[nodiscard]] std::size_t abandonedSessions() const {
+    return abandoned_sessions_;
+  }
   /// Losses of live clients still unrecovered (the residual a resilience run
   /// must drive to zero).
   [[nodiscard]] std::size_t outstanding() const {
     return losses_ - latency_.count() - abandoned_;
   }
+
+  /// Per-client terminal accounting, for reachability-aware reporting (a
+  /// partitioned client's abandoned losses are expected; a reachable one's
+  /// are a protocol bug).
+  [[nodiscard]] std::uint64_t lossesFor(net::NodeId client) const;
+  [[nodiscard]] std::uint64_t recoveriesFor(net::NodeId client) const;
+  [[nodiscard]] std::uint64_t abandonedFor(net::NodeId client) const;
+  /// Unrecovered, unabandoned losses of `client` (cold scan).
+  [[nodiscard]] std::size_t outstandingFor(net::NodeId client) const;
 
   /// Resilience counters (DESIGN.md §9), recorded by the protocol layer.
   void recordRetry() { ++retries_; }
@@ -93,9 +113,13 @@ class RecoveryMetrics {
 
   std::unordered_map<Key, Pending> pending_;
   std::unordered_map<net::NodeId, double> last_recovery_;
+  std::unordered_map<net::NodeId, std::uint64_t> losses_by_client_;
+  std::unordered_map<net::NodeId, std::uint64_t> recoveries_by_client_;
+  std::unordered_map<net::NodeId, std::uint64_t> abandoned_by_client_;
   Accumulator latency_;
   std::size_t losses_ = 0;
   std::size_t abandoned_ = 0;
+  std::size_t abandoned_sessions_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t blacklist_events_ = 0;

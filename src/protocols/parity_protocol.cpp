@@ -83,6 +83,12 @@ void ParityProtocol::onTimer(std::uint32_t kind, std::uint64_t a,
 
 void ParityProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
   if (at != source()) return;  // NACKs are addressed to the source only
+  // Parity is deliberately excluded from the base-class request dedup
+  // (shouldServeRequest): REQUEST.tag carries the needed-parity count, not a
+  // dedup tag.  A link-duplicated NACK is absorbed by the gather window while
+  // it is open; at worst (duplicate after the wave fired) it triggers one
+  // extra wave of fresh-index parities, which every client absorbs
+  // idempotently via the parity_indices set.
   const std::uint64_t block = packet.seq;
   auto& state = source_blocks_[block];
   state.wave_request = std::max(
@@ -121,6 +127,32 @@ bool ParityProtocol::tryDecode(net::NodeId client, std::uint64_t block) {
 
 void ParityProtocol::onPacketObtained(net::NodeId, std::uint64_t) {
   // Decoding is driven by tryDecode; nothing extra per packet.
+}
+
+void ParityProtocol::onSessionAbandoned(net::NodeId client, std::uint64_t seq) {
+  // The watchdog abandons one (client, seq); the block keeps going for any
+  // other sequences still missing.  Shrinking the missing set may make the
+  // already-received parities sufficient for the remainder.
+  const std::uint64_t block = blockOf(seq);
+  const auto it = client_blocks_.find(key(client, block));
+  if (it == client_blocks_.end()) return;
+  it->second.missing.erase(seq);
+  if (it->second.missing.empty()) {
+    if (it->second.timer_armed) {
+      simulator().cancel(it->second.retry_timer);
+      it->second.timer_armed = false;
+    }
+    return;
+  }
+  tryDecode(client, block);
+}
+
+std::size_t ParityProtocol::openSessions() const {
+  std::size_t open = 0;
+  for (const auto& [unused, state] : client_blocks_) {
+    open += state.missing.size();
+  }
+  return open;
 }
 
 void ParityProtocol::onClientCrashed(net::NodeId client) {

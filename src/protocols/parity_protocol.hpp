@@ -51,6 +51,8 @@ class ParityProtocol final : public RecoveryProtocol {
   void onParity(net::NodeId at, const sim::Packet& packet) override;
   void onPacketObtained(net::NodeId client, std::uint64_t seq) override;
   void onClientCrashed(net::NodeId client) override;
+  void onSessionAbandoned(net::NodeId client, std::uint64_t seq) override;
+  [[nodiscard]] std::size_t openSessions() const override;
   void onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
                std::uint64_t c) override;
 

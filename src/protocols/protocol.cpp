@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace rmrn::protocols {
 
 namespace {
@@ -24,7 +26,7 @@ RecoveryProtocol::RecoveryProtocol(sim::SimNetwork& network,
       config_(config),
       health_(config.health) {
   if (config_.detection_delay_ms < 0.0 || config_.timeout_factor <= 0.0 ||
-      config_.min_timeout_ms <= 0.0) {
+      config_.min_timeout_ms <= 0.0 || config_.session_deadline_ms < 0.0) {
     throw std::invalid_argument("RecoveryProtocol: bad config");
   }
 }
@@ -71,11 +73,29 @@ void RecoveryProtocol::observeResponse(net::NodeId at,
   const auto it = probes_.find(haveKey(at, packet.seq));
   if (it == probes_.end()) return;
   const double now = simulator().now();
-  for (const Probe& probe : it->second) {
-    if (probe.any_origin || probe.target == packet.origin) {
-      health_.onResponse(at, probe.target, now - probe.sent_at_ms,
-                         probe.retransmit);
+  // Karn's rule, strictly: an RTT sample is attributable only when the
+  // request went out exactly once to that target.  With several outstanding
+  // transmissions (a retry burst across a link outage) the response cannot
+  // be paired with any one of them — feeding `now - first_send` would
+  // inflate SRTT by the whole outage and push the RTO past the watchdog —
+  // so ambiguous matches only clear the timeout streak.
+  const std::vector<Probe>& probes = it->second;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const Probe& probe = probes[i];
+    if (!probe.any_origin && probe.target != packet.origin) continue;
+    bool first_of_target = true;
+    bool ambiguous = probe.retransmit;
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      if (j == i || probes[j].target != probe.target) continue;
+      if (j < i) {
+        first_of_target = false;
+        break;
+      }
+      ambiguous = true;
     }
+    if (!first_of_target) continue;  // this target group already handled
+    health_.onResponse(at, probe.target,
+                       ambiguous ? 0.0 : now - probe.sent_at_ms, ambiguous);
   }
   probes_.erase(it);
 }
@@ -117,20 +137,29 @@ void RecoveryProtocol::sourceMulticast(std::uint64_t seq,
 
   // A client misses the packet iff any tree link on its root path drops it.
   // Crashed receivers run no protocol and carry no reliability obligation.
+  //
+  // In chaos mode the pattern walk cannot see link-fault losses (down links,
+  // mid-flight flaps, jittered drops), so every live client gets a detection
+  // check instead; the handler registers the loss from ground truth (the
+  // client still lacks the packet at detection time).  Chaos off keeps the
+  // legacy pre-registration path bit-identical.
   const double now = simulator().now();
+  const bool chaos = network_.chaosEnabled();
   for (const net::NodeId client : topology().clients) {
     if (network_.isAgentFailed(client)) continue;
-    bool lost = false;
-    for (net::NodeId v = client; v != tree.root(); v = tree.parent(v)) {
-      if (losses[tree.memberIndex(v)]) {
-        lost = true;
-        break;
+    if (!chaos) {
+      bool lost = false;
+      for (net::NodeId v = client; v != tree.root(); v = tree.parent(v)) {
+        if (losses[tree.memberIndex(v)]) {
+          lost = true;
+          break;
+        }
       }
+      if (!lost) continue;
     }
-    if (!lost) continue;
     const double detect_at = now + network_.treeArrivalDelay(client) +
                              config_.detection_delay_ms;
-    metrics_.recordLoss(client, seq, detect_at);
+    if (!chaos) metrics_.recordLoss(client, seq, detect_at);
     scheduleTimerAt(detect_at, kTimerLossDetect, client, seq);
   }
 
@@ -169,10 +198,63 @@ void RecoveryProtocol::onEvent(const sim::EventRecord& event) {
     // A repair may beat the detection (e.g. a flooded SRM repair), and the
     // client may have crashed since the multicast.
     if (network_.isAgentFailed(client)) return;
-    if (!hasPacket(client, seq)) onLossDetected(client, seq);
+    if (hasPacket(client, seq)) return;
+    // Chaos mode registers losses here, from ground truth (see
+    // sourceMulticast); the legacy path registered them up front.
+    if (!metrics_.wasLost(client, seq)) {
+      metrics_.recordLoss(client, seq, simulator().now());
+    }
+    if (watchdogEnabled()) {
+      scheduleTimerAfter(config_.session_deadline_ms, kTimerWatchdog, client,
+                         seq);
+    }
+    onLossDetected(client, seq);
+    return;
+  }
+  if (timer.kind == kTimerWatchdog) {
+    const auto client = static_cast<net::NodeId>(timer.a);
+    const std::uint64_t seq = timer.b;
+    if (network_.isAgentFailed(client)) return;  // crash already wrote it off
+    if (hasPacket(client, seq)) return;          // recovered in time
+    abandonSession(client, seq);
     return;
   }
   onTimer(timer.kind, timer.a, timer.b, timer.c);
+}
+
+void RecoveryProtocol::abandonSession(net::NodeId client, std::uint64_t seq) {
+  metrics_.abandonLoss(client, seq);
+  probes_.erase(haveKey(client, seq));
+  onSessionAbandoned(client, seq);
+}
+
+std::uint64_t RecoveryProtocol::nextRequestTag() {
+  return network_.chaosEnabled() ? ++request_tag_counter_ : 0;
+}
+
+bool RecoveryProtocol::shouldServeRequest(net::NodeId at,
+                                          const sim::Packet& packet) {
+  if (packet.tag == 0) return true;  // untagged legacy request (chaos off)
+  // Keyed by (responder, requester) and then sequence: concurrent sessions
+  // of one client must never suppress each other, only true re-deliveries
+  // of the same request (DESIGN.md §8 I9).
+  std::uint64_t& last =
+      served_requests_[(static_cast<std::uint64_t>(at) << 32) |
+                       packet.requester][packet.seq];
+  if (packet.tag <= last) {
+    ++duplicate_requests_suppressed_;
+    return false;
+  }
+  last = packet.tag;
+  return true;
+}
+
+void RecoveryProtocol::finalizeRun() const {
+  if (!watchdogEnabled()) return;
+  RMRN_ENSURE(openSessions() == 0,
+              "liveness watchdog left an open recovery session");
+  RMRN_ENSURE(metrics_.outstanding() == 0,
+              "a detected loss terminated neither recovered nor abandoned");
 }
 
 void RecoveryProtocol::onTimer(std::uint32_t, std::uint64_t, std::uint64_t,
@@ -207,5 +289,7 @@ void RecoveryProtocol::onParity(net::NodeId, const sim::Packet&) {}
 void RecoveryProtocol::onData(net::NodeId, const sim::Packet&) {}
 void RecoveryProtocol::onPacketObtained(net::NodeId, std::uint64_t) {}
 void RecoveryProtocol::onClientCrashed(net::NodeId) {}
+void RecoveryProtocol::onSessionAbandoned(net::NodeId, std::uint64_t) {}
+std::size_t RecoveryProtocol::openSessions() const { return 0; }
 
 }  // namespace rmrn::protocols

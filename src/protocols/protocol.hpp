@@ -40,6 +40,12 @@ struct ProtocolConfig {
   /// Adaptive timeouts, backoff and blacklisting (DESIGN.md §9); when
   /// health.enabled is false the static policy above applies unchanged.
   PeerHealthConfig health;
+  /// Per-session liveness watchdog (chaos hardening, DESIGN.md §8 I10): a
+  /// detected loss still unrecovered this long after detection is explicitly
+  /// abandoned (RecoveryMetrics::abandonLoss) and its session torn down, so
+  /// every loss terminates in bounded time even under a permanent partition.
+  /// 0 disables the watchdog (legacy behaviour).
+  double session_deadline_ms = 0.0;
 };
 
 class RecoveryProtocol : public sim::EventSink {
@@ -75,6 +81,22 @@ class RecoveryProtocol : public sim::EventSink {
     return duplicate_deliveries_;
   }
 
+  /// Chaos hardening counters.  Requests whose dedup tag was already served
+  /// (network-duplicated NACKs) and loss-detection events that would have
+  /// opened a second session for a live (client, seq) pair.
+  [[nodiscard]] std::uint64_t duplicateRequestsSuppressed() const {
+    return duplicate_requests_suppressed_;
+  }
+  [[nodiscard]] std::uint64_t duplicateSessions() const {
+    return duplicate_sessions_;
+  }
+
+  /// End-of-run invariant sweep (call after the simulator drains).  With the
+  /// watchdog enabled, RMRN_ENSUREs that every detected loss terminated —
+  /// recovered or explicitly abandoned — and that no scheme still holds an
+  /// open recovery session.  No-op when the watchdog is off.
+  void finalizeRun() const;
+
   /// Tells the protocol that `client` crashed (fail-stop): its pending
   /// losses are written off as abandoned and its live recovery sessions are
   /// torn down.  The fault-injection harness calls this alongside
@@ -88,10 +110,11 @@ class RecoveryProtocol : public sim::EventSink {
   void onEvent(const sim::EventRecord& event) final;
 
  protected:
-  /// Timer kinds.  The base class owns kTimerLossDetect; subclasses number
-  /// their own kinds from kTimerSubclass upward.
+  /// Timer kinds.  The base class owns kTimerLossDetect and kTimerWatchdog;
+  /// subclasses number their own kinds from kTimerSubclass upward.
   static constexpr std::uint32_t kTimerLossDetect = 0;
-  static constexpr std::uint32_t kTimerSubclass = 1;
+  static constexpr std::uint32_t kTimerWatchdog = 1;
+  static constexpr std::uint32_t kTimerSubclass = 2;
 
   /// Schedules a protocol timer on the queue's allocation-free typed lane.
   /// `a`/`b`/`c` are opaque payload words echoed back to onTimer().
@@ -125,6 +148,12 @@ class RecoveryProtocol : public sim::EventSink {
   virtual void onPacketObtained(net::NodeId client, std::uint64_t seq);
   /// `client` crashed; subclasses drop its sessions and timers here.
   virtual void onClientCrashed(net::NodeId client);
+  /// The watchdog (or retry-budget exhaustion) abandoned (client, seq); the
+  /// subclass must tear down any session state and cancel its timers.
+  virtual void onSessionAbandoned(net::NodeId client, std::uint64_t seq);
+  /// Live recovery sessions the scheme currently holds; feeds the
+  /// finalizeRun() sweep.  Schemes with session state must override.
+  [[nodiscard]] virtual std::size_t openSessions() const;
 
   /// Records that `node` now holds `seq`; completes a pending recovery and
   /// fires onPacketObtained() on first receipt.
@@ -168,6 +197,29 @@ class RecoveryProtocol : public sim::EventSink {
   /// Returns true when the timeout newly blacklisted the target.
   bool noteRequestTimeout(net::NodeId client, net::NodeId target);
 
+  [[nodiscard]] bool watchdogEnabled() const {
+    return config_.session_deadline_ms > 0.0;
+  }
+
+  /// Gives up on (client, seq): the loss is explicitly abandoned in the
+  /// metrics and the subclass tears its session down.  Used by the watchdog
+  /// and by retry-budget exhaustion in watchdog mode.
+  void abandonSession(net::NodeId client, std::uint64_t seq);
+
+  /// Request dedup tags (DESIGN.md §8 I9).  In chaos mode every request a
+  /// client emits carries a fresh globally monotonic tag; responders serve a
+  /// (responder, requester) pair only for tags newer than the last one
+  /// served, so a network-duplicated request is absorbed while genuine
+  /// retransmissions (newer tag) still get answered.  Outside chaos mode the
+  /// tag is 0 and dedup is bypassed — packets stay bit-identical to
+  /// pre-chaos builds.
+  [[nodiscard]] std::uint64_t nextRequestTag();
+  /// False when `packet` is a network duplicate the responder `at` has
+  /// already served (counted in duplicateRequestsSuppressed()).
+  bool shouldServeRequest(net::NodeId at, const sim::Packet& packet);
+  /// Subclasses report a duplicate loss-detection for a live session here.
+  void recordDuplicateSessionAttempt() { ++duplicate_sessions_; }
+
  private:
   void dispatch(net::NodeId at, const sim::Packet& packet);
   /// Matches an arriving repair/parity against outstanding probes.
@@ -192,6 +244,19 @@ class RecoveryProtocol : public sim::EventSink {
   /// Outstanding requests by (client << 32 | seq); only maintained when
   /// health.enabled, cleared on match, recovery or crash.
   std::unordered_map<std::uint64_t, std::vector<Probe>> probes_;
+  /// Chaos-mode request dedup: last served tag by (responder << 32 |
+  /// requester), then by sequence.  The per-sequence level is load-bearing:
+  /// a client runs many concurrent sessions against the same responder and
+  /// their requests arrive in arbitrary tag order, so a watermark shared
+  /// across sequences would suppress every session but the newest-tagged
+  /// one (observed as watchdog abandonments of reachable clients after a
+  /// link flap).  Empty outside chaos mode.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, std::uint64_t>>
+      served_requests_;
+  std::uint64_t request_tag_counter_ = 0;
+  std::uint64_t duplicate_requests_suppressed_ = 0;
+  std::uint64_t duplicate_sessions_ = 0;
 };
 
 }  // namespace rmrn::protocols

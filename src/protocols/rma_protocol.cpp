@@ -31,7 +31,10 @@ void RmaProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
   // Same hazard as RP: a duplicate detection must not restart a live search
   // and orphan its armed timer.
   const auto [it, inserted] = searches_.try_emplace(key(client, seq));
-  if (!inserted) return;
+  if (!inserted) {
+    recordDuplicateSessionAttempt();
+    return;
+  }
   ++searches_started_;
   advanceSearch(client, seq);
 }
@@ -47,7 +50,9 @@ void RmaProtocol::advanceSearch(net::NodeId client, std::uint64_t seq) {
   }
 
   if (adaptiveTimeouts() && search.attempts >= config().health.retry_budget) {
-    searches_.erase(key(client, seq));  // give up; counted as residual
+    // Give up: explicit abandon under the watchdog, residual otherwise.
+    searches_.erase(key(client, seq));
+    if (watchdogEnabled()) abandonSession(client, seq);
     return;
   }
 
@@ -63,13 +68,15 @@ void RmaProtocol::advanceSearch(net::NodeId client, std::uint64_t seq) {
     }
     ++search.source_attempts;
   }
-  if (search.attempts > 0) recoveryMetrics().recordRetry();
+  // Only same-target re-sends count as retries (the one-by-one search walk
+  // issues fresh requests); see the matching comment in RpProtocol.
+  if (retransmit) recoveryMetrics().recordRetry();
   ++search.attempts;
 
   ++requests_sent_;
   network().unicast(client, target,
                     sim::Packet{sim::Packet::Type::kRequest, seq, client,
-                                client, /*tag=*/0});
+                                client, nextRequestTag()});
   // RMA repairs are subtree multicasts whose origin is the repairer, which
   // may differ from the unicast target we probed; accept any origin so
   // flooded repairs still feed the estimator.
@@ -97,6 +104,9 @@ void RmaProtocol::onTimer(std::uint32_t kind, std::uint64_t a, std::uint64_t b,
 }
 
 void RmaProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
+  // Chaos dedup: a duplicated request must not trigger a second subtree
+  // repair multicast.
+  if (!shouldServeRequest(at, packet)) return;
   if (!hasPacket(at, packet.seq)) return;  // requester's timeout moves on
 
   // Repair the subtree covering the requester and every receiver the search
@@ -126,6 +136,13 @@ void RmaProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
 }
 
 void RmaProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
+  const auto it = searches_.find(key(client, seq));
+  if (it == searches_.end()) return;
+  if (it->second.timer_armed) simulator().cancel(it->second.timer);
+  searches_.erase(it);
+}
+
+void RmaProtocol::onSessionAbandoned(net::NodeId client, std::uint64_t seq) {
   const auto it = searches_.find(key(client, seq));
   if (it == searches_.end()) return;
   if (it->second.timer_armed) simulator().cancel(it->second.timer);

@@ -23,7 +23,10 @@ void RpProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
   // would orphan the armed timer, which then fires against the fresh
   // session and double-advances the list (double-counting requests_sent_).
   const auto [it, inserted] = sessions_.try_emplace(sessionKey(client, seq));
-  if (!inserted) return;
+  if (!inserted) {
+    recordDuplicateSessionAttempt();
+    return;
+  }
   advanceSession(client, seq);
 }
 
@@ -41,9 +44,11 @@ void RpProtocol::advanceSession(net::NodeId client, std::uint64_t seq) {
   }
 
   if (adaptiveTimeouts() && session.attempts >= config().health.retry_budget) {
-    // Retry budget exhausted: give up rather than hammer a dead path; the
-    // loss stays outstanding and shows up in the residual metric.
+    // Retry budget exhausted: give up rather than hammer a dead path.  With
+    // the watchdog on, the loss is explicitly abandoned so the run still
+    // terminates clean; legacy mode leaves it in the residual metric.
     sessions_.erase(sessionKey(client, seq));
+    if (watchdogEnabled()) abandonSession(client, seq);
     return;
   }
 
@@ -61,13 +66,16 @@ void RpProtocol::advanceSession(net::NodeId client, std::uint64_t seq) {
     }
     ++session.source_attempts;
   }
-  if (session.attempts > 0) recoveryMetrics().recordRetry();
+  // A retry is a re-send to the SAME target (only the source is ever
+  // re-asked); advancing down the peer list issues fresh requests, not
+  // retries — that distinction keeps `retries` and `timeouts` decoupled.
+  if (retransmit) recoveryMetrics().recordRetry();
   ++session.attempts;
 
   ++requests_sent_;
   network().unicast(client, target,
                     sim::Packet{sim::Packet::Type::kRequest, seq, client,
-                                client, /*tag=*/0});
+                                client, nextRequestTag()});
   noteRequestSent(client, seq, target, retransmit);
 
   session.timer = scheduleTimerAfter(requestTimeout(client, target),
@@ -98,6 +106,9 @@ void RpProtocol::adoptFailover(net::NodeId client) {
 }
 
 void RpProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
+  // Chaos dedup: a network-duplicated request must not spawn a second
+  // repair (and in subgroup mode, a second branch multicast).
+  if (!shouldServeRequest(at, packet)) return;
   if (!hasPacket(at, packet.seq)) return;  // requester's timeout handles it
   const sim::Packet repair{sim::Packet::Type::kRepair, packet.seq, at,
                            packet.requester, /*tag=*/0};
@@ -126,6 +137,13 @@ void RpProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
 }
 
 void RpProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
+  const auto it = sessions_.find(sessionKey(client, seq));
+  if (it == sessions_.end()) return;
+  if (it->second.timer_armed) simulator().cancel(it->second.timer);
+  sessions_.erase(it);
+}
+
+void RpProtocol::onSessionAbandoned(net::NodeId client, std::uint64_t seq) {
   const auto it = sessions_.find(sessionKey(client, seq));
   if (it == sessions_.end()) return;
   if (it->second.timer_armed) simulator().cancel(it->second.timer);

@@ -17,7 +17,12 @@ SrmProtocol::SrmProtocol(sim::SimNetwork& network,
 }
 
 void SrmProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
-  want_.emplace(key(client, seq), WantState{});
+  // A duplicate detection must not reset a live want-state's timer/backoff.
+  const auto [it, inserted] = want_.emplace(key(client, seq), WantState{});
+  if (!inserted) {
+    recordDuplicateSessionAttempt();
+    return;
+  }
   armRequestTimer(client, seq);
 }
 
@@ -62,7 +67,7 @@ void SrmProtocol::fireRequestTimer(net::NodeId client, std::uint64_t seq) {
   if (repeat) recoveryMetrics().recordRetry();
   network().multicastGroup(client,
                            sim::Packet{sim::Packet::Type::kRequest, seq,
-                                       client, client, /*tag=*/0});
+                                       client, client, nextRequestTag()});
   noteRequestSent(client, seq, source(), /*retransmit=*/repeat,
                   /*any_origin=*/true);
   // Re-arm with backoff in case the request or every repair is lost.
@@ -72,6 +77,10 @@ void SrmProtocol::fireRequestTimer(net::NodeId client, std::uint64_t seq) {
 
 void SrmProtocol::onRequest(net::NodeId at, const sim::Packet& packet) {
   if (at == packet.origin) return;  // own flooded request looped around
+  // Chaos dedup: each flooded request attempt is processed once per member —
+  // a link-duplicated copy must neither double-bump a loser's backoff nor
+  // re-trigger a holder's repair timer.
+  if (!shouldServeRequest(at, packet)) return;
 
   if (hasPacket(at, packet.seq)) {
     // Holder: schedule a repair unless one is pending or recently seen.
@@ -122,6 +131,15 @@ void SrmProtocol::onRepair(net::NodeId at, const sim::Packet& packet) {
 }
 
 void SrmProtocol::onPacketObtained(net::NodeId client, std::uint64_t seq) {
+  const auto it = want_.find(key(client, seq));
+  if (it == want_.end()) return;
+  if (it->second.armed) simulator().cancel(it->second.timer);
+  want_.erase(it);
+}
+
+void SrmProtocol::onSessionAbandoned(net::NodeId client, std::uint64_t seq) {
+  // Only the loser role is a session; holder-side suppression state keeps
+  // serving other members.
   const auto it = want_.find(key(client, seq));
   if (it == want_.end()) return;
   if (it->second.armed) simulator().cancel(it->second.timer);

@@ -16,7 +16,8 @@ SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
       topology_(topology),
       routing_(routing),
       loss_prob_(loss_prob),
-      rng_(rng) {
+      rng_(rng),
+      chaos_rng_(rng.fork(0x51c4a05u)) {
   if (loss_prob_ < 0.0 || loss_prob_ >= 1.0) {
     throw std::invalid_argument("SimNetwork: loss_prob must be in [0, 1)");
   }
@@ -73,6 +74,9 @@ SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
   RMRN_ENSURE(next_edge == topology_.graph.numEdges(),
               "CSR edge index count mismatch");
   link_load_.assign(next_edge, 0);
+  link_down_.assign(next_edge, 0);
+  link_dup_prob_.assign(next_edge, 0.0);
+  link_jitter_ms_.assign(next_edge, 0.0);
 
   tree_slot_.assign(tree.numMembers(), kNilSlot);
   for (const net::NodeId v : tree.members()) {
@@ -121,6 +125,100 @@ void SimNetwork::setAgentFailed(net::NodeId agent, bool failed) {
 
 bool SimNetwork::isAgentFailed(net::NodeId agent) const {
   return agentFault(agent) == AgentFault::kCrashed;
+}
+
+void SimNetwork::enableChaos() { chaos_active_ = true; }
+
+void SimNetwork::setLinkState(net::NodeId a, net::NodeId b, bool up) {
+  enableChaos();
+  link_down_[edge_id_[edgeSlot(a, b)]] = up ? 0 : 1;
+}
+
+bool SimNetwork::isLinkUp(net::NodeId a, net::NodeId b) const {
+  return link_down_[edge_id_[edgeSlot(a, b)]] == 0;
+}
+
+void SimNetwork::setLinkDuplicationProb(net::NodeId a, net::NodeId b,
+                                        double prob) {
+  if (prob < 0.0 || prob >= 1.0) {
+    throw std::invalid_argument(
+        "SimNetwork: duplication prob must be in [0, 1)");
+  }
+  enableChaos();
+  link_dup_prob_[edge_id_[edgeSlot(a, b)]] = prob;
+}
+
+void SimNetwork::setAllLinksDuplicationProb(double prob) {
+  if (prob < 0.0 || prob >= 1.0) {
+    throw std::invalid_argument(
+        "SimNetwork: duplication prob must be in [0, 1)");
+  }
+  enableChaos();
+  std::fill(link_dup_prob_.begin(), link_dup_prob_.end(), prob);
+}
+
+void SimNetwork::setLinkJitterMs(net::NodeId a, net::NodeId b,
+                                 double jitter_ms) {
+  if (jitter_ms < 0.0) {
+    throw std::invalid_argument("SimNetwork: negative jitter");
+  }
+  enableChaos();
+  link_jitter_ms_[edge_id_[edgeSlot(a, b)]] = jitter_ms;
+}
+
+void SimNetwork::setAllLinksJitterMs(double jitter_ms) {
+  if (jitter_ms < 0.0) {
+    throw std::invalid_argument("SimNetwork: negative jitter");
+  }
+  enableChaos();
+  std::fill(link_jitter_ms_.begin(), link_jitter_ms_.end(), jitter_ms);
+}
+
+bool SimNetwork::reachableFromSource(net::NodeId v) const {
+  if (v == topology_.source) return true;
+  if (!chaos_active_) return true;  // links never fail outside chaos mode
+  // Static unicast route (requests up, repairs back down the same path).
+  std::vector<net::NodeId> route;
+  routing_.pathInto(topology_.source, v, route);
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    if (link_down_[edge_id_[edgeSlot(route[i], route[i + 1])]] != 0) {
+      return false;
+    }
+  }
+  // Tree root path: repair/data multicasts reach v through its ancestors.
+  const auto& tree = topology_.tree;
+  if (tree.contains(v)) {
+    for (net::NodeId u = v; u != tree.root(); u = tree.parent(u)) {
+      if (link_down_[edge_id_[tree_slot_[tree.memberIndex(u)]]] != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+net::DelayMs SimNetwork::chaosDelay(std::uint32_t slot) {
+  net::DelayMs delay = edge_delay_[slot];
+  if (chaos_active_) {
+    const double jitter = link_jitter_ms_[edge_id_[slot]];
+    if (jitter > 0.0) delay += chaos_rng_.uniformReal(0.0, jitter);
+  }
+  return delay;
+}
+
+bool SimNetwork::chaosDropped(std::uint32_t slot, net::NodeId from,
+                              net::NodeId to, const Packet& packet) {
+  if (!chaos_active_ || link_down_[edge_id_[slot]] == 0) return false;
+  ++stats_.packets_lost;
+  ++stats_.chaos_link_drops;
+  trace(TraceEvent::Kind::kHopDrop, from, to, packet);
+  return true;
+}
+
+bool SimNetwork::chaosDuplicates(std::uint32_t slot) {
+  if (!chaos_active_) return false;
+  const double prob = link_dup_prob_[edge_id_[slot]];
+  return prob > 0.0 && chaos_rng_.bernoulli(prob);
 }
 
 void SimNetwork::trace(TraceEvent::Kind kind, net::NodeId from,
@@ -193,17 +291,24 @@ std::uint32_t SimNetwork::acquirePath() {
   if (!free_paths_.empty()) {
     const std::uint32_t path = free_paths_.back();
     free_paths_.pop_back();
+    path_refs_[path] = 1;
     return path;
   }
   paths_.emplace_back();
   // A simple route visits at most every node; reserving up front means no
   // route written into this slot ever reallocates.
   paths_.back().reserve(topology_.graph.numNodes());
+  path_refs_.push_back(1);
   return static_cast<std::uint32_t>(paths_.size() - 1);
 }
 
+void SimNetwork::pathAddRef(std::uint32_t path) { ++path_refs_[path]; }
+
 void SimNetwork::releasePath(std::uint32_t path) {
-  free_paths_.push_back(path);  // the slot keeps its capacity for reuse
+  RMRN_REQUIRE(path_refs_[path] > 0, "path arena refcount underflow");
+  if (--path_refs_[path] == 0) {
+    free_paths_.push_back(path);  // the slot keeps its capacity for reuse
+  }
 }
 
 std::uint32_t SimNetwork::acquirePattern(const LinkLossPattern& loss) {
@@ -317,6 +422,10 @@ void SimNetwork::sendHop(std::uint32_t path, std::uint32_t hop,
   const std::uint32_t slot = edgeSlot(a, b);
   countHopSlot(packet, slot);
   trace(TraceEvent::Kind::kHopSend, a, b, packet);
+  if (chaosDropped(slot, a, b, packet)) {
+    releasePath(path);
+    return;
+  }
   if (rng_.bernoulli(loss_prob_)) {
     ++stats_.packets_lost;
     trace(TraceEvent::Kind::kHopDrop, a, b, packet);
@@ -325,7 +434,13 @@ void SimNetwork::sendHop(std::uint32_t path, std::uint32_t hop,
   }
   EventRecord record{EventKind::kForwardHop, {}};
   record.data.forward = ForwardHopEvent{path, hop, packet};
-  simulator_.scheduleEventAfter(edge_delay_[slot], this, record);
+  simulator_.scheduleEventAfter(chaosDelay(slot), this, record);
+  if (chaosDuplicates(slot)) {
+    ++stats_.duplicates_created;
+    countHopSlot(packet, slot);  // the copy traversed the link too
+    pathAddRef(path);
+    simulator_.scheduleEventAfter(chaosDelay(slot), this, record);
+  }
 }
 
 void SimNetwork::onForwardHop(const ForwardHopEvent& event) {
@@ -385,6 +500,7 @@ void SimNetwork::multicastDownInto(net::NodeId subtree_root, Packet packet) {
   const std::uint32_t slot = tree_slot_[tree.memberIndex(subtree_root)];
   countHopSlot(packet, slot);
   trace(TraceEvent::Kind::kHopSend, parent, subtree_root, packet);
+  if (chaosDropped(slot, parent, subtree_root, packet)) return;
   if (rng_.bernoulli(loss_prob_)) {
     ++stats_.packets_lost;
     trace(TraceEvent::Kind::kHopDrop, parent, subtree_root, packet);
@@ -394,7 +510,12 @@ void SimNetwork::multicastDownInto(net::NodeId subtree_root, Packet packet) {
   record.data.flood = FloodStepEvent{subtree_root, parent,
                                      /*boundary=*/net::kInvalidNode, kNoPattern,
                                      /*down_only=*/true, packet};
-  simulator_.scheduleEventAfter(edge_delay_[slot], this, record);
+  simulator_.scheduleEventAfter(chaosDelay(slot), this, record);
+  if (chaosDuplicates(slot)) {
+    ++stats_.duplicates_created;
+    countHopSlot(packet, slot);
+    simulator_.scheduleEventAfter(chaosDelay(slot), this, record);
+  }
 }
 
 void SimNetwork::floodFrom(net::NodeId node, net::NodeId came_from,
@@ -404,8 +525,10 @@ void SimNetwork::floodFrom(net::NodeId node, net::NodeId came_from,
 
   const auto sendAcross = [&](net::NodeId next, net::NodeId link_child) {
     const std::size_t member = tree.memberIndex(link_child);
-    countHopSlot(packet, tree_slot_[member]);
+    const std::uint32_t slot = tree_slot_[member];
+    countHopSlot(packet, slot);
     trace(TraceEvent::Kind::kHopSend, node, next, packet);
+    if (chaosDropped(slot, node, next, packet)) return;
     const bool lost = pattern != kNoPattern ? patterns_[pattern][member]
                                             : rng_.bernoulli(loss_prob_);
     if (lost) {
@@ -417,8 +540,16 @@ void SimNetwork::floodFrom(net::NodeId node, net::NodeId came_from,
     EventRecord record{EventKind::kFloodStep, {}};
     record.data.flood =
         FloodStepEvent{next, node, boundary, pattern, down_only, packet};
-    simulator_.scheduleEventAfter(edge_delay_[tree_slot_[member]], this,
-                                  record);
+    simulator_.scheduleEventAfter(chaosDelay(slot), this, record);
+    if (chaosDuplicates(slot)) {
+      // The copy re-floods the whole subtree below it (a duplicated flood
+      // step forwards like the original); dedup/idempotence upstream absorbs
+      // the storm.
+      ++stats_.duplicates_created;
+      countHopSlot(packet, slot);
+      if (pattern != kNoPattern) patternAddRef(pattern);
+      simulator_.scheduleEventAfter(chaosDelay(slot), this, record);
+    }
   };
 
   if (!down_only && node != boundary && node != tree.root()) {

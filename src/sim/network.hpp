@@ -70,6 +70,8 @@ struct NetworkStats {
   std::uint64_t packets_sent = 0;   // send operations (unicast or multicast)
   std::uint64_t packets_lost = 0;   // individual link drops
   std::uint64_t deliveries = 0;     // handler invocations
+  std::uint64_t chaos_link_drops = 0;    // of packets_lost: dropped on a down link
+  std::uint64_t duplicates_created = 0;  // extra copies injected by duplication
 };
 
 class SimNetwork final : public EventSink {
@@ -99,6 +101,36 @@ class SimNetwork final : public EventSink {
   /// AgentFault::kCrashed and isAgentFailed() reports crashes only.
   void setAgentFailed(net::NodeId agent, bool failed);
   [[nodiscard]] bool isAgentFailed(net::NodeId agent) const;
+
+  /// Link-level chaos (DESIGN.md §9).  State lives in flat per-edge arrays
+  /// indexed by the CSR undirected edge id, so the forwarding hot path stays
+  /// allocation-free.  All chaos draws come from a dedicated RNG substream
+  /// forked at construction: enabling chaos never perturbs the main loss
+  /// stream, so chaos-off runs are bit-identical to pre-chaos builds.
+  ///
+  /// Any chaos setter flips the network into chaos mode permanently (for the
+  /// run); protocols key hardened behaviour off chaosEnabled().
+  void enableChaos();
+  [[nodiscard]] bool chaosEnabled() const { return chaos_active_; }
+  /// Takes the undirected link {a, b} down (packets crossing it are dropped
+  /// and counted as chaos_link_drops) or back up.  Packets already in flight
+  /// across the link are unaffected — a flap loses only new traversals.
+  void setLinkState(net::NodeId a, net::NodeId b, bool up);
+  [[nodiscard]] bool isLinkUp(net::NodeId a, net::NodeId b) const;
+  /// Per-traversal duplication: with probability `prob` a packet crossing the
+  /// link is delivered twice (the copy gets an independent jitter draw).
+  void setLinkDuplicationProb(net::NodeId a, net::NodeId b, double prob);
+  void setAllLinksDuplicationProb(double prob);
+  /// Reorder jitter: each traversal (and each duplicate) adds an independent
+  /// uniform extra delay in [0, jitter_ms], so same-link packets can overtake
+  /// each other.
+  void setLinkJitterMs(net::NodeId a, net::NodeId b, double jitter_ms);
+  void setAllLinksJitterMs(double jitter_ms);
+  /// Whether `v` can still be recovered from the source under the CURRENT
+  /// link state: conservative — both the static unicast route source <-> v
+  /// and v's tree root path (repair multicasts) must be fully up.  Cold
+  /// path (allocates); meant for end-of-run reachability accounting.
+  [[nodiscard]] bool reachableFromSource(net::NodeId v) const;
 
   /// Sends `packet` from `from` to `to` along the shortest path, hop by hop.
   /// Loss on any hop silently drops the packet (recovery relies on timeouts).
@@ -184,9 +216,23 @@ class SimNetwork final : public EventSink {
   void trace(TraceEvent::Kind kind, net::NodeId from, net::NodeId to,
              const Packet& packet);
 
+  /// Link delay for the CSR half-edge `slot`, plus that edge's chaos jitter
+  /// draw when armed.  Identical to edge_delay_[slot] with chaos off.
+  [[nodiscard]] net::DelayMs chaosDelay(std::uint32_t slot);
+  /// True when chaos dropped the packet on `slot`'s down link (counted and
+  /// traced); hot-path guard shared by every send site.
+  bool chaosDropped(std::uint32_t slot, net::NodeId from, net::NodeId to,
+                    const Packet& packet);
+  /// One chaos duplication draw for `slot`; false when chaos is off or the
+  /// edge's duplication probability is zero.
+  bool chaosDuplicates(std::uint32_t slot);
+
   // Arena slot management.  Released slots keep their vector capacity, so a
   // warmed-up arena serves the steady state without touching the heap.
+  // Paths are refcounted (normally one in-flight copy per slot; link
+  // duplication adds a reference per extra copy).
   [[nodiscard]] std::uint32_t acquirePath();
+  void pathAddRef(std::uint32_t path);
   void releasePath(std::uint32_t path);
   [[nodiscard]] std::uint32_t acquirePattern(const LinkLossPattern& loss);
   void patternAddRef(std::uint32_t pattern);
@@ -227,8 +273,19 @@ class SimNetwork final : public EventSink {
   bool link_accounting_ = false;
   std::vector<std::uint64_t> link_load_;  // by undirected edge id
 
-  // Path arena: one in-flight unicast route per slot.
+  // Link chaos state, by undirected edge id (flat, sized at construction).
+  // chaos_rng_ is a fork of the construction RNG: chaos draws (duplication,
+  // jitter) never advance rng_, keeping chaos-off schedules bit-identical.
+  bool chaos_active_ = false;
+  util::Rng chaos_rng_;
+  std::vector<std::uint8_t> link_down_;
+  std::vector<double> link_dup_prob_;
+  std::vector<double> link_jitter_ms_;
+
+  // Path arena: one in-flight unicast route per slot, refcounted so link
+  // duplication can put several copies in flight on one route.
   std::vector<std::vector<net::NodeId>> paths_;
+  std::vector<std::uint32_t> path_refs_;
   std::vector<std::uint32_t> free_paths_;
 
   // Loss-pattern arena: one forced pattern per flood, refcounted by the

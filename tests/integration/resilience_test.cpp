@@ -41,7 +41,10 @@ TEST(ResilienceTest, RpRecoversEverySurvivorLossUnderCrashes) {
   // peers timed out, the peers were blacklisted, and clients failed over
   // onto replanned lists.
   EXPECT_GT(rp.timeouts, 0u);
-  EXPECT_GT(rp.retries, 0u);
+  // Timeouts are NOT retries: each timeout here advances the session to a
+  // fresh target (a new request), and the source repair path is loss-free,
+  // so no request is ever re-sent to the same target.
+  EXPECT_EQ(rp.retries, 0u);
   EXPECT_GE(rp.blacklist_events, 1u);
   EXPECT_GE(rp.failovers, 1u);
 }
@@ -102,6 +105,60 @@ TEST(ResilienceTest, StalledAndSlowedPeersDoNotBlockRecovery) {
   EXPECT_EQ(rp.abandoned, 0u);
   EXPECT_TRUE(rp.fully_recovered);
   EXPECT_EQ(rp.losses, rp.recoveries);
+}
+
+// Everything at once: a healing partition, link flaps, 15% duplication and
+// 2ms reorder jitter, on top of the ambient 5% loss.
+ExperimentConfig chaosConfig(std::uint64_t seed = 17) {
+  ExperimentConfig config;
+  config.num_nodes = 60;
+  config.loss_prob = 0.05;
+  config.num_packets = 40;
+  config.seed = seed;
+  config.faults.seed = seed;
+  config.faults.at_ms = 16.0 * config.data_interval_ms;
+  config.faults.link_flap_fraction = 0.15;
+  config.faults.flap_down_ms = 120.0;
+  config.faults.flap_cycles = 2;
+  config.faults.flap_period_ms = 400.0;
+  config.faults.partition_fraction = 0.25;
+  config.faults.partition_heal_ms = 300.0;
+  config.faults.duplicate_prob = 0.15;
+  config.faults.reorder_jitter_ms = 2.0;
+  config.audit_failover_plans = true;
+  return config;
+}
+
+TEST(ResilienceTest, ChaosRunsAreDeterministicPerSeed) {
+  const ExperimentResult a = runExperiment(chaosConfig(), kRpOnly);
+  const ExperimentResult b = runExperiment(chaosConfig(), kRpOnly);
+  const ProtocolResult& ra = a.result(ProtocolKind::kRp);
+  const ProtocolResult& rb = b.result(ProtocolKind::kRp);
+  EXPECT_EQ(ra.losses, rb.losses);
+  EXPECT_EQ(ra.recoveries, rb.recoveries);
+  EXPECT_EQ(ra.abandoned, rb.abandoned);
+  EXPECT_EQ(ra.chaos_link_drops, rb.chaos_link_drops);
+  EXPECT_EQ(ra.duplicates_created, rb.duplicates_created);
+  EXPECT_EQ(ra.duplicate_requests_suppressed,
+            rb.duplicate_requests_suppressed);
+  EXPECT_EQ(ra.abandoned_sessions, rb.abandoned_sessions);
+  EXPECT_EQ(ra.reachable_losses, rb.reachable_losses);
+  EXPECT_DOUBLE_EQ(ra.avg_latency_ms, rb.avg_latency_ms);
+}
+
+TEST(ResilienceTest, ChaosRunLeavesNoReachableLossBehind) {
+  const ExperimentResult result = runExperiment(chaosConfig(), kRpOnly);
+  const ProtocolResult& rp = result.result(ProtocolKind::kRp);
+  // The chaos machinery engaged for real.
+  EXPECT_GT(rp.chaos_link_drops, 0u);
+  EXPECT_GT(rp.duplicates_created, 0u);
+  // ...and the hardened protocol absorbed it: every source-reachable loss
+  // reached a terminal state (recovered), no session ever duplicated, and
+  // every failover landed on an audit-clean plan.
+  EXPECT_EQ(rp.residual_reachable, 0u);
+  EXPECT_EQ(rp.reachable_losses, rp.reachable_recoveries);
+  EXPECT_EQ(rp.duplicate_sessions, 0u);
+  EXPECT_EQ(rp.plan_audit_violations, 0u);
 }
 
 TEST(ResilienceTest, NonEmptyFaultPlanAutoEnablesAdaptiveTimeouts) {

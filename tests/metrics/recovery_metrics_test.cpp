@@ -138,6 +138,45 @@ TEST(RecoveryMetricsTest, ResilienceCountersAccumulate) {
   EXPECT_EQ(m.sourceFallbacks(), 1u);
 }
 
+TEST(RecoveryMetricsTest, AbandonLossWritesOffOneSessionExplicitly) {
+  RecoveryMetrics m;
+  m.recordLoss(3, 7, 100.0);
+  m.recordLoss(3, 8, 100.0);
+
+  EXPECT_TRUE(m.abandonLoss(3, 7));
+  EXPECT_EQ(m.abandoned(), 1u);
+  EXPECT_EQ(m.abandonedSessions(), 1u);  // watchdog-style, not a crash sweep
+  EXPECT_EQ(m.outstanding(), 1u);
+
+  // Abandoning again, an unknown pair, or a recovered pair: all refused.
+  EXPECT_FALSE(m.abandonLoss(3, 7));
+  EXPECT_FALSE(m.abandonLoss(9, 0));
+  EXPECT_TRUE(m.recordRecovery(3, 8, 150.0));
+  EXPECT_FALSE(m.abandonLoss(3, 8));
+  EXPECT_EQ(m.abandoned(), 1u);
+  EXPECT_EQ(m.outstanding(), 0u);
+
+  // A repair arriving after the watchdog gave up is void.
+  EXPECT_FALSE(m.recordRecovery(3, 7, 200.0));
+  EXPECT_EQ(m.recoveries(), 1u);
+
+  // Per-client terminal accounting matches.
+  EXPECT_EQ(m.lossesFor(3), 2u);
+  EXPECT_EQ(m.recoveriesFor(3), 1u);
+  EXPECT_EQ(m.abandonedFor(3), 1u);
+  EXPECT_EQ(m.outstandingFor(3), 0u);
+}
+
+TEST(RecoveryMetricsTest, AbandonedSessionsExcludesCrashWriteOffs) {
+  RecoveryMetrics m;
+  m.recordLoss(1, 0, 0.0);
+  m.recordLoss(2, 0, 0.0);
+  EXPECT_TRUE(m.abandonLoss(1, 0));
+  EXPECT_EQ(m.abandonClient(2), 1u);
+  EXPECT_EQ(m.abandoned(), 2u);
+  EXPECT_EQ(m.abandonedSessions(), 1u);  // only the explicit one
+}
+
 TEST(RecoveryMetricsTest, LatencyDistribution) {
   RecoveryMetrics m;
   for (std::uint64_t i = 0; i < 10; ++i) {

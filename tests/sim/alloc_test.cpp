@@ -98,6 +98,32 @@ TEST_F(DataPlaneAllocTest, TreeFloodsAreAllocationFree) {
   EXPECT_GT(delivered_, 0u);
 }
 
+TEST_F(DataPlaneAllocTest, ChaosForwardingIsAllocationFree) {
+  // ISSUE acceptance: link chaos lives in flat per-link arrays and the
+  // duplicated copies ride the refcounted arenas — forwarding stays
+  // allocation-free with flaps, duplication, and jitter all active.
+  network_->setAllLinksDuplicationProb(0.3);
+  network_->setAllLinksJitterMs(2.0);
+  const net::NodeId flapped = topo_.clients.back();
+  const net::NodeId parent = topo_.tree.parent(flapped);
+  bool up = true;
+  const auto allocs = steadyStateAllocations([this, flapped, parent, &up] {
+    up = !up;
+    network_->setLinkState(parent, flapped, up);  // flap every round
+    Packet data{Packet::Type::kData, 3, topo_.source, topo_.source, 0};
+    network_->multicastFromSource(data, nullptr);
+    Packet packet{Packet::Type::kRequest, 3, topo_.source, topo_.source, 0};
+    for (const net::NodeId client : topo_.clients) {
+      network_->unicast(topo_.source, client, packet);
+      network_->unicast(client, topo_.source, packet);
+    }
+    network_->multicastGroup(topo_.clients.front(), packet);
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(network_->stats().duplicates_created, 0u);
+  EXPECT_GT(network_->stats().chaos_link_drops, 0u);
+}
+
 TEST_F(DataPlaneAllocTest, TypedTimerChurnIsAllocationFree) {
   // The protocols' timer pattern on the typed lane: schedule, cancel half,
   // fire the rest.  After warm-up the slab and heap recycle every slot.

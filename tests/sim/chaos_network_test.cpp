@@ -1,0 +1,160 @@
+// Link-level chaos in SimNetwork (DESIGN.md §9 link-fault taxonomy): down
+// links eat packets (counted, not re-queued), per-link duplication injects
+// extra copies from a dedicated RNG substream, reorder jitter stretches but
+// never loses traffic, and reachableFromSource reports the end-state both
+// the unicast and the multicast repair path depend on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::sim {
+namespace {
+
+struct Rig {
+  net::Topology topo;
+  net::Routing routing;
+  Simulator sim;
+  SimNetwork network;
+
+  explicit Rig(std::uint64_t seed = 1, std::uint32_t n = 60)
+      : topo(make(seed, n)),
+        routing(topo.graph),
+        network(sim, topo, routing, 0.0, util::Rng(seed)) {}
+
+  static net::Topology make(std::uint64_t seed, std::uint32_t n) {
+    util::Rng rng(seed);
+    net::TopologyConfig config;
+    config.num_nodes = n;
+    return net::generateTopology(config, rng);
+  }
+
+  /// First hop of the source -> client unicast route.
+  [[nodiscard]] net::NodeId firstHopTo(net::NodeId client) const {
+    std::vector<net::NodeId> route;
+    routing.pathInto(topo.source, client, route);
+    return route.at(1);
+  }
+};
+
+Packet request(net::NodeId origin) {
+  return Packet{Packet::Type::kRequest, 0, origin, origin, 0};
+}
+
+TEST(ChaosNetworkTest, ChaosOffByDefaultAndSettersFlipItOn) {
+  Rig rig;
+  EXPECT_FALSE(rig.network.chaosEnabled());
+  const net::NodeId client = rig.topo.clients.front();
+  const net::NodeId hop = rig.firstHopTo(client);
+  EXPECT_TRUE(rig.network.isLinkUp(rig.topo.source, hop));
+  rig.network.setLinkState(rig.topo.source, hop, false);
+  EXPECT_TRUE(rig.network.chaosEnabled());
+  EXPECT_FALSE(rig.network.isLinkUp(rig.topo.source, hop));
+}
+
+TEST(ChaosNetworkTest, DownLinkDropsUnicastAndCountsIt) {
+  Rig rig;
+  const net::NodeId client = rig.topo.clients.front();
+  const net::NodeId hop = rig.firstHopTo(client);
+  std::uint64_t delivered = 0;
+  rig.network.setDeliveryHandler(
+      [&delivered](net::NodeId, const Packet&) { ++delivered; });
+
+  rig.network.setLinkState(rig.topo.source, hop, false);
+  rig.network.unicast(rig.topo.source, client, request(rig.topo.source));
+  rig.sim.run();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(rig.network.stats().chaos_link_drops, 1u);
+
+  // Back up: traffic flows again (state, not a latch).
+  rig.network.setLinkState(rig.topo.source, hop, true);
+  rig.network.unicast(rig.topo.source, client, request(rig.topo.source));
+  rig.sim.run();
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(rig.network.stats().chaos_link_drops, 1u);
+}
+
+TEST(ChaosNetworkTest, DuplicationInjectsExtraCopiesDeterministically) {
+  const auto countDeliveries = [](std::uint64_t seed) {
+    Rig rig(seed);
+    rig.network.setAllLinksDuplicationProb(0.4);
+    std::uint64_t delivered = 0;
+    rig.network.setDeliveryHandler(
+        [&delivered](net::NodeId, const Packet&) { ++delivered; });
+    for (int i = 0; i < 50; ++i) {
+      rig.network.unicast(rig.topo.source, rig.topo.clients.back(),
+                          request(rig.topo.source));
+    }
+    rig.sim.run();
+    EXPECT_GT(rig.network.stats().duplicates_created, 0u);
+    // Copies multiply along the route, so deliveries exceed the sends.
+    EXPECT_GT(delivered, 50u);
+    return delivered;
+  };
+  // Same seed -> bit-identical chaos draws; different seed -> a different
+  // (but equally deterministic) duplication pattern.
+  EXPECT_EQ(countDeliveries(3), countDeliveries(3));
+}
+
+TEST(ChaosNetworkTest, JitterDelaysWithoutLosingOrDuplicating) {
+  Rig rig;
+  const net::NodeId client = rig.topo.clients.front();
+  const double base = rig.routing.distance(rig.topo.source, client);
+  std::vector<net::NodeId> route;
+  rig.routing.pathInto(rig.topo.source, client, route);
+  const double hops = static_cast<double>(route.size() - 1);
+
+  rig.network.setAllLinksJitterMs(5.0);
+  std::uint64_t delivered = 0;
+  double arrived_at = -1.0;
+  rig.network.setDeliveryHandler(
+      [&](net::NodeId at, const Packet&) {
+        if (at == client) {
+          ++delivered;
+          arrived_at = rig.sim.now();
+        }
+      });
+  rig.network.unicast(rig.topo.source, client, request(rig.topo.source));
+  rig.sim.run();
+  ASSERT_EQ(delivered, 1u);
+  EXPECT_GE(arrived_at, base);
+  EXPECT_LE(arrived_at, base + 5.0 * hops);
+}
+
+TEST(ChaosNetworkTest, ChaosSettersValidateTheirRanges) {
+  Rig rig;
+  const net::NodeId client = rig.topo.clients.front();
+  const net::NodeId hop = rig.firstHopTo(client);
+  EXPECT_THROW(rig.network.setAllLinksDuplicationProb(1.0),
+               std::invalid_argument);
+  EXPECT_THROW(rig.network.setLinkDuplicationProb(rig.topo.source, hop, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(rig.network.setAllLinksJitterMs(-1.0), std::invalid_argument);
+  // Unknown edge: same rejection as every other link accessor.
+  EXPECT_THROW(rig.network.setLinkState(client, client, false),
+               std::invalid_argument);
+}
+
+TEST(ChaosNetworkTest, ReachableFromSourceTracksRouteAndTreePath) {
+  Rig rig;
+  // Chaos off: everyone reachable.
+  for (const net::NodeId client : rig.topo.clients) {
+    EXPECT_TRUE(rig.network.reachableFromSource(client));
+  }
+  // Cutting a client's parent tree link makes it unreachable (the multicast
+  // repair path is gone even if a unicast detour exists).
+  const net::NodeId client = rig.topo.clients.front();
+  const net::NodeId parent = rig.topo.tree.parent(client);
+  rig.network.setLinkState(parent, client, false);
+  EXPECT_FALSE(rig.network.reachableFromSource(client));
+  rig.network.setLinkState(parent, client, true);
+  EXPECT_TRUE(rig.network.reachableFromSource(client));
+}
+
+}  // namespace
+}  // namespace rmrn::sim

@@ -133,10 +133,10 @@ TEST(EngineDeterminismTest, Fig7StyleMetricsBitIdentical) {
                 78.551325628823932, 115549, 3820, 400, 971, 24795, 0, 0});
   expectGolden(result,
                {harness::ProtocolKind::kRma, 1471, 1471, 91.048244028044579,
-                22.949694085656017, 33759, 3820, 54, 706, 6839, 1404, 0});
+                22.949694085656017, 33759, 3820, 54, 706, 6839, 0, 0});
   expectGolden(result,
                {harness::ProtocolKind::kRp, 1471, 1471, 64.407365630814397,
-                8.3358259687287557, 12262, 3820, 485, 542, 0, 527, 0});
+                8.3358259687287557, 12262, 3820, 485, 542, 0, 0, 0});
 }
 
 // fig5-style point (n=100, p=5%).
@@ -154,10 +154,10 @@ TEST(EngineDeterminismTest, Fig5StyleMetricsBitIdentical) {
                 115.16804733727811, 97317, 4042, 361, 983, 21547, 2, 0});
   expectGolden(result,
                {harness::ProtocolKind::kRma, 845, 845, 129.74572328817021,
-                33.829585798816566, 28586, 4042, 22, 468, 6915, 1032, 0});
+                33.829585798816566, 28586, 4042, 22, 468, 6915, 0, 0});
   expectGolden(result,
                {harness::ProtocolKind::kRp, 845, 845, 51.456920799622246,
-                7.1514792899408288, 6043, 4042, 177, 378, 0, 189, 0});
+                7.1514792899408288, 6043, 4042, 177, 378, 0, 0, 0});
 }
 
 // Resilience-style faulted run: crash 20% of clients mid-campaign; exercises
@@ -179,7 +179,7 @@ TEST(EngineDeterminismTest, FaultedRunMetricsBitIdentical) {
 
   expectGolden(result,
                {harness::ProtocolKind::kRp, 362, 358, 61.823679899161782,
-                7.7849162011173183, 2787, 2387, 145, 237, 0, 86, 0});
+                7.7849162011173183, 2787, 2387, 145, 237, 0, 0, 0});
 }
 
 }  // namespace

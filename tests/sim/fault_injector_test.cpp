@@ -177,6 +177,161 @@ TEST(FaultInjectorTest, FaultKindsGateDeliveriesAsSpecified) {
             rig.routing.distance(source, slowed) + 500.0);
 }
 
+// --- Link-chaos schedules -------------------------------------------------
+
+TEST(FaultInjectorTest, LinkChaosScheduleIsSeedDeterministic) {
+  Rig rig;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.at_ms = 300.0;
+  plan.stagger_ms = 10.0;
+  plan.link_flap_fraction = 0.2;
+  plan.flap_down_ms = 100.0;
+  plan.flap_cycles = 2;
+  plan.flap_period_ms = 250.0;
+  plan.partition_fraction = 0.25;
+  plan.partition_heal_ms = 400.0;
+
+  const FaultInjector a(rig.network, plan);
+  const FaultInjector b(rig.network, plan);
+  EXPECT_EQ(a.schedule(), b.schedule());
+  EXPECT_GT(a.plannedFaults(FaultKind::kLinkDown), 0u);
+  // Every down has its matching up (flaps cycle, the partition heals).
+  EXPECT_EQ(a.plannedFaults(FaultKind::kLinkDown),
+            a.plannedFaults(FaultKind::kLinkUp));
+}
+
+TEST(FaultInjectorTest, AddingLinkChaosKeepsAgentVictims) {
+  // Link victims come from a forked substream: turning link chaos on must
+  // not reshuffle who crashes (faulted agent schedules stay bit-identical).
+  Rig rig;
+  FaultPlan agents_only;
+  agents_only.crash_fraction = 0.2;
+  agents_only.at_ms = 500.0;
+  agents_only.stagger_ms = 10.0;
+  agents_only.seed = 42;
+  FaultPlan with_links = agents_only;
+  with_links.link_flap_fraction = 0.3;
+  with_links.flap_down_ms = 200.0;
+  with_links.partition_fraction = 0.2;
+
+  const FaultInjector a(rig.network, agents_only);
+  const FaultInjector b(rig.network, with_links);
+  std::vector<FaultEvent> a_crashes;
+  std::vector<FaultEvent> b_crashes;
+  for (const FaultEvent& e : a.schedule()) {
+    if (e.kind == FaultKind::kCrash) a_crashes.push_back(e);
+  }
+  for (const FaultEvent& e : b.schedule()) {
+    if (e.kind == FaultKind::kCrash) b_crashes.push_back(e);
+  }
+  EXPECT_EQ(a_crashes, b_crashes);
+}
+
+TEST(FaultInjectorTest, SameTimestampFaultsKeepScheduleOrder) {
+  // Two faults sharing one at_ms are legal and applied in schedule order:
+  // down-then-up at the same instant validates and leaves the link up after
+  // the run.
+  Rig rig;
+  const net::NodeId member = rig.topo.tree.members()[1];
+  const net::NodeId parent = rig.topo.tree.parent(member);
+  FaultInjector injector(
+      rig.network,
+      {{200.0, net::kInvalidNode, FaultKind::kLinkDown, 0.0, parent, member},
+       {200.0, net::kInvalidNode, FaultKind::kLinkUp, 0.0, parent, member}});
+  injector.arm();
+  rig.sim.run();
+  EXPECT_TRUE(rig.network.isLinkUp(parent, member));
+}
+
+TEST(FaultInjectorTest, LinkUpBeforeItsLinkDownRejected) {
+  // An up for a link that is not down has no unambiguous timeline: rejected
+  // at construction, not silently reordered.
+  Rig rig;
+  const net::NodeId member = rig.topo.tree.members()[1];
+  const net::NodeId parent = rig.topo.tree.parent(member);
+  EXPECT_THROW(
+      FaultInjector(
+          rig.network,
+          {{100.0, net::kInvalidNode, FaultKind::kLinkUp, 0.0, parent, member},
+           {200.0, net::kInvalidNode, FaultKind::kLinkDown, 0.0, parent,
+            member}}),
+      std::invalid_argument);
+  // Same at_ms but up listed before down: schedule order breaks the tie, so
+  // this too is an up for a link that was never down.
+  EXPECT_THROW(
+      FaultInjector(
+          rig.network,
+          {{200.0, net::kInvalidNode, FaultKind::kLinkUp, 0.0, parent, member},
+           {200.0, net::kInvalidNode, FaultKind::kLinkDown, 0.0, parent,
+            member}}),
+      std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, DoubleLinkDownRejected) {
+  Rig rig;
+  const net::NodeId member = rig.topo.tree.members()[1];
+  const net::NodeId parent = rig.topo.tree.parent(member);
+  EXPECT_THROW(
+      FaultInjector(
+          rig.network,
+          {{100.0, net::kInvalidNode, FaultKind::kLinkDown, 0.0, parent,
+            member},
+           {200.0, net::kInvalidNode, FaultKind::kLinkDown, 0.0, parent,
+            member}}),
+      std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, LinkFaultOnUnknownEdgeRejected) {
+  Rig rig;
+  // Two nodes with no direct graph edge (a leaf and the far leaf's id).
+  const net::NodeId member = rig.topo.tree.members()[1];
+  EXPECT_THROW(
+      FaultInjector(rig.network, {{100.0, net::kInvalidNode,
+                                   FaultKind::kLinkDown, 0.0, member, member}}),
+      std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, BadLinkPlansRejected) {
+  Rig rig;
+  FaultPlan dup;
+  dup.duplicate_prob = 1.0;  // must stay < 1 or copies explode
+  EXPECT_THROW(FaultInjector(rig.network, dup), std::invalid_argument);
+  FaultPlan jitter;
+  jitter.reorder_jitter_ms = -2.0;
+  EXPECT_THROW(FaultInjector(rig.network, jitter), std::invalid_argument);
+  FaultPlan overlapping;
+  overlapping.link_flap_fraction = 0.2;
+  overlapping.flap_down_ms = 300.0;
+  overlapping.flap_cycles = 2;
+  overlapping.flap_period_ms = 200.0;  // next cycle starts while still down
+  EXPECT_THROW(FaultInjector(rig.network, overlapping), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, PartitionCutsAndHealRestoresReachability) {
+  Rig rig;
+  FaultPlan plan;
+  plan.at_ms = 100.0;
+  plan.partition_fraction = 0.25;
+  plan.partition_heal_ms = 400.0;
+  FaultInjector injector(rig.network, plan);
+  ASSERT_GT(injector.plannedFaults(FaultKind::kLinkDown), 0u);
+
+  bool someone_cut = false;
+  rig.sim.scheduleAt(250.0, [&rig, &someone_cut] {
+    for (const net::NodeId client : rig.topo.clients) {
+      if (!rig.network.reachableFromSource(client)) someone_cut = true;
+    }
+  });
+  injector.arm();
+  rig.sim.run();
+  EXPECT_TRUE(someone_cut);
+  // Healed: every client reachable again at end of run.
+  for (const net::NodeId client : rig.topo.clients) {
+    EXPECT_TRUE(rig.network.reachableFromSource(client)) << client;
+  }
+}
+
 TEST(FaultInjectorTest, CrashWhileSlowedDeliveryInFlightDropsIt) {
   // A slowed REQUEST already queued for late delivery must still be dropped
   // when the agent crashes before the delayed delivery fires.
