@@ -53,6 +53,21 @@
 //       sweep as JSON to --out; --json prints it to stdout (CI smoke); exit
 //       1 when any gate fails.
 //
+//   rmrn_cli scale [--sizes 3000,30000,300000,2000000] [--shard K] [--seed S]
+//                  [--churn-ops N] [--threads T] [--flat-max K]
+//                  [--out BENCH_scale.json] [--json]
+//       Hierarchical-planner scale sweep (DESIGN.md §11): shallow
+//       random-recursive-tree topologies (depth ~ ln n, clients ~ n/2,
+//       the shape of real distribution trees) with tree-metric routing.
+//       Per size:
+//       whole-group ShardPlanner build time, then N remove+re-add churn
+//       cycles timed per operation (microsecond percentiles) with the
+//       fraction touching a single shard.  Sizes whose client count is at
+//       most --flat-max are also cross-checked: plans must equal the flat
+//       RpPlanner bit for bit and audit clean.  Writes the sweep as JSON to
+//       --out; --json prints it to stdout (CI smoke); exit 1 on any gate
+//       failure.
+//
 //   rmrn_cli config [--out file]
 //       Print (or write) a complete default experiment config to edit.
 #include <algorithm>
@@ -63,6 +78,7 @@
 
 #include "core/auditor.hpp"
 #include "core/planner.hpp"
+#include "core/shard_planner.hpp"
 #include "harness/config_io.hpp"
 #include "harness/csv.hpp"
 #include "harness/experiment.hpp"
@@ -77,7 +93,7 @@ using namespace rmrn;
 
 int usage() {
   std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|audit|resilience"
-               "|chaos|config> [--flags]\n"
+               "|chaos|scale|config> [--flags]\n"
                "  see the header comment of examples/rmrn_cli.cpp\n";
   return 2;
 }
@@ -717,6 +733,202 @@ int cmdChaos(const util::Flags& flags) {
   return all_ok ? 0 : 1;
 }
 
+std::vector<std::uint32_t> parseSizes(const std::string& list) {
+  std::vector<std::uint32_t> sizes;
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const long long n = std::stoll(token);
+    if (n < 3) throw std::invalid_argument("--sizes entries must be >= 3");
+    sizes.push_back(static_cast<std::uint32_t>(n));
+  }
+  if (sizes.empty()) throw std::invalid_argument("--sizes must be non-empty");
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+int cmdScale(const util::Flags& flags) {
+  const auto sizes =
+      parseSizes(flags.getString("sizes", "3000,30000,300000,2000000"));
+  const auto shard_budget =
+      static_cast<std::uint32_t>(flags.getUnsigned("shard", 64));
+  const std::uint64_t seed = flags.getUnsigned("seed", 1);
+  const auto churn_ops =
+      static_cast<std::uint32_t>(flags.getUnsigned("churn-ops", 500));
+  const auto threads = static_cast<unsigned>(flags.getUnsigned("threads", 0));
+  // Sizes with at most this many clients are cross-checked against the flat
+  // planner (O(k^2)) and refereed by the auditor.
+  const auto flat_max =
+      static_cast<std::size_t>(flags.getUnsigned("flat-max", 1500));
+  const std::string out_path = flags.getString("out", "BENCH_scale.json");
+  const bool json_stdout = flags.getBool("json", false);
+  if (const int rc = failUnknownFlags(flags)) return rc;
+
+  using Clock = std::chrono::steady_clock;
+  struct Row {
+    std::uint32_t nodes = 0;
+    std::size_t clients = 0;
+    std::size_t shards = 0;
+    double build_ms = 0.0;
+    double churn_mean_us = 0.0;
+    double churn_p50_us = 0.0;
+    double churn_p99_us = 0.0;
+    double churn_max_us = 0.0;
+    double single_shard_fraction = 0.0;
+    bool audited = false;
+    std::size_t audit_violations = 0;
+    bool flat_checked = false;
+    bool flat_match = false;
+    bool ok = true;
+  };
+  std::vector<Row> rows;
+
+  for (const std::uint32_t n : sizes) {
+    util::Rng rng(seed);
+    const net::Topology topo = net::generateShallowTreeTopology(n, rng);
+    const net::Routing routing(topo.graph, topo.tree);
+    std::cerr << "scale: n=" << n << " (" << topo.clients.size()
+              << " clients) building..." << std::flush;
+
+    core::ShardPlannerOptions options;
+    options.planner.num_threads = threads;
+    options.max_shard_clients = shard_budget;
+
+    Row row;
+    row.nodes = n;
+    row.clients = topo.clients.size();
+
+    const auto build_start = Clock::now();
+    core::ShardPlanner planner(topo, routing, options);
+    row.build_ms = std::chrono::duration<double, std::milli>(
+                       Clock::now() - build_start)
+                       .count();
+    row.shards = planner.partition().numShards();
+    std::cerr << " " << row.build_ms << " ms, " << row.shards << " shards"
+              << std::flush;
+
+    if (row.clients <= flat_max) {
+      // Tree metric: the sharded plans must equal the flat planner exactly.
+      core::PlannerOptions flat_options = options.planner;
+      flat_options.timeout_ms = planner.timeoutMs();
+      const core::RpPlanner flat(topo, routing, flat_options);
+      row.flat_checked = true;
+      row.flat_match = true;
+      for (const net::NodeId u : topo.clients) {
+        const core::Strategy& s = planner.strategyFor(u);
+        const core::Strategy& f = flat.strategyFor(u);
+        if (s.peers != f.peers ||
+            s.expected_delay_ms != f.expected_delay_ms) {
+          row.flat_match = false;
+          break;
+        }
+      }
+      const core::AuditReport report = planner.auditAll();
+      row.audited = true;
+      row.audit_violations = report.violations.size();
+      row.ok = row.flat_match && report.ok();
+    }
+
+    // Churn: remove + re-add random clients, timing each operation.
+    util::Rng churn_rng(seed * 40503 + 19);
+    std::vector<double> lat_us;
+    lat_us.reserve(2 * churn_ops);
+    std::size_t single = 0;
+    for (std::uint32_t op = 0; op < churn_ops; ++op) {
+      const net::NodeId v =
+          topo.clients[churn_rng.uniformInt(topo.clients.size())];
+      auto t0 = Clock::now();
+      planner.removeClient(v);
+      lat_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+      single += planner.lastShardsTouched() == 1 ? 1 : 0;
+      t0 = Clock::now();
+      planner.addClient(v);
+      lat_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+      single += planner.lastShardsTouched() == 1 ? 1 : 0;
+    }
+    if (!lat_us.empty()) {
+      std::sort(lat_us.begin(), lat_us.end());
+      double total = 0.0;
+      for (const double v : lat_us) total += v;
+      row.churn_mean_us = total / static_cast<double>(lat_us.size());
+      row.churn_p50_us = lat_us[lat_us.size() / 2];
+      row.churn_p99_us = lat_us[lat_us.size() * 99 / 100];
+      row.churn_max_us = lat_us.back();
+      row.single_shard_fraction =
+          static_cast<double>(single) / static_cast<double>(lat_us.size());
+    }
+    std::cerr << "; churn p50 " << row.churn_p50_us << " us\n";
+    rows.push_back(row);
+  }
+
+  bool all_ok = true;
+  std::ostringstream json;
+  json.precision(10);
+  json << "{\n";
+  json << "  \"bench\": \"scale\",\n";
+  json << "  \"planner\": \"ShardPlanner\",\n";
+  json << "  \"shard_budget\": " << shard_budget << ",\n";
+  json << "  \"seed\": " << seed << ",\n";
+  json << "  \"churn_ops\": " << churn_ops << ",\n";
+  json << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    all_ok &= r.ok;
+    json << "    {\"nodes\": " << r.nodes << ", \"clients\": " << r.clients
+         << ", \"shards\": " << r.shards
+         << ", \"build_ms\": " << r.build_ms
+         << ", \"build_us_per_client\": "
+         << (r.clients ? 1000.0 * r.build_ms / static_cast<double>(r.clients)
+                       : 0.0)
+         << ", \"churn_mean_us\": " << r.churn_mean_us
+         << ", \"churn_p50_us\": " << r.churn_p50_us
+         << ", \"churn_p99_us\": " << r.churn_p99_us
+         << ", \"churn_max_us\": " << r.churn_max_us
+         << ", \"single_shard_fraction\": " << r.single_shard_fraction
+         << ", \"audited\": " << (r.audited ? "true" : "false")
+         << ", \"audit_violations\": " << r.audit_violations
+         << ", \"flat_checked\": " << (r.flat_checked ? "true" : "false")
+         << ", \"flat_match\": " << (r.flat_match ? "true" : "false")
+         << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"ok\": " << (all_ok ? "true" : "false") << "\n";
+  json << "}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+  }
+  if (json_stdout) {
+    std::cout << json.str();
+  } else {
+    std::cout << "ShardPlanner scale sweep: K=" << shard_budget << ", "
+              << churn_ops << " churn cycles per size\n";
+    harness::TextTable table({"nodes", "clients", "shards", "build (ms)",
+                              "churn p50 (us)", "churn p99 (us)", "1-shard %",
+                              "audit", "flat", "ok"});
+    for (const Row& r : rows) {
+      table.addRow({std::to_string(r.nodes), std::to_string(r.clients),
+                    std::to_string(r.shards),
+                    harness::TextTable::num(r.build_ms),
+                    harness::TextTable::num(r.churn_p50_us),
+                    harness::TextTable::num(r.churn_p99_us),
+                    harness::TextTable::num(100.0 * r.single_shard_fraction, 1),
+                    r.audited ? std::to_string(r.audit_violations) : "-",
+                    r.flat_checked ? (r.flat_match ? "exact" : "DIFF") : "-",
+                    r.ok ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    if (!out_path.empty()) std::cout << "wrote " << out_path << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
 int cmdConfig(const util::Flags& flags) {
   const std::string out_path = flags.getString("out", "");
   if (const int rc = failUnknownFlags(flags)) return rc;
@@ -745,6 +957,7 @@ int main(int argc, char** argv) {
     if (command == "audit") return cmdAudit(flags);
     if (command == "resilience") return cmdResilience(flags);
     if (command == "chaos") return cmdChaos(flags);
+    if (command == "scale") return cmdScale(flags);
     if (command == "config") return cmdConfig(flags);
     return usage();
   } catch (const std::exception& e) {

@@ -1,7 +1,6 @@
 #include "core/candidates.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "util/check.hpp"
 
@@ -20,16 +19,12 @@ template <typename LcaFn>
 std::vector<CompetitiveClass> classesImpl(
     net::NodeId u, const net::MulticastTree& tree, const LcaFn& lca,
     const std::vector<net::NodeId>& clients) {
-  if (!tree.contains(u)) {
-    throw std::invalid_argument("competitiveClasses: u not in tree");
-  }
+  RMRN_REQUIRE(tree.contains(u), "competitiveClasses: u not in tree");
   const net::HopCount depth_u = tree.depth(u);
   std::vector<CompetitiveClass> by_depth(depth_u);
   for (const net::NodeId v : clients) {
     if (v == u || v == tree.root()) continue;
-    if (!tree.contains(v)) {
-      throw std::invalid_argument("competitiveClasses: client not in tree");
-    }
+    RMRN_REQUIRE(tree.contains(v), "competitiveClasses: client not in tree");
     const net::NodeId router = lca(u, v);
     if (router == u) continue;  // v sits in u's own subtree (possible when
                                 // clients are internal nodes): if u lost the
@@ -51,23 +46,19 @@ std::vector<CompetitiveClass> classesImpl(
 }
 
 // Candidate selection without materializing the classes: per DS depth only
-// the running minimum-RTT peer is kept, so the whole-group planning loop
-// performs two small allocations per client instead of one per class.
+// the running minimum-RTT peer is kept.  The DS-indexed array and the output
+// both come from the caller, so a warmed caller performs zero allocations.
 template <typename LcaFn>
-std::vector<Candidate> selectImpl(net::NodeId u, const net::MulticastTree& tree,
-                                  const LcaFn& lca,
-                                  const net::Routing& routing,
-                                  const std::vector<net::NodeId>& clients) {
-  if (!tree.contains(u)) {
-    throw std::invalid_argument("selectCandidates: u not in tree");
-  }
+void selectIntoImpl(net::NodeId u, const net::MulticastTree& tree,
+                    const LcaFn& lca, const net::Routing& routing,
+                    std::span<const net::NodeId> clients,
+                    std::vector<Candidate>& best, std::vector<Candidate>& out) {
+  RMRN_REQUIRE(tree.contains(u), "selectCandidates: u not in tree");
   const net::HopCount depth_u = tree.depth(u);
-  std::vector<Candidate> best(depth_u);  // indexed by DS; kInvalidNode = empty
+  best.assign(depth_u, Candidate{});  // indexed by DS; kInvalidNode = empty
   for (const net::NodeId v : clients) {
     if (v == u || v == tree.root()) continue;
-    if (!tree.contains(v)) {
-      throw std::invalid_argument("selectCandidates: client not in tree");
-    }
+    RMRN_REQUIRE(tree.contains(v), "selectCandidates: client not in tree");
     const net::NodeId router = lca(u, v);
     if (router == u) continue;  // see classesImpl
     const net::HopCount ds = tree.depth(router);
@@ -80,16 +71,26 @@ std::vector<Candidate> selectImpl(net::NodeId u, const net::MulticastTree& tree,
       slot = Candidate{v, ds, rtt};
     }
   }
-  std::vector<Candidate> result;
+  out.clear();
   for (net::HopCount ds = depth_u; ds-- > 0;) {  // strictly descending DS
-    if (best[ds].peer != net::kInvalidNode) result.push_back(best[ds]);
+    if (best[ds].peer != net::kInvalidNode) out.push_back(best[ds]);
   }
   // Lemma 5 postcondition: one candidate per competitive class, strictly
   // descending DS, all below DS_u.
-  for (std::size_t i = 0; i < result.size(); ++i) {
-    RMRN_ENSURE(result[i].ds < (i == 0 ? depth_u : result[i - 1].ds),
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    RMRN_ENSURE(out[i].ds < (i == 0 ? depth_u : out[i - 1].ds),
                 "candidate list must be strictly descending in DS below DS_u");
   }
+}
+
+template <typename LcaFn>
+std::vector<Candidate> selectImpl(net::NodeId u, const net::MulticastTree& tree,
+                                  const LcaFn& lca,
+                                  const net::Routing& routing,
+                                  const std::vector<net::NodeId>& clients) {
+  std::vector<Candidate> best;
+  std::vector<Candidate> result;
+  selectIntoImpl(u, tree, lca, routing, clients, best, result);
   return result;
 }
 
@@ -133,6 +134,18 @@ std::vector<Candidate> selectCandidates(
       u, tree,
       [&index](net::NodeId a, net::NodeId b) { return index.lca(a, b); },
       routing, clients);
+}
+
+void selectCandidatesInto(net::NodeId u, const net::MulticastTree& tree,
+                          const net::LcaIndex& index,
+                          const net::Routing& routing,
+                          std::span<const net::NodeId> clients,
+                          CandidateScratch& scratch,
+                          std::vector<Candidate>& out) {
+  selectIntoImpl(
+      u, tree,
+      [&index](net::NodeId a, net::NodeId b) { return index.lca(a, b); },
+      routing, clients, scratch.best_by_ds, out);
 }
 
 }  // namespace rmrn::core

@@ -9,6 +9,7 @@
 // optimal strategy lists candidates in strictly descending DS order.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "net/lca.hpp"
@@ -64,5 +65,22 @@ struct CompetitiveClass {
 [[nodiscard]] std::vector<Candidate> selectCandidates(
     net::NodeId u, const net::MulticastTree& tree, const net::LcaIndex& index,
     const net::Routing& routing, const std::vector<net::NodeId>& clients);
+
+/// Reusable buffer for selectCandidatesInto.  One per planning thread (or
+/// per shard): after warm-up, repeated selections allocate nothing.
+struct CandidateScratch {
+  std::vector<Candidate> best_by_ds;  // indexed by DS depth
+};
+
+/// selectCandidates into a caller-owned vector (cleared first), with the
+/// DS-indexed working array taken from `scratch`.  Identical output to
+/// selectCandidates; reusing `scratch` and `out` capacity keeps steady-state
+/// replanning allocation-free.
+void selectCandidatesInto(net::NodeId u, const net::MulticastTree& tree,
+                          const net::LcaIndex& index,
+                          const net::Routing& routing,
+                          std::span<const net::NodeId> clients,
+                          CandidateScratch& scratch,
+                          std::vector<Candidate>& out);
 
 }  // namespace rmrn::core

@@ -1,0 +1,475 @@
+#include "core/shard_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rmrn::core {
+
+ShardPlanner::ShardPlanner(const net::Topology& topology,
+                           const net::Routing& routing,
+                           ShardPlannerOptions options)
+    : topology_(&topology),
+      routing_(&routing),
+      options_(std::move(options)),
+      lca_(topology.tree),
+      partition_(topology.tree, topology.clients, options_.max_shard_clients) {
+  if (options_.planner.timeout_ms < 0.0) {
+    throw std::invalid_argument("ShardPlanner: negative timeout");
+  }
+  const net::MulticastTree& tree = topology.tree;
+  const std::size_t n = tree.numMembers();
+  srtt_.assign(n, 0.0);
+  excluded_.assign(n, 0);
+  state_.resize(n);
+  for (const net::NodeId banned : options_.planner.excluded_peers) {
+    if (tree.contains(banned)) excluded_[idx(banned)] = 1;
+  }
+
+  double max_rtt = 0.0;
+  for (const net::NodeId c : topology.clients) {
+    const double rtt = routing.rtt(c, topology.source);
+    srtt_[idx(c)] = rtt;
+    max_rtt = std::max(max_rtt, rtt);
+    state_[idx(c)].active = true;
+  }
+  if (options_.planner.timeout_ms == 0.0) {
+    options_.planner.timeout_ms = 2.0 * max_rtt;  // RpPlanner's default t_0
+  }
+  graph_options_.timeout_ms = options_.planner.timeout_ms;
+  graph_options_.per_peer_timeout_factor =
+      options_.planner.per_peer_timeout_factor;
+  graph_options_.min_timeout_ms = options_.planner.min_timeout_ms;
+  graph_options_.cost_model = options_.planner.cost_model;
+  graph_options_.allow_direct_source = options_.planner.allow_direct_source;
+  graph_options_.max_list_length = options_.planner.max_list_length;
+
+  shard_states_.resize(partition_.numSlots());
+  in_changed_.assign(partition_.numSlots(), 0);
+  std::vector<std::uint32_t> live;
+  live.reserve(partition_.numSlots());
+  for (std::uint32_t id = 0; id < partition_.numSlots(); ++id) {
+    if (!partition_.isLive(id)) continue;
+    live.push_back(id);
+    shard_states_[id].root = partition_.shard(id).root;
+    shard_states_[id].rep = computeRep(partition_.shard(id));
+  }
+  bulkBuildExt(live);
+
+  // Shards are planned independently into disjoint per-member slots, so the
+  // parallel build is bit-identical to the sequential one.
+  const unsigned threads =
+      util::resolveThreadCount(options_.planner.num_threads);
+  if (threads <= 1 || live.size() <= 1) {
+    for (const std::uint32_t id : live) planShard(id, arena_, true);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallelFor(0, live.size(), [&](std::size_t i) {
+      Arena arena;
+      planShard(live[i], arena, true);
+    });
+  }
+  last_replans_ = partition_.numClients();
+  last_shards_touched_ = partition_.numShards();
+
+  if (options_.planner.audit) {
+    const AuditReport report = auditAll();
+    if (!report.ok()) {
+      throw std::logic_error("ShardPlanner: plan audit failed\n" +
+                             report.summary());
+    }
+  }
+}
+
+std::size_t ShardPlanner::idx(net::NodeId v) const {
+  return topology_->tree.memberIndex(v);
+}
+
+bool ShardPlanner::eligible(net::NodeId v) const {
+  const std::size_t i = idx(v);
+  return state_[i].active && !excluded_[i];
+}
+
+bool ShardPlanner::repLess(net::NodeId a, net::NodeId b) const {
+  const double sa = srtt_[idx(a)];
+  const double sb = srtt_[idx(b)];
+  return sa < sb || (sa == sb && a < b);
+}
+
+net::NodeId ShardPlanner::computeRep(const Shard& shard) const {
+  net::NodeId best = net::kInvalidNode;
+  for (const net::NodeId w : shard.clients) {
+    if (!eligible(w)) continue;
+    if (best == net::kInvalidNode || repLess(w, best)) best = w;
+  }
+  return best;
+}
+
+void ShardPlanner::buildExt(std::uint32_t id) {
+  ShardState& state = shard_states_[id];
+  const net::HopCount depth = topology_->tree.depth(state.root);
+  // A meeting router is an ancestor of this shard's root, so depths fit in
+  // [0, depth]; the top slot is hit only by shards nested under a residual
+  // root (their contributions later self-skip in candidate selection for
+  // the residual client itself, and compete normally for everyone else).
+  ext_depth_best_.assign(depth + 1, net::kInvalidNode);
+  for (std::uint32_t b = 0; b < partition_.numSlots(); ++b) {
+    if (b == id || !partition_.isLive(b)) continue;
+    const net::NodeId rep = shard_states_[b].rep;
+    if (rep == net::kInvalidNode) continue;
+    const net::HopCount ds = lca_.lcaDepth(state.root, shard_states_[b].root);
+    net::NodeId& slot = ext_depth_best_[ds];
+    if (slot == net::kInvalidNode || repLess(rep, slot)) slot = rep;
+  }
+  state.ext.clear();
+  for (net::HopCount ds = 0; ds <= depth; ++ds) {
+    if (ext_depth_best_[ds] != net::kInvalidNode) {
+      state.ext.push_back(ExtEntry{ds, ext_depth_best_[ds]});
+    }
+  }
+}
+
+void ShardPlanner::bulkBuildExt(const std::vector<std::uint32_t>& live) {
+  const net::MulticastTree& tree = topology_->tree;
+  const std::size_t n = tree.numMembers();
+  // For every tree node: the best and runner-up shard representative whose
+  // shard root lies in the node's subtree, each tagged with the branch it
+  // arrived through (a child node, or the node itself for a shard rooted
+  // right there).  The runner-up is the best arriving through a branch
+  // different from the winner's — exactly what the exclusion query needs.
+  std::vector<net::NodeId> best1(n, net::kInvalidNode);
+  std::vector<net::NodeId> via1(n, net::kInvalidNode);
+  std::vector<net::NodeId> best2(n, net::kInvalidNode);
+
+  const auto offer = [&](std::size_t at, net::NodeId via, net::NodeId rep) {
+    if (best1[at] == net::kInvalidNode || repLess(rep, best1[at])) {
+      if (via1[at] != via) {
+        best2[at] = best1[at];
+        via1[at] = via;
+      }
+      best1[at] = rep;
+    } else if (via != via1[at] &&
+               (best2[at] == net::kInvalidNode || repLess(rep, best2[at]))) {
+      best2[at] = rep;
+    }
+  };
+
+  for (const std::uint32_t id : live) {
+    const ShardState& state = shard_states_[id];
+    if (state.rep == net::kInvalidNode) continue;
+    offer(idx(state.root), state.root, state.rep);
+  }
+  // members() is preorder (parents first); the reverse walk folds every
+  // subtree's best into its parent before the parent itself is read.
+  const std::vector<net::NodeId>& order = tree.members();
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const net::NodeId v = order[i];
+    const std::size_t vi = idx(v);
+    if (best1[vi] == net::kInvalidNode) continue;
+    offer(idx(tree.parent(v)), v, best1[vi]);
+  }
+
+  // Root-path walk per shard: shards meeting this one at depth d are those
+  // rooted in subtree(path[d]) but not in the branch that contains this
+  // shard (path[d+1]; at the deepest slot, the shard's own root) — so the
+  // answer is best1 unless the winner arrived through the excluded branch,
+  // then best2.  Ties never arise: repLess is a strict total order, so the
+  // result is bit-identical to a pairwise buildExt scan.
+  std::vector<net::NodeId> path;
+  for (const std::uint32_t id : live) {
+    ShardState& state = shard_states_[id];
+    const net::HopCount depth = tree.depth(state.root);
+    path.assign(static_cast<std::size_t>(depth) + 1, net::kInvalidNode);
+    net::NodeId t = state.root;
+    for (net::HopCount d = depth;; --d) {
+      path[d] = t;
+      if (d == 0) break;
+      t = tree.parent(t);
+    }
+    state.ext.clear();
+    for (net::HopCount d = 0; d <= depth; ++d) {
+      const std::size_t at = idx(path[d]);
+      const net::NodeId excl = path[d == depth ? d : d + 1];
+      const net::NodeId winner = via1[at] != excl ? best1[at] : best2[at];
+      if (winner != net::kInvalidNode) state.ext.push_back(ExtEntry{d, winner});
+    }
+  }
+}
+
+void ShardPlanner::buildConsider(std::uint32_t id,
+                                 std::vector<net::NodeId>& out) const {
+  out.clear();
+  for (const net::NodeId w : partition_.shard(id).clients) {
+    if (!excluded_[idx(w)]) out.push_back(w);
+  }
+  for (const ExtEntry& e : shard_states_[id].ext) out.push_back(e.rep);
+}
+
+bool ShardPlanner::planClient(net::NodeId u,
+                              std::span<const net::NodeId> consider,
+                              Arena& arena, bool force) {
+  ClientState& st = state_[idx(u)];
+  selectCandidatesInto(u, topology_->tree, lca_, *routing_, consider,
+                       arena.cand, arena.tmp);
+  if (!force && st.planned && arena.tmp == st.candidates) return false;
+  st.candidates.assign(arena.tmp.begin(), arena.tmp.end());
+  searchMinimalDelayInto(topology_->tree.depth(u), st.candidates,
+                         srtt_[idx(u)], graph_options_, arena.plan,
+                         st.strategy);
+  RMRN_ENSURE(std::isfinite(st.strategy.expected_delay_ms) &&
+                  st.strategy.expected_delay_ms >= 0.0,
+              "shard planner: emitted delay must be finite and non-negative");
+  st.planned = true;
+  return true;
+}
+
+std::size_t ShardPlanner::planShard(std::uint32_t id, Arena& arena,
+                                    bool force) {
+  buildConsider(id, arena.consider);
+  std::size_t replans = 0;
+  for (const net::NodeId u : partition_.shard(id).clients) {
+    replans += planClient(u, arena.consider, arena, force) ? 1 : 0;
+  }
+  return replans;
+}
+
+net::NodeId ShardPlanner::rescanDepth(std::uint32_t x,
+                                      net::HopCount ds) const {
+  const net::NodeId root = shard_states_[x].root;
+  net::NodeId best = net::kInvalidNode;
+  for (std::uint32_t b = 0; b < partition_.numSlots(); ++b) {
+    if (b == x || !partition_.isLive(b)) continue;
+    const net::NodeId rep = shard_states_[b].rep;
+    if (rep == net::kInvalidNode) continue;
+    if (lca_.lcaDepth(root, shard_states_[b].root) != ds) continue;
+    if (best == net::kInvalidNode || repLess(rep, best)) best = rep;
+  }
+  return best;
+}
+
+void ShardPlanner::applyChurn(const GroupPartition::Churn& churn) {
+  last_replans_ = 0;
+  last_shards_touched_ = 0;
+  if (shard_states_.size() < partition_.numSlots()) {
+    shard_states_.resize(partition_.numSlots());
+    in_changed_.resize(partition_.numSlots(), 0);
+  }
+
+  // What the rebuilt region used to offer the outside world: the best of
+  // the changed slots' previous representatives.
+  net::NodeId old_best = net::kInvalidNode;
+  for (const std::uint32_t id : churn.touched) {
+    const net::NodeId rep = shard_states_[id].rep;
+    if (rep != net::kInvalidNode &&
+        (old_best == net::kInvalidNode || repLess(rep, old_best))) {
+      old_best = rep;
+    }
+  }
+  for (const std::uint32_t id : churn.removed) {
+    const net::NodeId rep = shard_states_[id].rep;
+    if (rep != net::kInvalidNode &&
+        (old_best == net::kInvalidNode || repLess(rep, old_best))) {
+      old_best = rep;
+    }
+  }
+  // Any changed root gives the same lca — hence the same competitive depth
+  // — as seen from every surviving shard, so one anchor node stands in for
+  // the whole region.
+  net::NodeId anchor = churn.removed.empty()
+                           ? net::kInvalidNode
+                           : shard_states_[churn.removed.front()].root;
+
+  bool root_changed = false;
+  for (const std::uint32_t id : churn.removed) {
+    ShardState& dead = shard_states_[id];
+    dead.root = net::kInvalidNode;
+    dead.rep = net::kInvalidNode;
+    dead.ext.clear();  // keep capacity for slot reuse
+  }
+  net::NodeId new_best = net::kInvalidNode;
+  for (const std::uint32_t id : churn.touched) {
+    ShardState& state = shard_states_[id];
+    const Shard& shard = partition_.shard(id);
+    if (state.root != shard.root) root_changed = true;
+    state.root = shard.root;
+    state.rep = computeRep(shard);
+    if (state.rep != net::kInvalidNode &&
+        (new_best == net::kInvalidNode || repLess(state.rep, new_best))) {
+      new_best = state.rep;
+    }
+  }
+  if (!churn.touched.empty()) {
+    anchor = shard_states_[churn.touched.front()].root;
+  }
+
+  // Fast path: one shard changed in place and its representative kept the
+  // same key, so no other shard can see a difference.  This is the
+  // steady-state join/leave of a non-representative client — O(K) work and
+  // zero allocations once warmed.
+  if (churn.removed.empty() && churn.touched.size() == 1 && !root_changed &&
+      old_best == new_best) {
+    last_replans_ += planShard(churn.touched.front(), arena_, false);
+    last_shards_touched_ = 1;
+    return;
+  }
+
+  for (const std::uint32_t id : churn.touched) buildExt(id);
+
+  if (old_best != new_best && anchor != net::kInvalidNode) {
+    for (const std::uint32_t id : churn.touched) in_changed_[id] = 1;
+    for (const std::uint32_t id : churn.removed) in_changed_[id] = 1;
+    for (std::uint32_t x = 0; x < partition_.numSlots(); ++x) {
+      if (in_changed_[x] || !partition_.isLive(x)) continue;
+      std::vector<ExtEntry>& ext = shard_states_[x].ext;
+      const net::HopCount ds = lca_.lcaDepth(shard_states_[x].root, anchor);
+      const auto it = std::lower_bound(
+          ext.begin(), ext.end(), ds,
+          [](const ExtEntry& e, net::HopCount d) { return e.ds < d; });
+      const bool has = it != ext.end() && it->ds == ds;
+      net::NodeId winner;
+      if (has && it->rep == old_best) {
+        // The region held this depth's crown.  A strictly better new
+        // representative wins outright; otherwise the runner-up is unknown
+        // and the depth must be rescanned.
+        winner = (new_best != net::kInvalidNode &&
+                  repLess(new_best, old_best))
+                     ? new_best
+                     : rescanDepth(x, ds);
+      } else if (has) {
+        winner = it->rep;
+        if (new_best != net::kInvalidNode && repLess(new_best, winner)) {
+          winner = new_best;
+        }
+      } else {
+        // No entry means no shard met x at this depth before, so the new
+        // representative (if any) competes against nothing.
+        winner = new_best;
+      }
+      bool ext_changed = false;
+      if (winner == net::kInvalidNode) {
+        if (has) {
+          ext.erase(it);
+          ext_changed = true;
+        }
+      } else if (has) {
+        if (it->rep != winner) {
+          it->rep = winner;
+          ext_changed = true;
+        }
+      } else {
+        ext.insert(it, ExtEntry{ds, winner});
+        ext_changed = true;
+      }
+      if (ext_changed) {
+        last_replans_ += planShard(x, arena_, false);
+        ++last_shards_touched_;
+      }
+    }
+    for (const std::uint32_t id : churn.touched) in_changed_[id] = 0;
+    for (const std::uint32_t id : churn.removed) in_changed_[id] = 0;
+  }
+
+  for (const std::uint32_t id : churn.touched) {
+    last_replans_ += planShard(id, arena_, false);
+    ++last_shards_touched_;
+  }
+}
+
+void ShardPlanner::addClient(net::NodeId v) {
+  const GroupPartition::Churn& churn = partition_.addClient(v);  // validates
+  const std::size_t i = idx(v);
+  srtt_[i] = routing_->rtt(v, topology_->source);
+  state_[i].active = true;
+  state_[i].planned = false;
+  applyChurn(churn);
+}
+
+void ShardPlanner::removeClient(net::NodeId v) {
+  const GroupPartition::Churn& churn =
+      partition_.removeClient(v);  // validates
+  const std::size_t i = idx(v);
+  state_[i].active = false;
+  state_[i].planned = false;
+  applyChurn(churn);
+}
+
+const Strategy& ShardPlanner::strategyFor(net::NodeId client) const {
+  if (!topology_->tree.contains(client) || !state_[idx(client)].active) {
+    throw std::out_of_range("ShardPlanner: unknown client");
+  }
+  return state_[idx(client)].strategy;
+}
+
+const std::vector<Candidate>& ShardPlanner::candidatesFor(
+    net::NodeId client) const {
+  if (!topology_->tree.contains(client) || !state_[idx(client)].active) {
+    throw std::out_of_range("ShardPlanner: unknown client");
+  }
+  return state_[idx(client)].candidates;
+}
+
+std::vector<net::NodeId> ShardPlanner::currentClients() const {
+  std::vector<net::NodeId> result;
+  result.reserve(partition_.numClients());
+  for (std::uint32_t id = 0; id < partition_.numSlots(); ++id) {
+    if (!partition_.isLive(id)) continue;
+    const Shard& shard = partition_.shard(id);
+    result.insert(result.end(), shard.clients.begin(), shard.clients.end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<net::NodeId> ShardPlanner::consideredPeersFor(
+    net::NodeId client) const {
+  if (!topology_->tree.contains(client) || !state_[idx(client)].active) {
+    throw std::out_of_range("ShardPlanner: unknown client");
+  }
+  std::vector<net::NodeId> consider;
+  buildConsider(partition_.shardOf(client), consider);
+  return consider;
+}
+
+AuditReport ShardPlanner::auditAll() const {
+  const PlanAuditor auditor(*topology_, *routing_);
+  AuditOptions audit_options;
+  audit_options.timeout_ms = options_.planner.timeout_ms;
+  audit_options.per_peer_timeout_factor =
+      options_.planner.per_peer_timeout_factor;
+  audit_options.min_timeout_ms = options_.planner.min_timeout_ms;
+  audit_options.cost_model = options_.planner.cost_model;
+  audit_options.allow_direct_source = options_.planner.allow_direct_source;
+  audit_options.max_list_length = options_.planner.max_list_length;
+  audit_options.excluded_peers = options_.planner.excluded_peers;
+
+  AuditReport report;
+  std::vector<char> considered(topology_->tree.numMembers(), 0);
+  std::vector<net::NodeId> consider;
+  std::vector<net::NodeId> banned;
+  for (std::uint32_t id = 0; id < partition_.numSlots(); ++id) {
+    if (!partition_.isLive(id)) continue;
+    buildConsider(id, consider);
+    for (const net::NodeId w : consider) considered[idx(w)] = 1;
+    // Everything outside the consideration set counts as excluded: the
+    // audit then proves each plan optimal for its restricted peer set.
+    banned.clear();
+    for (const net::NodeId c : topology_->clients) {
+      if (!considered[idx(c)]) banned.push_back(c);
+    }
+    for (const net::NodeId u : partition_.shard(id).clients) {
+      const AuditReport one = auditor.auditStrategyExcluding(
+          u, state_[idx(u)].strategy, audit_options, banned);
+      report.clients_checked += one.clients_checked;
+      report.violations.insert(report.violations.end(),
+                               one.violations.begin(), one.violations.end());
+    }
+    for (const net::NodeId w : consider) considered[idx(w)] = 0;
+  }
+  return report;
+}
+
+}  // namespace rmrn::core

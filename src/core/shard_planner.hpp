@@ -1,0 +1,193 @@
+// Hierarchical sharded planner (DESIGN.md §11): planning at 100k-1M clients.
+//
+// The flat RpPlanner evaluates every client against every other client —
+// O(k^2) LCA/RTT probes — which stops scaling long before the group sizes
+// the paper's recovery scheme targets.  ShardPlanner cuts the pairing down
+// with the multicast tree itself:
+//
+//   1. GroupPartition splits the client set by subtree (shallowest nodes
+//      whose subtrees hold at most K clients, canonical in the membership).
+//   2. Within a shard, Lemma 4/5 candidate selection and Algorithm 1 run
+//      against the shard's own clients plus one *representative* per
+//      external competitive depth.  For any two distinct shards A and B,
+//      lca(u, w) = lca(root_A, root_B) for every u in A, w in B (their root
+//      subtrees are disjoint, or one root is an ancestor shard's residual
+//      client), so all of B competes at one u-independent router on A's
+//      root path.  Per router depth only the best external representative
+//      (minimum source RTT, ties toward the lowest id) can ever win a slot,
+//      so each shard keeps a per-depth external table of size O(depth)
+//      instead of scanning all k clients.
+//
+// Under Routing's tree metric, RTT order equals source-RTT order within a
+// class, so the sharded candidate choice equals the flat planner's exactly
+// and the emitted strategies are identical.  On general graphs the
+// representative choice is a documented approximation; plans remain optimal
+// with respect to the considered peer set (auditAll() proves it via
+// PlanAuditor's exclusion-aware checks).
+//
+// Churn (addClient/removeClient) reuses GroupPartition's locality: a join
+// or leave rebuilds one shard region, and other shards are only revisited
+// when the region's best representative changed (then only their single
+// affected depth is patched, falling back to a rescan when the crown was
+// lost).  All per-shard scratch is arena-reused, so steady-state churn that
+// does not move representatives performs zero heap allocations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/auditor.hpp"
+#include "core/candidates.hpp"
+#include "core/group_partition.hpp"
+#include "core/planner.hpp"
+#include "core/strategy_graph.hpp"
+#include "net/lca.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace rmrn::core {
+
+struct ShardPlannerOptions {
+  /// Timeout, cost model, restrictions, excluded peers, audit and thread
+  /// count, with RpPlanner semantics (zero timeout derives 2x the largest
+  /// client-source RTT from the initial membership, fixed across churn;
+  /// num_threads parallelizes the initial whole-group build over shards).
+  PlannerOptions planner;
+  /// The partition budget K: shards split at the shallowest subtrees
+  /// holding at most this many clients.
+  std::uint32_t max_shard_clients = 64;
+};
+
+class ShardPlanner {
+ public:
+  /// Plans for `topology.clients`.  The topology and routing must outlive
+  /// the planner.  `routing` needs rows for clients only (sparse, lazy and
+  /// tree-metric modes all qualify).
+  ShardPlanner(const net::Topology& topology, const net::Routing& routing,
+               ShardPlannerOptions options);
+
+  /// Adds a receiver at tree member `v` / removes receiver `v`, updating
+  /// only the affected shard region plus any shards whose external
+  /// representative table changed.  Preconditions as GroupPartition.
+  void addClient(net::NodeId v);
+  void removeClient(net::NodeId v);
+
+  [[nodiscard]] const Strategy& strategyFor(net::NodeId client) const;
+  [[nodiscard]] const std::vector<Candidate>& candidatesFor(
+      net::NodeId client) const;
+
+  [[nodiscard]] std::size_t numClients() const {
+    return partition_.numClients();
+  }
+  /// Current membership, sorted ascending (rebuilt on each call).
+  [[nodiscard]] std::vector<net::NodeId> currentClients() const;
+
+  [[nodiscard]] const GroupPartition& partition() const { return partition_; }
+
+  /// Options after timeout resolution.
+  [[nodiscard]] const ShardPlannerOptions& resolvedOptions() const {
+    return options_;
+  }
+  [[nodiscard]] double timeoutMs() const { return options_.planner.timeout_ms; }
+
+  /// Strategies recomputed by the most recent addClient/removeClient.
+  [[nodiscard]] std::size_t lastReplans() const { return last_replans_; }
+  /// Shards whose members were re-examined by the most recent churn call:
+  /// the rebuilt region plus representative-importing shards.
+  [[nodiscard]] std::size_t lastShardsTouched() const {
+    return last_shards_touched_;
+  }
+
+  /// The peers `client`'s plan was allowed to consider: its shard's
+  /// non-excluded members plus the shard's external representatives.
+  [[nodiscard]] std::vector<net::NodeId> consideredPeersFor(
+      net::NodeId client) const;
+
+  /// Referees every emitted strategy with PlanAuditor, treating all peers
+  /// outside the client's consideration set as excluded — proves each plan
+  /// optimal for its restricted peer set.  Meaningful while the current
+  /// membership is a subset of topology.clients (the auditor checks listed
+  /// peers against the static client list).
+  [[nodiscard]] AuditReport auditAll() const;
+
+ private:
+  struct ClientState {
+    bool active = false;   // currently a receiver
+    bool planned = false;  // strategy/candidates hold a real plan
+    std::vector<Candidate> candidates;  // descending DS
+    Strategy strategy;
+  };
+
+  /// One external competitive depth: the router is the ancestor of the
+  /// shard root at depth `ds`; `rep` is the best representative among all
+  /// shards meeting this shard there.
+  struct ExtEntry {
+    net::HopCount ds = 0;
+    net::NodeId rep = net::kInvalidNode;
+  };
+
+  struct ShardState {
+    net::NodeId root = net::kInvalidNode;
+    net::NodeId rep = net::kInvalidNode;  // min (source RTT, id) eligible
+    std::vector<ExtEntry> ext;            // ascending ds, winners only
+  };
+
+  /// Per-worker planning scratch; the churn path owns one (arena_) so
+  /// steady-state replanning allocates nothing.
+  struct Arena {
+    CandidateScratch cand;
+    PlanScratch plan;
+    std::vector<Candidate> tmp;
+    std::vector<net::NodeId> consider;
+  };
+
+  [[nodiscard]] std::size_t idx(net::NodeId v) const;
+  [[nodiscard]] bool eligible(net::NodeId v) const;
+  /// Representative ordering: source RTT, ties toward the lowest id.
+  [[nodiscard]] bool repLess(net::NodeId a, net::NodeId b) const;
+  [[nodiscard]] net::NodeId computeRep(const Shard& shard) const;
+  void buildExt(std::uint32_t id);
+  /// Builds every live shard's external table in one bottom-up pass over
+  /// the tree (O(n + sum of root depths)) instead of live.size() pairwise
+  /// buildExt scans (O(numShards^2) LCA probes).  Constructor-only; the
+  /// churn path patches tables incrementally.
+  void bulkBuildExt(const std::vector<std::uint32_t>& live);
+  void buildConsider(std::uint32_t id, std::vector<net::NodeId>& out) const;
+  /// Recomputes `u`'s candidates against `consider`; reruns Algorithm 1
+  /// only when they changed (or `force`).  Returns whether it replanned.
+  bool planClient(net::NodeId u, std::span<const net::NodeId> consider,
+                  Arena& arena, bool force);
+  std::size_t planShard(std::uint32_t id, Arena& arena, bool force);
+  /// Best representative over all live shards meeting shard `x` at depth
+  /// `ds` (a full scan; the slow path of representative maintenance).
+  [[nodiscard]] net::NodeId rescanDepth(std::uint32_t x,
+                                        net::HopCount ds) const;
+  /// Shared add/remove tail: given the partition churn report and the old
+  /// region representatives, refreshes shard states, patches importer
+  /// tables and replans what changed.
+  void applyChurn(const GroupPartition::Churn& churn);
+
+  const net::Topology* topology_;
+  const net::Routing* routing_;
+  ShardPlannerOptions options_;
+  net::LcaIndex lca_;
+  StrategyGraphOptions graph_options_;
+  GroupPartition partition_;
+
+  // Per-memberIndex state.
+  std::vector<double> srtt_;     // client <-> source round trip
+  std::vector<char> excluded_;   // PlannerOptions::excluded_peers flags
+  std::vector<ClientState> state_;
+
+  std::vector<ShardState> shard_states_;  // per partition slot id
+
+  Arena arena_;  // churn-path scratch
+  std::vector<net::NodeId> ext_depth_best_;  // buildExt per-depth winners
+  std::vector<char> in_changed_;             // churn: slot id -> changed?
+  std::size_t last_replans_ = 0;
+  std::size_t last_shards_touched_ = 0;
+};
+
+}  // namespace rmrn::core

@@ -190,7 +190,175 @@ Strategy cappedShortestPath(const StrategyGraph& graph,
   return result;
 }
 
+// The on-the-fly twin of StrategyGraph::edgeWeight: identical expressions in
+// identical order, so the floating-point results match bit for bit.
+double flyEdgeWeight(net::HopCount ds_u, std::span<const Candidate> candidates,
+                     double rtt_source_ms, const StrategyGraphOptions& options,
+                     std::size_t from, std::size_t to) {
+  const std::size_t s = candidates.size() + 1;
+  const net::HopCount window = from == 0 ? ds_u : candidates[from - 1].ds;
+  const double reach =
+      from == 0 ? 1.0 : static_cast<double>(window) / static_cast<double>(ds_u);
+  if (to == s) {
+    if (from == 0 && !options.allow_direct_source) return kInf;
+    return reach * rtt_source_ms;
+  }
+  const Candidate& c = candidates[to - 1];
+  if (window == 0) return 0.0;
+  double timeout = options.timeout_ms;
+  if (options.per_peer_timeout_factor > 0.0) {
+    timeout = std::max(options.min_timeout_ms,
+                       options.per_peer_timeout_factor * c.rtt_ms);
+  }
+  return reach *
+         requestCost(options.cost_model, c.rtt_ms, timeout, c.ds, window);
+}
+
+void unrestrictedShortestPathInto(net::HopCount ds_u,
+                                  std::span<const Candidate> candidates,
+                                  double rtt_source_ms,
+                                  const StrategyGraphOptions& options,
+                                  PlanScratch& scratch, Strategy& out) {
+  const std::size_t n = candidates.size();
+  const std::size_t s = n + 1;
+  std::vector<double>& dist = scratch.dist;
+  std::vector<std::size_t>& parent = scratch.parent_vertex;
+  dist.assign(s + 1, kInf);
+  parent.assign(s + 1, s + 1);
+  dist[0] = 0.0;
+
+  for (std::size_t x = 0; x <= n; ++x) {
+    if (!std::isfinite(dist[x]) || dist[x] >= dist[s]) continue;
+    for (std::size_t to = x + 1; to <= s; ++to) {
+      const double w =
+          flyEdgeWeight(ds_u, candidates, rtt_source_ms, options, x, to);
+      if (std::isfinite(w) && dist[x] + w < dist[to]) {
+        dist[to] = dist[x] + w;
+        parent[to] = x;
+      }
+    }
+  }
+  if (!std::isfinite(dist[s])) {
+    throw std::logic_error(
+        "searchMinimalDelay: no feasible strategy (restricted graph with no "
+        "path to S)");
+  }
+
+  out.expected_delay_ms = dist[s];
+  out.peers.clear();
+  for (std::size_t v = parent[s]; v != 0; v = parent[v]) {
+    out.peers.push_back(candidates[v - 1]);
+  }
+  std::reverse(out.peers.begin(), out.peers.end());
+}
+
+void cappedShortestPathInto(net::HopCount ds_u,
+                            std::span<const Candidate> candidates,
+                            double rtt_source_ms,
+                            const StrategyGraphOptions& options,
+                            std::size_t max_peers, PlanScratch& scratch,
+                            Strategy& out) {
+  const std::size_t n = candidates.size();
+  const std::size_t s = n + 1;
+  const std::size_t layers = max_peers + 1;
+
+  const auto at = [s](std::size_t vertex, std::size_t layer) {
+    return layer * (s + 1) + vertex;
+  };
+  std::vector<double>& dist = scratch.dist;
+  std::vector<std::size_t>& parent_vertex = scratch.parent_vertex;
+  std::vector<std::size_t>& parent_layer = scratch.parent_layer;
+  dist.assign((s + 1) * layers, kInf);
+  parent_vertex.assign((s + 1) * layers, s + 1);
+  parent_layer.assign((s + 1) * layers, 0);
+  dist[at(0, 0)] = 0.0;
+
+  for (std::size_t x = 0; x <= n; ++x) {
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+      const double dx = dist[at(x, layer)];
+      if (!std::isfinite(dx)) continue;
+      for (std::size_t to = x + 1; to <= s; ++to) {
+        const double w =
+            flyEdgeWeight(ds_u, candidates, rtt_source_ms, options, x, to);
+        if (!std::isfinite(w)) continue;
+        const std::size_t next_layer = to == s ? layer : layer + 1;
+        if (next_layer >= layers) continue;  // peer budget exhausted
+        if (dx + w < dist[at(to, next_layer)]) {
+          dist[at(to, next_layer)] = dx + w;
+          parent_vertex[at(to, next_layer)] = x;
+          parent_layer[at(to, next_layer)] = layer;
+        }
+      }
+    }
+  }
+
+  std::size_t best_layer = 0;
+  for (std::size_t l = 1; l < layers; ++l) {
+    if (dist[at(s, l)] < dist[at(s, best_layer)]) best_layer = l;
+  }
+  if (!std::isfinite(dist[at(s, best_layer)])) {
+    throw std::logic_error(
+        "searchMinimalDelay: no feasible strategy (restricted graph with no "
+        "path to S)");
+  }
+
+  out.expected_delay_ms = dist[at(s, best_layer)];
+  out.peers.clear();
+  std::size_t vertex = s;
+  std::size_t layer = best_layer;
+  while (vertex != 0) {
+    const std::size_t pv = parent_vertex[at(vertex, layer)];
+    const std::size_t pl = parent_layer[at(vertex, layer)];
+    if (vertex != s) out.peers.push_back(candidates[vertex - 1]);
+    vertex = pv;
+    layer = pl;
+  }
+  std::reverse(out.peers.begin(), out.peers.end());
+}
+
 }  // namespace
+
+void searchMinimalDelayInto(net::HopCount ds_u,
+                            std::span<const Candidate> candidates,
+                            double rtt_source_ms,
+                            const StrategyGraphOptions& options,
+                            PlanScratch& scratch, Strategy& out) {
+  RMRN_REQUIRE(ds_u > 0, "searchMinimalDelayInto: DS_u must be positive");
+  RMRN_REQUIRE(rtt_source_ms >= 0.0 && options.timeout_ms >= 0.0 &&
+                   options.per_peer_timeout_factor >= 0.0,
+               "searchMinimalDelayInto: negative delay parameter");
+#if RMRN_CHECKS_ENABLED
+  {
+    net::HopCount prev = ds_u;
+    for (const Candidate& c : candidates) {
+      RMRN_REQUIRE(c.ds < prev,
+                   "searchMinimalDelayInto: candidates must be strictly "
+                   "descending in DS, below DS_u");
+      RMRN_REQUIRE(c.rtt_ms >= 0.0,
+                   "searchMinimalDelayInto: negative candidate RTT");
+      prev = c.ds;
+    }
+  }
+#endif
+  const std::size_t n = candidates.size();
+  const std::size_t max_peers = options.max_list_length;
+  if (max_peers >= n) {
+    unrestrictedShortestPathInto(ds_u, candidates, rtt_source_ms, options,
+                                 scratch, out);
+  } else {
+    cappedShortestPathInto(ds_u, candidates, rtt_source_ms, options, max_peers,
+                           scratch, out);
+  }
+  RMRN_ENSURE(std::isfinite(out.expected_delay_ms) &&
+                  out.expected_delay_ms >= 0.0,
+              "strategy delay must be finite and non-negative");
+  for (std::size_t i = 0; i < out.peers.size(); ++i) {
+    RMRN_ENSURE(out.peers[i].ds < (i == 0 ? ds_u : out.peers[i - 1].ds),
+                "Lemma 5: optimal strategy must be strictly descending in DS");
+  }
+  RMRN_ENSURE(out.peers.size() <= max_peers,
+              "restricted strategy exceeds its peer budget");
+}
 
 Strategy searchMinimalDelay(const StrategyGraph& graph) {
   const std::size_t n = graph.candidates().size();

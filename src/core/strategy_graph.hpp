@@ -114,6 +114,27 @@ struct Strategy {
 /// Algorithm 1: DAG shortest path over the strategy graph in O(N^2).
 [[nodiscard]] Strategy searchMinimalDelay(const StrategyGraph& graph);
 
+/// Reusable buffers for searchMinimalDelayInto.  One per planning thread
+/// (or per shard): after warm-up, repeated searches allocate nothing.
+struct PlanScratch {
+  std::vector<double> dist;
+  std::vector<std::size_t> parent_vertex;
+  std::vector<std::size_t> parent_layer;  // capped variant only
+};
+
+/// Algorithm 1 without materializing a StrategyGraph: edge weights are
+/// computed on the fly with the same formula and relaxation order as the
+/// CSR edge list, so the resulting strategy (peers and expected delay) is
+/// bit-identical to searchMinimalDelay(StrategyGraph(...)).  `out.peers` is
+/// cleared first; with warmed `scratch`/`out` the search is allocation-free.
+/// Preconditions (RMRN_REQUIRE): ds_u > 0, candidates strictly descending in
+/// DS below ds_u, non-negative delays.
+void searchMinimalDelayInto(net::HopCount ds_u,
+                            std::span<const Candidate> candidates,
+                            double rtt_source_ms,
+                            const StrategyGraphOptions& options,
+                            PlanScratch& scratch, Strategy& out);
+
 /// Reference implementation for tests/ablations: enumerates every subset of
 /// the candidates (kept in descending-DS order, i.e. every meaningful
 /// strategy, Lemmas 4-5) and returns the best by Eq. (2).  Exponential in

@@ -1,6 +1,7 @@
 #include "net/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -82,6 +83,23 @@ bool Graph::isConnected() const {
     }
   }
   return visited == adjacency_.size();
+}
+
+CsrAdjacency::CsrAdjacency(const Graph& g) {
+  const std::size_t n = g.numNodes();
+  const std::size_t half_edges = 2 * g.numEdges();
+  if (half_edges > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "CsrAdjacency: graph exceeds 32-bit half-edge capacity");
+  }
+  offsets_.resize(n + 1);
+  edges_.reserve(half_edges);
+  offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto adj = g.neighbors(v);
+    edges_.insert(edges_.end(), adj.begin(), adj.end());
+    offsets_[v + 1] = static_cast<std::uint32_t>(edges_.size());
+  }
 }
 
 }  // namespace rmrn::net

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -60,6 +61,37 @@ class Graph {
 
   std::vector<std::vector<HalfEdge>> adjacency_;
   std::size_t num_edges_ = 0;
+};
+
+/// Compact CSR (compressed sparse row) snapshot of a Graph's adjacency.
+///
+/// Graph stores one heap vector per node, which is convenient for
+/// construction but scatters a traversal across ~n allocations.  The hot
+/// consumers (Dijkstra row builds, BFS parent extraction at scale) copy the
+/// adjacency into two contiguous arrays once and iterate cache-linearly.
+/// The snapshot is immutable and does not track later Graph edits.
+class CsrAdjacency {
+ public:
+  CsrAdjacency() = default;
+
+  /// Copies the adjacency of `g`.  Throws std::invalid_argument if the graph
+  /// has more half-edges than the 32-bit offsets can index (2^32 - 1).
+  explicit CsrAdjacency(const Graph& g);
+
+  [[nodiscard]] std::size_t numNodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Neighbors of `v` with their link delays, in Graph insertion order.
+  [[nodiscard]] std::span<const HalfEdge> neighbors(NodeId v) const {
+    return {edges_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+ private:
+  // offsets_[v]..offsets_[v+1] indexes the half-edges out of v; 32-bit to
+  // halve the index footprint at million-node scale.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<HalfEdge> edges_;
 };
 
 }  // namespace rmrn::net

@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "net/lca.hpp"
+#include "net/multicast_tree.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -17,7 +19,8 @@ namespace {
 
 constexpr DelayMs kInf = std::numeric_limits<DelayMs>::infinity();
 
-void dijkstraFrom(const Graph& g, NodeId src, DelayMs* dist, NodeId* pred) {
+void dijkstraFrom(const CsrAdjacency& g, NodeId src, DelayMs* dist,
+                  NodeId* pred) {
   using QueueEntry = std::pair<DelayMs, NodeId>;
   dist[src] = 0.0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
@@ -51,6 +54,39 @@ Routing::Routing(const Graph& g, std::span<const NodeId> sources,
   build(g, sources, num_threads);
 }
 
+Routing::Routing(const Graph& g, LazyMode)
+    : mode_(Mode::kLazyRows), n_(g.numNodes()), csr_(g) {
+  lazy_rows_ = std::vector<std::atomic<LazyRow*>>(n_);
+}
+
+Routing::Routing(const Graph& g, const MulticastTree& tree)
+    : mode_(Mode::kTreeMetric), n_(g.numNodes()), tree_(&tree) {
+  lca_ = std::make_unique<LcaIndex>(tree);
+  wdepth_.resize(tree.numMembers());
+  // members() is preorder, so every parent's weighted depth is already
+  // final when its child is visited.
+  for (const NodeId v : tree.members()) {
+    const NodeId p = tree.parent(v);
+    if (p == kInvalidNode) {
+      wdepth_[tree.memberIndex(v)] = 0.0;
+      continue;
+    }
+    const std::optional<DelayMs> delay = g.edgeDelay(v, p);
+    if (!delay) {
+      throw std::invalid_argument("Routing: tree edge {" + std::to_string(p) +
+                                  ", " + std::to_string(v) +
+                                  "} missing from graph");
+    }
+    wdepth_[tree.memberIndex(v)] = wdepth_[tree.memberIndex(p)] + *delay;
+  }
+}
+
+Routing::~Routing() {
+  for (std::atomic<LazyRow*>& slot : lazy_rows_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
 void Routing::build(const Graph& g, std::span<const NodeId> sources,
                     unsigned num_threads) {
   rows_ = sources.empty() ? n_ : sources.size();
@@ -72,10 +108,11 @@ void Routing::build(const Graph& g, std::span<const NodeId> sources,
   dist_.assign(rows_ * n_, kInf);
   pred_.assign(rows_ * n_, kInvalidNode);
 
+  const CsrAdjacency csr(g);
   const auto run_row = [&](std::size_t row) {
     const NodeId src =
         sources.empty() ? static_cast<NodeId>(row) : sources[row];
-    dijkstraFrom(g, src, &dist_[row * n_], &pred_[row * n_]);
+    dijkstraFrom(csr, src, &dist_[row * n_], &pred_[row * n_]);
   };
   const unsigned threads = util::resolveThreadCount(num_threads);
   if (threads <= 1 || rows_ <= 1) {
@@ -99,6 +136,14 @@ void Routing::checkNode(NodeId v) const {
   }
 }
 
+void Routing::checkTreeMember(NodeId v) const {
+  checkNode(v);
+  if (!tree_->contains(v)) {
+    throw std::out_of_range("Routing: node " + std::to_string(v) +
+                            " is not a tree member (tree-metric mode)");
+  }
+}
+
 std::size_t Routing::rowOf(NodeId src) const {
   checkNode(src);
   if (row_of_.empty()) return src;
@@ -110,10 +155,89 @@ std::size_t Routing::rowOf(NodeId src) const {
   return row;
 }
 
+const Routing::LazyRow& Routing::lazyRow(NodeId src) const {
+  std::atomic<LazyRow*>& slot = lazy_rows_[src];
+  if (const LazyRow* row = slot.load(std::memory_order_acquire)) {
+    return *row;
+  }
+  // Build outside any lock; concurrent misses on the same source duplicate
+  // the Dijkstra (identical result) and the loser frees its copy.
+  auto fresh = std::make_unique<LazyRow>();
+  fresh->dist.assign(n_, kInf);
+  fresh->pred.assign(n_, kInvalidNode);
+  dijkstraFrom(csr_, src, fresh->dist.data(), fresh->pred.data());
+  LazyRow* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_release,
+                                   std::memory_order_acquire)) {
+    lazy_count_.fetch_add(1, std::memory_order_relaxed);
+    return *fresh.release();
+  }
+  return *expected;
+}
+
+Routing::RowRef Routing::rowRef(NodeId src) const {
+  if (mode_ == Mode::kLazyRows) {
+    checkNode(src);
+    const LazyRow& row = lazyRow(src);
+    return {row.dist.data(), row.pred.data()};
+  }
+  const std::size_t row = rowOf(src);
+  return {&dist_[row * n_], &pred_[row * n_]};
+}
+
+std::size_t Routing::numRows() const {
+  switch (mode_) {
+    case Mode::kTable:
+      return rows_;
+    case Mode::kLazyRows:
+      return lazy_count_.load(std::memory_order_relaxed);
+    case Mode::kTreeMetric:
+      return 0;
+  }
+  return 0;
+}
+
+bool Routing::hasSourceRow(NodeId v) const {
+  if (v >= n_) return false;
+  switch (mode_) {
+    case Mode::kTable:
+      return row_of_.empty() || row_of_[v] != kNoRow;
+    case Mode::kLazyRows:
+      return true;
+    case Mode::kTreeMetric:
+      return tree_->contains(v);
+  }
+  return false;
+}
+
+void Routing::prefetchRows(std::span<const NodeId> sources,
+                           unsigned num_threads) {
+  if (mode_ != Mode::kLazyRows) return;
+  for (const NodeId src : sources) checkNode(src);
+  const auto warm = [&](std::size_t i) { (void)lazyRow(sources[i]); };
+  const unsigned threads = util::resolveThreadCount(num_threads);
+  if (threads <= 1 || sources.size() <= 1) {
+    for (std::size_t i = 0; i < sources.size(); ++i) warm(i);
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallelFor(0, sources.size(), warm);
+  }
+}
+
+DelayMs Routing::treeDistance(NodeId a, NodeId b) const {
+  checkTreeMember(a);
+  checkTreeMember(b);
+  const NodeId l = lca_->lca(a, b);
+  return wdepth_[tree_->memberIndex(a)] + wdepth_[tree_->memberIndex(b)] -
+         2.0 * wdepth_[tree_->memberIndex(l)];
+}
+
 DelayMs Routing::distance(NodeId a, NodeId b) const {
-  const std::size_t row = rowOf(a);
+  if (mode_ == Mode::kTreeMetric) return treeDistance(a, b);
+  const RowRef row = rowRef(a);
   checkNode(b);
-  return dist_[row * n_ + b];
+  return row.dist[b];
 }
 
 namespace {
@@ -132,7 +256,7 @@ DelayMs Routing::rtt(NodeId a, NodeId b) const {
   // Link-state routing over an undirected backbone is symmetric (paper
   // §3.1 reads RTTs straight off the tables); re-derive b -> a when that row
   // exists and cross-check.  Dense tables always have it; sparse tables only
-  // for client pairs.
+  // for client pairs.  The tree metric is symmetric by construction.
   RMRN_AUDIT_CHECK(!hasSourceRow(b) || nearlyEqualDelay(distance(a, b),
                                                         distance(b, a)),
                    "routing symmetry: d(a,b) != d(b,a)");
@@ -146,12 +270,27 @@ std::vector<NodeId> Routing::path(NodeId a, NodeId b) const {
 }
 
 void Routing::pathInto(NodeId a, NodeId b, std::vector<NodeId>& out) const {
-  const std::size_t row = rowOf(a);
-  checkNode(b);
   out.clear();
-  if (dist_[row * n_ + b] == kInf) return;
-  const NodeId* pred = &pred_[row * n_];
-  for (NodeId cur = b; cur != kInvalidNode; cur = pred[cur]) {
+  if (mode_ == Mode::kTreeMetric) {
+    checkTreeMember(a);
+    checkTreeMember(b);
+    const NodeId l = lca_->lca(a, b);
+    for (NodeId cur = a; cur != l; cur = tree_->parent(cur)) {
+      out.push_back(cur);
+    }
+    out.push_back(l);
+    const std::size_t down_from = out.size();
+    for (NodeId cur = b; cur != l; cur = tree_->parent(cur)) {
+      out.push_back(cur);
+    }
+    std::reverse(out.begin() + static_cast<std::ptrdiff_t>(down_from),
+                 out.end());
+    return;
+  }
+  const RowRef row = rowRef(a);
+  checkNode(b);
+  if (row.dist[b] == kInf) return;
+  for (NodeId cur = b; cur != kInvalidNode; cur = row.pred[cur]) {
     out.push_back(cur);
     if (cur == a) break;
   }
@@ -159,17 +298,27 @@ void Routing::pathInto(NodeId a, NodeId b, std::vector<NodeId>& out) const {
 }
 
 NodeId Routing::nextHop(NodeId from, NodeId to) const {
-  const std::size_t row = rowOf(from);
+  if (mode_ == Mode::kTreeMetric) {
+    checkTreeMember(from);
+    checkTreeMember(to);
+    if (from == to) return kInvalidNode;
+    const NodeId l = lca_->lca(from, to);
+    if (from != l) return tree_->parent(from);
+    // from is an ancestor of to: step down into to's branch.
+    NodeId cur = to;
+    while (tree_->parent(cur) != from) cur = tree_->parent(cur);
+    return cur;
+  }
+  const RowRef row = rowRef(from);
   checkNode(to);
   if (from == to) return kInvalidNode;
-  if (dist_[row * n_ + to] == kInf) {
+  if (row.dist[to] == kInf) {
     return kInvalidNode;
   }
   // Walk predecessors from `to` back until the node whose predecessor is
   // `from`.
-  const NodeId* pred = &pred_[row * n_];
   NodeId cur = to;
-  while (pred[cur] != from) cur = pred[cur];
+  while (row.pred[cur] != from) cur = row.pred[cur];
   return cur;
 }
 

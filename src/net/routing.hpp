@@ -6,18 +6,31 @@
 // one Dijkstra run per source, with next-hop extraction so the simulator can
 // forward packets hop by hop.
 //
-// Two table shapes are supported:
+// Four table shapes are supported:
 //   * dense  — one row per graph node (all-pairs), what the simulator's
 //     hop-by-hop forwarding needs;
 //   * sparse — rows only for a caller-supplied source set.  The planner only
 //     ever queries client->anything and never router->router, so planning a
 //     k-client topology needs k+1 Dijkstra runs instead of n.
-// Rows are disjoint, so they are filled in parallel when num_threads != 1
-// (0 = hardware concurrency); the tables are bit-identical to a sequential
-// build regardless of the thread count.
+//   * lazy   — no rows up front; a source's Dijkstra row is computed on its
+//     first query and cached.  The sharded planner plans one shard at a
+//     time, so only the rows of the shards it actually visits are ever
+//     built.  Queries are thread-safe; concurrent first queries of the same
+//     source may duplicate the Dijkstra work but install exactly one row.
+//   * tree   — closed-form tree metric over a multicast tree: the distance
+//     between two members is wd(a) + wd(b) - 2*wd(lca(a, b)), where wd is
+//     the delay-weighted depth.  O(log n) per query, O(n) total state, no
+//     Dijkstra at all — the only shape that works at 10^6 nodes.  Exact
+//     when the backbone is a tree (then tree paths are the only paths);
+//     on general graphs it upper-bounds the true shortest-path delay.
+// Rows are disjoint, so dense/sparse tables are filled in parallel when
+// num_threads != 1 (0 = hardware concurrency); the tables are bit-identical
+// to a sequential build regardless of the thread count.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -26,8 +39,15 @@
 
 namespace rmrn::net {
 
+class MulticastTree;
+class LcaIndex;
+
 class Routing {
  public:
+  /// Tag selecting the lazy table shape.
+  struct LazyMode {};
+  static constexpr LazyMode kLazy{};
+
   /// Dense mode: runs Dijkstra from every node of `g`.
   /// O(n * (m + n) log n) work spread over `num_threads` threads.
   explicit Routing(const Graph& g, unsigned num_threads = 1);
@@ -38,6 +58,20 @@ class Routing {
   /// duplicate or out-of-range sources.
   Routing(const Graph& g, std::span<const NodeId> sources,
           unsigned num_threads = 1);
+
+  /// Lazy mode: copies the adjacency (CSR) but runs no Dijkstra up front;
+  /// each source row is built on first use.  Every node is a valid source.
+  Routing(const Graph& g, LazyMode);
+
+  /// Tree-metric mode: answers member-pair queries off `tree` alone.  Both
+  /// query endpoints must be tree members (std::out_of_range otherwise).
+  /// Throws std::invalid_argument if a tree edge is missing from `g`.
+  /// `tree` must outlive this Routing.
+  Routing(const Graph& g, const MulticastTree& tree);
+
+  ~Routing();
+  Routing(const Routing&) = delete;
+  Routing& operator=(const Routing&) = delete;
 
   /// One-way expected delay of the shortest path a -> b.  Infinity when
   /// unreachable; 0 when a == b.
@@ -61,30 +95,67 @@ class Routing {
 
   [[nodiscard]] std::size_t numNodes() const { return n_; }
 
-  /// Number of materialized source rows (numNodes() in dense mode).
-  [[nodiscard]] std::size_t numRows() const { return rows_; }
+  /// Number of materialized source rows: numNodes() in dense mode, the
+  /// source-set size in sparse mode, the rows built so far in lazy mode,
+  /// and 0 in tree mode (the tree metric has no rows).
+  [[nodiscard]] std::size_t numRows() const;
 
   /// True when queries from `v` (distance/rtt/path/nextHop first argument)
-  /// are answerable, i.e. dense mode or v in the sparse source set.
-  [[nodiscard]] bool hasSourceRow(NodeId v) const {
-    return v < n_ && (row_of_.empty() || row_of_[v] != kNoRow);
-  }
+  /// are answerable: dense mode or v in the sparse source set; any node in
+  /// lazy mode; tree members in tree mode.
+  [[nodiscard]] bool hasSourceRow(NodeId v) const;
+
+  /// Lazy mode: materializes the rows for `sources` in parallel (0 threads
+  /// = hardware concurrency), so a shard's planning loop never pays the
+  /// first-query Dijkstra inline.  No-op in the other modes.
+  void prefetchRows(std::span<const NodeId> sources, unsigned num_threads = 0);
 
  private:
+  enum class Mode { kTable, kLazyRows, kTreeMetric };
+
+  struct LazyRow {
+    std::vector<DelayMs> dist;
+    std::vector<NodeId> pred;
+  };
+
+  struct RowRef {
+    const DelayMs* dist;
+    const NodeId* pred;
+  };
+
   static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
 
   void build(const Graph& g, std::span<const NodeId> sources,
              unsigned num_threads);
   void checkNode(NodeId v) const;
+  void checkTreeMember(NodeId v) const;
   [[nodiscard]] std::size_t rowOf(NodeId src) const;
+  /// The dist/pred row for `src`, materializing it first in lazy mode.
+  [[nodiscard]] RowRef rowRef(NodeId src) const;
+  [[nodiscard]] const LazyRow& lazyRow(NodeId src) const;
+  [[nodiscard]] DelayMs treeDistance(NodeId a, NodeId b) const;
 
+  Mode mode_ = Mode::kTable;
   std::size_t n_ = 0;
   std::size_t rows_ = 0;
   // NodeId -> row index; empty in dense mode (identity mapping).
   std::vector<std::size_t> row_of_;
-  // Row-major [row][node] tables.
+  // Row-major [row][node] tables (table mode).
   std::vector<DelayMs> dist_;
   std::vector<NodeId> pred_;  // predecessor of node on the path from source
+
+  // Lazy mode: CSR adjacency for on-demand Dijkstra plus one atomic slot
+  // per node.  Slots go nullptr -> row exactly once (release store; acquire
+  // loads), so readers never see a half-built row.
+  CsrAdjacency csr_;
+  mutable std::vector<std::atomic<LazyRow*>> lazy_rows_;
+  mutable std::atomic<std::size_t> lazy_count_{0};
+
+  // Tree-metric mode: delay-weighted depth per memberIndex plus an LCA
+  // index owned here (unique_ptr keeps LcaIndex out of this header).
+  const MulticastTree* tree_ = nullptr;
+  std::unique_ptr<LcaIndex> lca_;
+  std::vector<DelayMs> wdepth_;
 };
 
 }  // namespace rmrn::net

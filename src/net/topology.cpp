@@ -221,4 +221,77 @@ Topology generateTopology(const TopologyConfig& config, util::Rng& rng) {
   return topo;
 }
 
+Topology generateTreeTopology(std::uint32_t num_nodes, util::Rng& rng,
+                              DelayMs min_base_delay, DelayMs max_base_delay) {
+  if (num_nodes < 3) {
+    throw std::invalid_argument("generateTreeTopology: need >= 3 nodes");
+  }
+  if (min_base_delay <= 0.0 || max_base_delay < min_base_delay) {
+    throw std::invalid_argument("generateTreeTopology: bad delay range");
+  }
+
+  Topology topo;
+  topo.graph = Graph(num_nodes);
+  for (const auto& [a, b] : randomPruferTree(num_nodes, rng)) {
+    const DelayMs base = rng.uniformReal(min_base_delay, max_base_delay);
+    topo.graph.addEdge(a, b, rng.uniformReal(base, 2.0 * base));
+  }
+
+  // The spanning tree of a tree is the tree itself: extract parents by BFS
+  // from the source over a compact adjacency snapshot.
+  topo.source = static_cast<NodeId>(rng.uniformInt(num_nodes));
+  const CsrAdjacency csr(topo.graph);
+  std::vector<NodeId> parent(num_nodes, kInvalidNode);
+  std::vector<NodeId> queue;
+  queue.reserve(num_nodes);
+  queue.push_back(topo.source);
+  std::vector<bool> seen(num_nodes, false);
+  seen[topo.source] = true;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    for (const HalfEdge& e : csr.neighbors(v)) {
+      if (seen[e.to]) continue;
+      seen[e.to] = true;
+      parent[e.to] = v;
+      queue.push_back(e.to);
+    }
+  }
+  topo.tree = MulticastTree(topo.source, std::move(parent));
+
+  topo.clients = topo.tree.leaves();
+  std::erase(topo.clients, topo.source);
+  std::sort(topo.clients.begin(), topo.clients.end());
+  return topo;
+}
+
+Topology generateShallowTreeTopology(std::uint32_t num_nodes, util::Rng& rng,
+                                     DelayMs min_base_delay,
+                                     DelayMs max_base_delay) {
+  if (num_nodes < 3) {
+    throw std::invalid_argument("generateShallowTreeTopology: need >= 3 nodes");
+  }
+  if (min_base_delay <= 0.0 || max_base_delay < min_base_delay) {
+    throw std::invalid_argument("generateShallowTreeTopology: bad delay range");
+  }
+
+  Topology topo;
+  topo.graph = Graph(num_nodes);
+  topo.source = 0;
+  // Random recursive tree: each node attaches to a uniform earlier node, so
+  // the parent array is immediate — no BFS extraction needed.
+  std::vector<NodeId> parent(num_nodes, kInvalidNode);
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const NodeId p = static_cast<NodeId>(rng.uniformInt(v));
+    parent[v] = p;
+    const DelayMs base = rng.uniformReal(min_base_delay, max_base_delay);
+    topo.graph.addEdge(p, v, rng.uniformReal(base, 2.0 * base));
+  }
+  topo.tree = MulticastTree(topo.source, std::move(parent));
+
+  topo.clients = topo.tree.leaves();
+  std::erase(topo.clients, topo.source);
+  std::sort(topo.clients.begin(), topo.clients.end());
+  return topo;
+}
+
 }  // namespace rmrn::net

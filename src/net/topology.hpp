@@ -70,6 +70,29 @@ struct Topology {
 [[nodiscard]] Topology generateTopology(const TopologyConfig& config,
                                         util::Rng& rng);
 
+/// Pure-tree topology for scale sweeps: the backbone IS a uniform random
+/// tree (Prüfer, no extra links), the multicast tree is its unique spanning
+/// tree rooted at a random source (BFS parent extraction — Wilson's walk
+/// would be pointless on a tree), and the clients are the leaves (~n/e of
+/// them).  O(n) end to end, so million-node groups generate in well under a
+/// second.  Pair with Routing's tree-metric mode, which is exact on tree
+/// backbones.  Deterministic in (num_nodes, delay range, rng state).
+[[nodiscard]] Topology generateTreeTopology(std::uint32_t num_nodes,
+                                            util::Rng& rng,
+                                            DelayMs min_base_delay = 1.0,
+                                            DelayMs max_base_delay = 10.0);
+
+/// Shallow pure-tree topology: a random recursive tree (each node attaches
+/// to a uniform earlier node; the source is node 0), giving O(log n)
+/// expected depth — the shape of real multicast distribution trees, whereas
+/// uniform Prüfer trees grow Θ(sqrt(n)) deep.  Depth bounds the per-client
+/// candidate-list length, so this is the generator the planner scale sweeps
+/// use.  Clients are the leaves (~n/2 of them); O(n) end to end.
+/// Deterministic in (num_nodes, delay range, rng state).
+[[nodiscard]] Topology generateShallowTreeTopology(
+    std::uint32_t num_nodes, util::Rng& rng, DelayMs min_base_delay = 1.0,
+    DelayMs max_base_delay = 10.0);
+
 /// Uniform random labelled tree on n >= 2 nodes via a random Prüfer sequence.
 /// Returned as an edge list (parentless representation).
 [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> randomPruferTree(

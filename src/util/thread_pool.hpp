@@ -21,7 +21,10 @@
 namespace rmrn::util {
 
 /// Resolves a user-facing thread-count setting: 0 means "use the hardware",
-/// i.e. std::thread::hardware_concurrency() (at least 1).
+/// i.e. std::thread::hardware_concurrency() (at least 1).  Non-zero requests
+/// are clamped to the hardware concurrency — extra lanes beyond the core
+/// count cannot help the pool's compute-bound parallelFor loops and
+/// measurably regress single-core hosts.
 [[nodiscard]] unsigned resolveThreadCount(unsigned requested);
 
 class ThreadPool {

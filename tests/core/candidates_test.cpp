@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace rmrn::core {
@@ -96,13 +97,20 @@ TEST(CompetitiveClassesTest, DeeperClient) {
   EXPECT_EQ(classes[1].peers, (std::vector<NodeId>{3, 4}));
 }
 
-TEST(CompetitiveClassesTest, ThrowsOnNonMember) {
+#if RMRN_CHECKS_ENABLED
+TEST(CompetitiveClassesTest, RejectsNonMembers) {
   const Fixture f;
+  util::ScopedCheckPolicy scoped(util::CheckPolicy::kThrow);
   EXPECT_THROW(competitiveClasses(42, f.topo.tree, f.topo.clients),
-               std::invalid_argument);
+               util::ContractViolation);
   EXPECT_THROW(competitiveClasses(3, f.topo.tree, {42}),
-               std::invalid_argument);
+               util::ContractViolation);
+  EXPECT_THROW(selectCandidates(42, f.topo.tree, f.routing, f.topo.clients),
+               util::ContractViolation);
+  EXPECT_THROW(selectCandidates(3, f.topo.tree, f.routing, {42}),
+               util::ContractViolation);
 }
+#endif  // RMRN_CHECKS_ENABLED
 
 TEST(SelectCandidatesTest, OnePerClassMinRtt) {
   const Fixture f;
@@ -167,6 +175,19 @@ TEST(SelectCandidatesTest, NoPeersNoCandidates) {
   t.clients = {2};
   const net::Routing routing(t.graph);
   EXPECT_TRUE(selectCandidates(2, t.tree, routing, t.clients).empty());
+}
+
+TEST(SelectCandidatesTest, IntoVariantMatchesAndReusesBuffers) {
+  const Fixture f;
+  const net::LcaIndex index(f.topo.tree);
+  CandidateScratch scratch;
+  std::vector<Candidate> out;
+  for (const NodeId u : f.topo.clients) {
+    selectCandidatesInto(u, f.topo.tree, index, f.routing, f.topo.clients,
+                         scratch, out);
+    EXPECT_EQ(out, selectCandidates(u, f.topo.tree, f.routing, f.topo.clients))
+        << "client " << u;
+  }
 }
 
 // Property test on random topologies: at most one candidate per root-path

@@ -1,0 +1,315 @@
+#include "core/group_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/multicast_tree.hpp"
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+using net::kInvalidNode;
+using net::MulticastTree;
+using net::NodeId;
+
+// Reference partition computed the slow way: brute-force subtree counts,
+// then each client's shard root is its shallowest ancestor whose subtree
+// holds at most K clients (the client itself when none qualifies).
+using RefShard = std::pair<NodeId, std::vector<NodeId>>;  // root -> clients
+
+std::map<NodeId, std::vector<NodeId>> referencePartition(
+    const MulticastTree& tree, const std::vector<NodeId>& clients,
+    std::uint32_t k) {
+  std::set<NodeId> client_set(clients.begin(), clients.end());
+  const auto countSubtree = [&](NodeId v) {
+    std::size_t c = 0;
+    for (const NodeId m : tree.subtreeMembers(v)) c += client_set.count(m);
+    return c;
+  };
+  std::map<NodeId, std::vector<NodeId>> shards;
+  for (const NodeId w : clients) {
+    NodeId root = kInvalidNode;
+    for (NodeId a = w; a != kInvalidNode; a = tree.parent(a)) {
+      if (countSubtree(a) > k) break;
+      root = a;
+    }
+    if (root == kInvalidNode) root = w;  // residual singleton
+    shards[root].push_back(w);
+  }
+  for (auto& [root, members] : shards) std::sort(members.begin(), members.end());
+  return shards;
+}
+
+std::map<NodeId, std::vector<NodeId>> livePartition(const GroupPartition& gp) {
+  std::map<NodeId, std::vector<NodeId>> shards;
+  for (std::uint32_t id = 0; id < gp.numSlots(); ++id) {
+    if (!gp.isLive(id)) continue;
+    const Shard& s = gp.shard(id);
+    shards[s.root] = s.clients;
+  }
+  return shards;
+}
+
+class GroupPartitionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GroupPartitionTest, MatchesReferencePartition) {
+  util::Rng rng(GetParam());
+  net::TopologyConfig config;
+  config.num_nodes = 160;
+  const net::Topology topo = net::generateTopology(config, rng);
+
+  for (const std::uint32_t k : {1u, 3u, 8u, 1000u}) {
+    GroupPartition gp(topo.tree, topo.clients, k);
+    EXPECT_EQ(gp.numClients(), topo.clients.size());
+    EXPECT_EQ(livePartition(gp), referencePartition(topo.tree, topo.clients, k));
+
+    // Structural invariants: disjoint coverage, budgets, residual rule.
+    std::size_t covered = 0;
+    for (std::uint32_t id = 0; id < gp.numSlots(); ++id) {
+      if (!gp.isLive(id)) continue;
+      const Shard& s = gp.shard(id);
+      ASSERT_FALSE(s.clients.empty());
+      EXPECT_TRUE(std::is_sorted(s.clients.begin(), s.clients.end()));
+      covered += s.clients.size();
+      if (s.residual) {
+        EXPECT_EQ(s.clients.size(), 1u);
+        EXPECT_EQ(s.clients.front(), s.root);
+        EXPECT_GT(gp.subtreeClients(s.root), k);
+      } else {
+        EXPECT_LE(s.clients.size(), k);
+        EXPECT_LE(gp.subtreeClients(s.root), k);
+      }
+      for (const NodeId w : s.clients) {
+        EXPECT_TRUE(topo.tree.isAncestor(s.root, w));
+        EXPECT_EQ(gp.shardOf(w), id);
+      }
+    }
+    EXPECT_EQ(covered, gp.numClients());
+  }
+}
+
+TEST_P(GroupPartitionTest, ChurnMatchesFreshPartitionAfterEveryStep) {
+  util::Rng rng(GetParam() * 7919 + 1);
+  net::TopologyConfig config;
+  config.num_nodes = 120;
+  const net::Topology topo = net::generateTopology(config, rng);
+  const std::uint32_t k = 4;
+
+  // Start from half the clients; the other half plus every non-client tree
+  // member (internal routers can become receivers too) forms the join pool.
+  std::vector<NodeId> initial, pool;
+  for (std::size_t i = 0; i < topo.clients.size(); ++i) {
+    (i % 2 == 0 ? initial : pool).push_back(topo.clients[i]);
+  }
+  for (const NodeId v : topo.tree.members()) {
+    if (v != topo.source && !topo.isClient(v)) pool.push_back(v);
+  }
+
+  GroupPartition gp(topo.tree, initial, k);
+  std::set<NodeId> current(initial.begin(), initial.end());
+
+  for (int step = 0; step < 200; ++step) {
+    const bool join = current.empty() ||
+                      (!pool.empty() && rng.bernoulli(0.5));
+    if (join) {
+      const std::size_t i = rng.uniformInt(pool.size());
+      const NodeId v = pool[i];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+      const auto& churn = gp.addClient(v);
+      current.insert(v);
+      EXPECT_EQ(gp.shardOf(v) == GroupPartition::kNoShard, false);
+      // The joiner's shard must be among the touched ones.
+      EXPECT_TRUE(std::find(churn.touched.begin(), churn.touched.end(),
+                            gp.shardOf(v)) != churn.touched.end());
+    } else {
+      std::vector<NodeId> cur(current.begin(), current.end());
+      const NodeId v = cur[rng.uniformInt(cur.size())];
+      const auto& churn = gp.removeClient(v);
+      current.erase(v);
+      pool.push_back(v);
+      EXPECT_EQ(gp.shardOf(v), GroupPartition::kNoShard);
+      for (const std::uint32_t id : churn.removed) EXPECT_FALSE(gp.isLive(id));
+    }
+    std::vector<NodeId> cur(current.begin(), current.end());
+    ASSERT_EQ(livePartition(gp), referencePartition(topo.tree, cur, k))
+        << "diverged after step " << step;
+    ASSERT_EQ(gp.numClients(), current.size());
+  }
+}
+
+TEST_P(GroupPartitionTest, ChurnReportsOnlyChangedShards) {
+  // Shards not listed in the churn report must be bitwise unchanged.
+  util::Rng rng(GetParam() * 104729 + 2);
+  net::TopologyConfig config;
+  config.num_nodes = 200;
+  const net::Topology topo = net::generateTopology(config, rng);
+  const std::uint32_t k = 6;
+
+  GroupPartition gp(topo.tree, topo.clients, k);
+  std::vector<NodeId> current = topo.clients;
+
+  for (int step = 0; step < 100; ++step) {
+    auto before = std::map<std::uint32_t, Shard>{};
+    for (std::uint32_t id = 0; id < gp.numSlots(); ++id) {
+      if (gp.isLive(id)) before[id] = gp.shard(id);
+    }
+    const NodeId v = current[rng.uniformInt(current.size())];
+    const auto& churn = gp.removeClient(v);
+    std::set<std::uint32_t> changed(churn.touched.begin(), churn.touched.end());
+    changed.insert(churn.removed.begin(), churn.removed.end());
+    for (const auto& [id, old] : before) {
+      if (changed.count(id)) continue;
+      ASSERT_TRUE(gp.isLive(id));
+      const Shard& now = gp.shard(id);
+      EXPECT_EQ(now.root, old.root);
+      EXPECT_EQ(now.residual, old.residual);
+      EXPECT_EQ(now.clients, old.clients);
+    }
+    const auto& rechurn = gp.addClient(v);  // re-join restores the partition
+    std::set<std::uint32_t> rechanged(rechurn.touched.begin(),
+                                      rechurn.touched.end());
+    rechanged.insert(rechurn.removed.begin(), rechurn.removed.end());
+    for (const auto& [id, old] : before) {
+      if (changed.count(id) || rechanged.count(id)) continue;
+      ASSERT_TRUE(gp.isLive(id));
+      EXPECT_EQ(gp.shard(id).clients, old.clients);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupPartitionTest,
+                         ::testing::Values(11u, 42u, 1234u));
+
+TEST(GroupPartitionChainTest, JoinSplitsAndLeaveMergesOneRegion) {
+  // Chain 0-1-2-3-4 with a side leaf 5 under node 2:
+  //        0 (source)
+  //        |
+  //        1
+  //        |
+  //        2 --- 5
+  //        |
+  //        3
+  //        |
+  //        4
+  std::vector<NodeId> parent(6, kInvalidNode);
+  parent[1] = 0;
+  parent[2] = 1;
+  parent[3] = 2;
+  parent[4] = 3;
+  parent[5] = 2;
+  const MulticastTree tree(0, parent);
+
+  // K=2, clients {4, 5}: the whole group fits the budget, so the shard root
+  // runs all the way up to the tree root -> one shard rooted at 0.
+  const std::vector<NodeId> two = {4, 5};
+  GroupPartition gp(tree, two, 2);
+  ASSERT_EQ(gp.numShards(), 1u);
+  const std::uint32_t first = gp.shardOf(4);
+  EXPECT_EQ(gp.shard(first).root, 0u);
+  EXPECT_FALSE(gp.shard(first).residual);
+
+  // Joining 3 pushes subtree(1) to 3 clients: the region splits into the
+  // subtree(3) shard {3, 4} and the singleton {5}.
+  const auto& churn = gp.addClient(3);
+  EXPECT_EQ(gp.numShards(), 2u);
+  EXPECT_EQ(churn.touched.size(), 2u);
+  EXPECT_TRUE(churn.removed.empty());
+  EXPECT_EQ(gp.shard(gp.shardOf(4)).root, 3u);
+  EXPECT_EQ(gp.shardOf(3), gp.shardOf(4));
+  EXPECT_EQ(gp.shard(gp.shardOf(5)).root, 5u);
+
+  // Leaving again merges the two shards back into one rooted at 0.
+  gp.removeClient(3);
+  ASSERT_EQ(gp.numShards(), 1u);
+  EXPECT_EQ(gp.shard(gp.shardOf(4)).root, 0u);
+  EXPECT_EQ(gp.shardOf(4), gp.shardOf(5));
+}
+
+TEST(GroupPartitionChainTest, InternalClientOverBudgetIsResidualSingleton) {
+  // Star with a long arm: 0 -> 1 -> {2, 3, 4}; client at 1 plus its children.
+  std::vector<NodeId> parent(5, kInvalidNode);
+  parent[1] = 0;
+  for (NodeId v = 2; v <= 4; ++v) parent[v] = 1;
+  const MulticastTree tree(0, parent);
+
+  const std::vector<NodeId> clients = {1, 2, 3, 4};
+  GroupPartition gp(tree, clients, 2);  // subtree(1) holds 4 > K clients
+  const std::uint32_t rid = gp.shardOf(1);
+  ASSERT_NE(rid, GroupPartition::kNoShard);
+  EXPECT_TRUE(gp.shard(rid).residual);
+  EXPECT_EQ(gp.shard(rid).clients, std::vector<NodeId>{1});
+  // The leaf clients shard among themselves (each subtree holds 1 <= K).
+  EXPECT_NE(gp.shardOf(2), rid);
+
+  // Removing two leaves brings the whole group to 2 == K: everything merges
+  // into one non-residual shard (the former residual disappears), rooted at
+  // the tree root since the full group now fits the budget.
+  gp.removeClient(3);
+  gp.removeClient(4);
+  ASSERT_EQ(gp.numShards(), 1u);
+  const Shard& merged = gp.shard(gp.shardOf(1));
+  EXPECT_EQ(merged.root, 0u);
+  EXPECT_FALSE(merged.residual);
+  EXPECT_EQ(merged.clients, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(GroupPartitionChainTest, SlotIdsAreDeterministic) {
+  util::Rng rng(99);
+  net::TopologyConfig config;
+  config.num_nodes = 150;
+  const net::Topology topo = net::generateTopology(config, rng);
+
+  const auto run = [&topo] {
+    GroupPartition gp(topo.tree, topo.clients, 5);
+    std::vector<std::pair<std::uint32_t, NodeId>> trace;
+    util::Rng churn_rng(7);
+    std::vector<NodeId> cur = topo.clients;
+    for (int i = 0; i < 60; ++i) {
+      const std::size_t j = churn_rng.uniformInt(cur.size());
+      const NodeId v = cur[j];
+      gp.removeClient(v);
+      gp.addClient(v);
+      trace.emplace_back(gp.shardOf(v), v);
+    }
+    for (std::uint32_t id = 0; id < gp.numSlots(); ++id) {
+      if (gp.isLive(id)) trace.emplace_back(id, gp.shard(id).root);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+#if RMRN_CHECKS_ENABLED
+TEST(GroupPartitionContractTest, RejectsInvalidClients) {
+  std::vector<NodeId> parent(4, kInvalidNode);
+  parent[1] = 0;
+  parent[2] = 1;
+  parent[3] = 1;
+  const MulticastTree tree(0, parent);
+  const std::vector<NodeId> clients = {2, 3};
+
+  util::ScopedCheckPolicy policy(util::CheckPolicy::kThrow);
+  EXPECT_THROW(GroupPartition(tree, clients, 0), util::ContractViolation);
+  EXPECT_THROW(GroupPartition(tree, std::vector<NodeId>{0}, 2),
+               util::ContractViolation);
+  EXPECT_THROW(GroupPartition(tree, std::vector<NodeId>{2, 2}, 2),
+               util::ContractViolation);
+
+  GroupPartition gp(tree, clients, 2);
+  EXPECT_THROW(gp.addClient(2), util::ContractViolation);   // already a client
+  EXPECT_THROW(gp.addClient(0), util::ContractViolation);   // the source
+  EXPECT_THROW(gp.removeClient(1), util::ContractViolation);  // not a client
+}
+#endif
+
+}  // namespace
+}  // namespace rmrn::core

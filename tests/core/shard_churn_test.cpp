@@ -1,0 +1,254 @@
+// Churn under sharding (DESIGN.md §11): joins and leaves must keep the
+// sharded plans canonical — equal to a fresh ShardPlanner built on the final
+// membership — and, on tree backbones, equal to the flat planner exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/dynamic_planner.hpp"
+#include "core/planner.hpp"
+#include "core/shard_planner.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::core {
+namespace {
+
+using net::NodeId;
+
+void expectSamePlans(const ShardPlanner& a, const ShardPlanner& b,
+                     const std::vector<NodeId>& clients, int step) {
+  for (const NodeId u : clients) {
+    ASSERT_EQ(a.candidatesFor(u), b.candidatesFor(u))
+        << "client " << u << " step " << step;
+    ASSERT_EQ(a.strategyFor(u).peers, b.strategyFor(u).peers)
+        << "client " << u << " step " << step;
+    ASSERT_EQ(a.strategyFor(u).expected_delay_ms,
+              b.strategyFor(u).expected_delay_ms)
+        << "client " << u << " step " << step;
+  }
+}
+
+class ShardChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardChurnTest, ChurnedPlannerEqualsFreshShardedPlanner) {
+  // Graph backbone: the equivalence being tested is canonicality of the
+  // incremental maintenance, independent of the tree-metric exactness.
+  util::Rng rng(GetParam());
+  net::TopologyConfig config;
+  config.num_nodes = 140;
+  net::Topology topo = net::generateTopology(config, rng);
+  const net::Routing routing(topo.graph);
+
+  ShardPlannerOptions options;
+  options.planner.timeout_ms = 80.0;  // fixed: membership-independent
+  options.max_shard_clients = 5;
+  ShardPlanner churned(topo, routing, options);
+
+  std::set<NodeId> current(topo.clients.begin(), topo.clients.end());
+  std::vector<NodeId> pool;  // absent clients available for joining
+  for (int step = 0; step < 60; ++step) {
+    const bool join = !pool.empty() &&
+                      (current.size() < 4 || rng.bernoulli(0.5));
+    if (join) {
+      const std::size_t i = rng.uniformInt(pool.size());
+      const NodeId v = pool[i];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+      churned.addClient(v);
+      current.insert(v);
+      // A join always rebuilds at least the joiner's region.  (A leave can
+      // legitimately touch zero shards: a residual singleton that was
+      // nobody's winning representative vanishes without a trace.)
+      EXPECT_GE(churned.lastReplans(), 1u);
+      EXPECT_GE(churned.lastShardsTouched(), 1u);
+    } else {
+      std::vector<NodeId> cur(current.begin(), current.end());
+      const NodeId v = cur[rng.uniformInt(cur.size())];
+      churned.removeClient(v);
+      current.erase(v);
+      pool.push_back(v);
+    }
+
+    net::Topology fresh_topo = topo;
+    fresh_topo.clients.assign(current.begin(), current.end());
+    const ShardPlanner fresh(fresh_topo, routing, options);
+    ASSERT_EQ(churned.numClients(), current.size());
+    ASSERT_EQ(churned.currentClients(), fresh_topo.clients);
+    expectSamePlans(churned, fresh, fresh_topo.clients, step);
+  }
+}
+
+TEST_P(ShardChurnTest, TreeMetricChurnTracksFlatAndDynamicPlanners) {
+  util::Rng rng(GetParam() * 613 + 7);
+  net::Topology topo = net::generateTreeTopology(250, rng);
+  const net::Routing routing(topo.graph, topo.tree);
+
+  ShardPlannerOptions options;
+  options.planner.timeout_ms = 120.0;
+  options.max_shard_clients = 6;
+  ShardPlanner sharded(topo, routing, options);
+  DynamicPlanner dynamic(topo, routing, options.planner);
+
+  std::set<NodeId> current(topo.clients.begin(), topo.clients.end());
+  // Join pool includes internal tree members: a router can start acting as
+  // a receiver (DynamicPlanner semantics).
+  std::vector<NodeId> pool;
+  for (const NodeId v : topo.tree.members()) {
+    if (v != topo.source && !topo.isClient(v)) pool.push_back(v);
+  }
+
+  for (int step = 0; step < 80; ++step) {
+    const bool join = current.size() < 4 ||
+                      (!pool.empty() && rng.bernoulli(0.5));
+    if (join && !pool.empty()) {
+      const std::size_t i = rng.uniformInt(pool.size());
+      const NodeId v = pool[i];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+      sharded.addClient(v);
+      dynamic.addClient(v);
+      current.insert(v);
+    } else {
+      std::vector<NodeId> cur(current.begin(), current.end());
+      const NodeId v = cur[rng.uniformInt(cur.size())];
+      sharded.removeClient(v);
+      dynamic.removeClient(v);
+      current.erase(v);
+      pool.push_back(v);
+    }
+    // The dynamic planner is proven equivalent to a fresh flat RpPlanner;
+    // tree-metric sharding must match it exactly, client by client.
+    for (const NodeId u : current) {
+      ASSERT_EQ(sharded.candidatesFor(u), dynamic.candidatesFor(u))
+          << "client " << u << " step " << step;
+      ASSERT_EQ(sharded.strategyFor(u).peers, dynamic.strategyFor(u).peers)
+          << "client " << u << " step " << step;
+      ASSERT_EQ(sharded.strategyFor(u).expected_delay_ms,
+                dynamic.strategyFor(u).expected_delay_ms)
+          << "client " << u << " step " << step;
+    }
+  }
+}
+
+TEST_P(ShardChurnTest, ChurnStormIsDeterministic) {
+  util::Rng topo_rng(GetParam() * 7 + 3);
+  const net::Topology topo = net::generateTreeTopology(400, topo_rng);
+  const net::Routing routing(topo.graph, topo.tree);
+
+  ShardPlannerOptions options;
+  options.planner.timeout_ms = 100.0;
+  options.max_shard_clients = 8;
+
+  const auto storm = [&] {
+    ShardPlanner planner(topo, routing, options);
+    util::Rng rng(909);
+    std::vector<NodeId> current = topo.clients;
+    std::vector<std::tuple<NodeId, std::size_t, std::size_t>> trace;
+    for (int step = 0; step < 300; ++step) {
+      const std::size_t i = rng.uniformInt(current.size());
+      const NodeId v = current[i];
+      planner.removeClient(v);
+      trace.emplace_back(v, planner.lastReplans(),
+                         planner.lastShardsTouched());
+      planner.addClient(v);
+      trace.emplace_back(v, planner.lastReplans(),
+                         planner.lastShardsTouched());
+    }
+    double total = 0.0;
+    for (const NodeId u : current) {
+      total += planner.strategyFor(u).expected_delay_ms;
+    }
+    return std::make_pair(trace, total);
+  };
+  const auto a = storm();
+  const auto b = storm();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardChurnTest,
+                         ::testing::Values(21u, 84u, 5150u));
+
+TEST(ShardChurnRepresentativeTest, LeavingRepresentativePromotesSuccessor) {
+  util::Rng rng(1717);
+  const net::Topology topo = net::generateTreeTopology(350, rng);
+  const net::Routing routing(topo.graph, topo.tree);
+
+  ShardPlannerOptions options;
+  options.planner.timeout_ms = 90.0;
+  options.max_shard_clients = 6;
+  ShardPlanner planner(topo, routing, options);
+  ASSERT_GT(planner.partition().numShards(), 2u);
+
+  // Find a client that some *other* shard imported as a representative.
+  NodeId rep = net::kInvalidNode;
+  NodeId importer = net::kInvalidNode;
+  for (const NodeId u : topo.clients) {
+    const std::uint32_t sid = planner.partition().shardOf(u);
+    for (const NodeId p : planner.consideredPeersFor(u)) {
+      if (planner.partition().shardOf(p) != sid) {
+        rep = p;
+        importer = u;
+        break;
+      }
+    }
+    if (rep != net::kInvalidNode) break;
+  }
+  ASSERT_NE(rep, net::kInvalidNode);
+
+  planner.removeClient(rep);
+  // The representative's own region plus at least the importer's shard had
+  // to be revisited.
+  EXPECT_GE(planner.lastShardsTouched(), 2u);
+  for (const NodeId u : planner.currentClients()) {
+    for (const NodeId p : planner.consideredPeersFor(u)) {
+      EXPECT_NE(p, rep);  // the leaver serves nobody anymore
+    }
+    for (const Candidate& c : planner.strategyFor(u).peers) {
+      EXPECT_NE(c.peer, rep);
+    }
+  }
+
+  // Promotion correctness: the importer's plan equals the flat plan on the
+  // reduced membership (tree metric is exact).
+  net::Topology reduced = topo;
+  std::erase(reduced.clients, rep);
+  PlannerOptions flat_options = options.planner;
+  const RpPlanner flat(reduced, routing, flat_options);
+  ASSERT_EQ(planner.candidatesFor(importer), flat.candidatesFor(importer));
+  EXPECT_EQ(planner.strategyFor(importer).expected_delay_ms,
+            flat.strategyFor(importer).expected_delay_ms);
+}
+
+TEST(ShardChurnLocalityTest, NonRepresentativeChurnTouchesOneShard) {
+  util::Rng rng(33);
+  const net::Topology topo = net::generateTreeTopology(800, rng);
+  const net::Routing routing(topo.graph, topo.tree);
+
+  ShardPlannerOptions options;
+  options.planner.timeout_ms = 100.0;
+  options.max_shard_clients = 10;
+  ShardPlanner planner(topo, routing, options);
+
+  // Remove+re-add every client; most are not representatives and must cost
+  // exactly one touched shard per operation.
+  std::size_t single = 0;
+  std::size_t ops = 0;
+  for (const NodeId v : topo.clients) {
+    planner.removeClient(v);
+    single += planner.lastShardsTouched() == 1 ? 1 : 0;
+    ++ops;
+    planner.addClient(v);
+    single += planner.lastShardsTouched() == 1 ? 1 : 0;
+    ++ops;
+  }
+  EXPECT_GT(single, ops / 2);
+  // And the group ends exactly where it started.
+  EXPECT_EQ(planner.currentClients(), topo.clients);
+}
+
+}  // namespace
+}  // namespace rmrn::core

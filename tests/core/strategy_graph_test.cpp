@@ -276,6 +276,44 @@ TEST(Algorithm1Test, OptimalNeverWorseThanAnySingleton) {
   }
 }
 
+// The scratch-backed search must be bit-identical to the materialized
+// StrategyGraph pipeline: same weights in the same relaxation order.
+TEST(Algorithm1Test, IntoVariantIsBitIdenticalToGraphSearch) {
+  util::Rng rng(4242);
+  PlanScratch scratch;
+  Strategy got;
+  for (int round = 0; round < 200; ++round) {
+    const auto ds_u = static_cast<net::HopCount>(1 + rng.uniformInt(10));
+    const auto candidates = randomCandidates(rng, ds_u, 8);
+    const double rtt_source = rng.uniformReal(5.0, 120.0);
+    StrategyGraphOptions options = defaultOptions();
+    if (round % 3 == 1) options.max_list_length = rng.uniformInt(4);
+    if (round % 5 == 2) options.per_peer_timeout_factor = 3.0;
+    // Restricting the source with a zero peer cap would be infeasible.
+    if (round % 7 == 3 && !candidates.empty() && options.max_list_length > 0) {
+      options.allow_direct_source = false;
+    }
+
+    const Strategy expect =
+        searchMinimalDelay(StrategyGraph(ds_u, candidates, rtt_source,
+                                         options));
+    searchMinimalDelayInto(ds_u, candidates, rtt_source, options, scratch,
+                           got);
+    EXPECT_EQ(got.expected_delay_ms, expect.expected_delay_ms);
+    EXPECT_EQ(got.peers, expect.peers);
+  }
+}
+
+TEST(Algorithm1Test, IntoVariantThrowsWhenInfeasible) {
+  StrategyGraphOptions options = defaultOptions();
+  options.allow_direct_source = false;
+  PlanScratch scratch;
+  Strategy out;
+  EXPECT_THROW(
+      searchMinimalDelayInto(3, {}, 40.0, options, scratch, out),
+      std::logic_error);
+}
+
 TEST(BruteForceTest, RejectsHugeInstances) {
   std::vector<Candidate> candidates;
   for (std::uint32_t i = 0; i < 30; ++i) {

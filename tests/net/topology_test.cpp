@@ -293,6 +293,55 @@ TEST(WaxmanTest, RejectsBadParameters) {
   EXPECT_THROW(generateTopology(config, rng), std::invalid_argument);
 }
 
+TEST(ShallowTreeTopologyTest, IsAValidShallowMulticastTree) {
+  util::Rng rng(91);
+  constexpr std::uint32_t kN = 20000;
+  const Topology topo = generateShallowTreeTopology(kN, rng);
+
+  EXPECT_EQ(topo.source, 0u);
+  EXPECT_EQ(topo.graph.numEdges(), kN - 1);
+  EXPECT_EQ(topo.tree.numMembers(), kN);
+
+  // A random recursive tree has ~ln(n) expected depth (vs Θ(sqrt(n)) for a
+  // uniform Prüfer tree): ln(20000) ≈ 9.9, so even with slack the maximum
+  // depth stays far below sqrt(20000) ≈ 141.
+  HopCount max_depth = 0;
+  for (const NodeId v : topo.tree.members()) {
+    max_depth = std::max(max_depth, topo.tree.depth(v));
+  }
+  EXPECT_GE(max_depth, 5u);
+  EXPECT_LT(max_depth, 60u);
+
+  // Clients are exactly the sorted leaves (the root has children here, so no
+  // source exclusion fires); roughly half the nodes of a recursive tree.
+  std::vector<NodeId> leaves = topo.tree.leaves();
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_EQ(topo.clients, leaves);
+  EXPECT_GT(topo.clients.size(), kN / 3);
+  EXPECT_LT(topo.clients.size(), 2 * kN / 3);
+}
+
+TEST(ShallowTreeTopologyTest, DeterministicGivenSeed) {
+  util::Rng rng1(92);
+  util::Rng rng2(92);
+  const Topology a = generateShallowTreeTopology(500, rng1);
+  const Topology b = generateShallowTreeTopology(500, rng2);
+  EXPECT_EQ(a.clients, b.clients);
+  for (NodeId v = 1; v < 500; ++v) {
+    EXPECT_EQ(a.tree.parent(v), b.tree.parent(v));
+  }
+}
+
+TEST(ShallowTreeTopologyTest, RejectsBadArguments) {
+  util::Rng rng(93);
+  EXPECT_THROW((void)generateShallowTreeTopology(2, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)generateShallowTreeTopology(10, rng, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)generateShallowTreeTopology(10, rng, 5.0, 1.0),
+               std::invalid_argument);
+}
+
 TEST(TopologyTest, ClientFractionMatchesPaperScale) {
   // The paper reports n=500 -> k=208 etc., i.e. k/n between roughly 0.28
   // and 0.45 (a uniform random tree has ~n/e leaves).  Check the generator

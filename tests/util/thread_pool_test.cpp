@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace rmrn::util {
@@ -13,12 +16,21 @@ namespace {
 TEST(ResolveThreadCountTest, ZeroMeansHardware) {
   EXPECT_GE(resolveThreadCount(0), 1u);
   EXPECT_EQ(resolveThreadCount(1), 1u);
-  EXPECT_EQ(resolveThreadCount(7), 7u);
+}
+
+TEST(ResolveThreadCountTest, ClampsToHardwareConcurrency) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(resolveThreadCount(0), hw);
+  EXPECT_EQ(resolveThreadCount(7), std::min(7u, hw));
+  // Oversubscription is impossible: any request beyond the core count
+  // resolves to exactly the core count.
+  EXPECT_EQ(resolveThreadCount(hw + 7), hw);
+  EXPECT_EQ(resolveThreadCount(std::numeric_limits<unsigned>::max()), hw);
 }
 
 TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
-  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.size(), resolveThreadCount(4));
   constexpr std::size_t kCount = 10'000;
   std::vector<std::atomic<int>> hits(kCount);
   pool.parallelFor(0, kCount, [&](std::size_t i) {
