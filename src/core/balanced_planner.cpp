@@ -42,6 +42,7 @@ std::vector<PeerLoad> sortedLoads(
     const std::unordered_map<net::NodeId, double>& load) {
   std::vector<PeerLoad> result;
   result.reserve(load.size());
+  // rmrn-lint: allow(DET-2) collected into a vector and fully sorted below (total order with peer tiebreak)
   for (const auto& [peer, requests] : load) {
     result.push_back({peer, requests});
   }
@@ -164,8 +165,13 @@ BalancedPlanner::BalancedPlanner(const net::Topology& topology,
     loads_ = sortedLoads(load);
     const double round_max =
         loads_.empty() ? 0.0 : loads_.front().expected_requests;
+    // Client order, not hash-walk order (DET-2): the FP summation order
+    // feeds the best-round comparison, so it must be stable across standard
+    // libraries, not just across runs.
     double delay_sum = 0.0;
-    for (const auto& [u, s] : strategies_) delay_sum += s.expected_delay_ms;
+    for (const net::NodeId u : topology.clients) {
+      delay_sum += strategies_.at(u).expected_delay_ms;
+    }
     const double round_mean_delay =
         strategies_.empty()
             ? 0.0
@@ -180,23 +186,29 @@ BalancedPlanner::BalancedPlanner(const net::Topology& topology,
 
     // Converged when the plan repeats.
     bool same = !previous.empty();
-    for (const auto& [u, s] : strategies_) {
+    for (const net::NodeId u : topology.clients) {
       const auto it = previous.find(u);
-      same = same && it != previous.end() && it->second.peers == s.peers;
+      same = same && it != previous.end() &&
+             it->second.peers == strategies_.at(u).peers;
     }
     if (same) break;
     previous = strategies_;
 
     // Damped penalty update from this round's loads (full recomputation
     // oscillates: the load just migrates to the next-best peer and back).
+    // Sum over loads_ (the sorted mirror of `load`) so the FP accumulation
+    // order is canonical (DET-2), and apply the penalty bumps in the same
+    // sorted order.
     double total = 0.0;
-    for (const auto& [peer, requests] : load) total += requests;
+    for (const PeerLoad& entry : loads_) total += entry.expected_requests;
     const double mean =
         load.empty() ? 0.0 : total / static_cast<double>(load.size());
+    // rmrn-lint: allow(DET-2) independent per-entry decay, no cross-entry accumulation
     for (auto& [peer, value] : penalty) value *= 0.5;  // decay
-    for (const auto& [peer, requests] : load) {
-      if (requests > mean) {
-        penalty[peer] += 0.5 * options.load_penalty_ms * (requests - mean);
+    for (const PeerLoad& entry : loads_) {
+      if (entry.expected_requests > mean) {
+        penalty[entry.peer] +=
+            0.5 * options.load_penalty_ms * (entry.expected_requests - mean);
       }
     }
   }

@@ -77,6 +77,7 @@ void DynamicPlanner::addClient(net::NodeId v) {
 
   // The joiner can only displace the candidate of its own class w.r.t.
   // each existing client.
+  // rmrn-lint: allow(DET-2) independent per-client update; no cross-entry accumulation or event emission
   for (auto& [u, state] : state_) {
     if (lca_.lca(u, v) == u) continue;  // joiner inside u's subtree: useless
     const net::HopCount ds = lca_.lcaDepth(u, v);
@@ -121,6 +122,7 @@ void DynamicPlanner::removeClient(net::NodeId v) {
   last_replans_ = 0;
 
   // Only clients whose candidate was v need a new class representative.
+  // rmrn-lint: allow(DET-2) independent per-client update; no cross-entry accumulation or event emission
   for (auto& [u, state] : state_) {
     const auto it = std::find_if(
         state.candidates.begin(), state.candidates.end(),

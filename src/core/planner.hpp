@@ -45,6 +45,11 @@ struct PlannerOptions {
   bool audit = false;
 };
 
+// Thread-safety (DESIGN.md §12): immutable-after-build.  Construction may
+// plan clients in parallel (options.num_threads), but workers write disjoint
+// pre-sized slots over read-only shared state and the constructor joins
+// before returning; afterwards every public const method is safe to call
+// concurrently.  No lock-protected members — nothing to RMRN_GUARDED_BY.
 class RpPlanner {
  public:
   /// Plans strategies for all clients of `topology`.  When

@@ -10,6 +10,7 @@
 
 namespace rmrn::core {
 
+// rmrn-lint: init-phase
 ShardPlanner::ShardPlanner(const net::Topology& topology,
                            const net::Routing& routing,
                            ShardPlannerOptions options)
@@ -116,6 +117,7 @@ void ShardPlanner::buildExt(std::uint32_t id) {
   // [0, depth]; the top slot is hit only by shards nested under a residual
   // root (their contributions later self-skip in candidate selection for
   // the residual client itself, and compete normally for everyone else).
+  // rmrn-lint: allow(HOT-1) retained-capacity scratch; ShardChurnAllocTest pins zero steady-state allocation
   ext_depth_best_.assign(depth + 1, net::kInvalidNode);
   for (std::uint32_t b = 0; b < partition_.numSlots(); ++b) {
     if (b == id || !partition_.isLive(b)) continue;
@@ -128,11 +130,13 @@ void ShardPlanner::buildExt(std::uint32_t id) {
   state.ext.clear();
   for (net::HopCount ds = 0; ds <= depth; ++ds) {
     if (ext_depth_best_[ds] != net::kInvalidNode) {
+      // rmrn-lint: allow(HOT-1) ext list reuses retained capacity; ShardChurnAllocTest pins zero steady-state allocation
       state.ext.push_back(ExtEntry{ds, ext_depth_best_[ds]});
     }
   }
 }
 
+// rmrn-lint: init-phase
 void ShardPlanner::bulkBuildExt(const std::vector<std::uint32_t>& live) {
   const net::MulticastTree& tree = topology_->tree;
   const std::size_t n = tree.numMembers();
@@ -204,8 +208,10 @@ void ShardPlanner::buildConsider(std::uint32_t id,
                                  std::vector<net::NodeId>& out) const {
   out.clear();
   for (const net::NodeId w : partition_.shard(id).clients) {
+    // rmrn-lint: allow(HOT-1) caller-owned scratch, retained capacity; ShardChurnAllocTest pins zero steady-state allocation
     if (!excluded_[idx(w)]) out.push_back(w);
   }
+  // rmrn-lint: allow(HOT-1) caller-owned scratch, retained capacity; ShardChurnAllocTest pins zero steady-state allocation
   for (const ExtEntry& e : shard_states_[id].ext) out.push_back(e.rep);
 }
 
@@ -216,6 +222,7 @@ bool ShardPlanner::planClient(net::NodeId u,
   selectCandidatesInto(u, topology_->tree, lca_, *routing_, consider,
                        arena.cand, arena.tmp);
   if (!force && st.planned && arena.tmp == st.candidates) return false;
+  // rmrn-lint: allow(HOT-1) per-client list keeps its capacity across replans; ShardChurnAllocTest pins zero steady-state allocation
   st.candidates.assign(arena.tmp.begin(), arena.tmp.end());
   searchMinimalDelayInto(topology_->tree.depth(u), st.candidates,
                          srtt_[idx(u)], graph_options_, arena.plan,
@@ -255,7 +262,9 @@ void ShardPlanner::applyChurn(const GroupPartition::Churn& churn) {
   last_replans_ = 0;
   last_shards_touched_ = 0;
   if (shard_states_.size() < partition_.numSlots()) {
+    // rmrn-lint: allow(HOT-1) grows only when the partition adds shard slots — an amortized, rare event
     shard_states_.resize(partition_.numSlots());
+    // rmrn-lint: allow(HOT-1) grows only when the partition adds shard slots — an amortized, rare event
     in_changed_.resize(partition_.numSlots(), 0);
   }
 
@@ -361,6 +370,7 @@ void ShardPlanner::applyChurn(const GroupPartition::Churn& churn) {
           ext_changed = true;
         }
       } else {
+        // rmrn-lint: allow(HOT-1) ext list keeps its capacity across churn; ShardChurnAllocTest pins zero steady-state allocation
         ext.insert(it, ExtEntry{ds, winner});
         ext_changed = true;
       }
@@ -414,10 +424,12 @@ const std::vector<Candidate>& ShardPlanner::candidatesFor(
 
 std::vector<net::NodeId> ShardPlanner::currentClients() const {
   std::vector<net::NodeId> result;
+  // rmrn-lint: allow(HOT-1) diagnostic query API, not on the churn hot path
   result.reserve(partition_.numClients());
   for (std::uint32_t id = 0; id < partition_.numSlots(); ++id) {
     if (!partition_.isLive(id)) continue;
     const Shard& shard = partition_.shard(id);
+    // rmrn-lint: allow(HOT-1) diagnostic query API, not on the churn hot path
     result.insert(result.end(), shard.clients.begin(), shard.clients.end());
   }
   std::sort(result.begin(), result.end());
@@ -458,12 +470,14 @@ AuditReport ShardPlanner::auditAll() const {
     // audit then proves each plan optimal for its restricted peer set.
     banned.clear();
     for (const net::NodeId c : topology_->clients) {
+      // rmrn-lint: allow(HOT-1) audit path, invoked offline, not steady-state
       if (!considered[idx(c)]) banned.push_back(c);
     }
     for (const net::NodeId u : partition_.shard(id).clients) {
       const AuditReport one = auditor.auditStrategyExcluding(
           u, state_[idx(u)].strategy, audit_options, banned);
       report.clients_checked += one.clients_checked;
+      // rmrn-lint: allow(HOT-1) audit path, invoked offline, not steady-state
       report.violations.insert(report.violations.end(),
                                one.violations.begin(), one.violations.end());
     }

@@ -60,6 +60,14 @@ struct ShardPlannerOptions {
   std::uint32_t max_shard_clients = 64;
 };
 
+// Thread-safety (DESIGN.md §12): immutable-after-build for queries, but
+// externally synchronized for mutation.  The constructor may plan shards in
+// parallel (each worker owns a private Arena and writes disjoint per-member
+// plan slots; the one shared write, shard_states_[id], is its own slot per
+// worker).  join()/leave() churn is single-threaded by contract — it mutates
+// the partition, the external tables and the shared arena_ — so a caller
+// interleaving churn with concurrent queries must serialize them.  No
+// lock-protected members — nothing to RMRN_GUARDED_BY.
 class ShardPlanner {
  public:
   /// Plans for `topology.clients`.  The topology and routing must outlive

@@ -42,6 +42,14 @@ namespace rmrn::net {
 class MulticastTree;
 class LcaIndex;
 
+// Thread-safety (DESIGN.md §12): immutable-after-build in dense/sparse/tree
+// modes — every public const method is safe to call concurrently once the
+// constructor returns (the parallel table build is internal and joins before
+// returning).  Lazy mode is additionally thread-safe for concurrent queries
+// without any lock: lazy_rows_ slots are published nullptr -> row exactly
+// once via release-CAS (acquire loads), so there is no mutex to annotate —
+// the discipline is pinned by the TSan CI job and the routing determinism
+// tests instead of RMRN_GUARDED_BY.
 class Routing {
  public:
   /// Tag selecting the lazy table shape.

@@ -149,6 +149,7 @@ void ParityProtocol::onSessionAbandoned(net::NodeId client, std::uint64_t seq) {
 
 std::size_t ParityProtocol::openSessions() const {
   std::size_t open = 0;
+  // rmrn-lint: allow(DET-2) commutative integer accumulation
   for (const auto& [unused, state] : client_blocks_) {
     open += state.missing.size();
   }
@@ -156,6 +157,7 @@ std::size_t ParityProtocol::openSessions() const {
 }
 
 void ParityProtocol::onClientCrashed(net::NodeId client) {
+  // rmrn-lint: allow(DET-2) per-key erase sweep; cancel order only permutes the slab free list, never (time, seq) event order
   for (auto it = client_blocks_.begin(); it != client_blocks_.end();) {
     if (static_cast<net::NodeId>(it->first >> 32) == client) {
       if (it->second.timer_armed) simulator().cancel(it->second.retry_timer);

@@ -79,6 +79,7 @@ bool PeerHealth::blacklisted(net::NodeId client, net::NodeId target) const {
 std::vector<net::NodeId> PeerHealth::blacklistedTargets(
     net::NodeId client) const {
   std::vector<net::NodeId> dead;
+  // rmrn-lint: allow(DET-2) collected into a vector and fully sorted below
   for (const auto& [key, s] : state_) {
     if (s.blacklisted && (key >> 32) == client) {
       dead.push_back(static_cast<net::NodeId>(key & 0xffffffffULL));

@@ -42,6 +42,8 @@ struct PeerHealthConfig {
   std::uint32_t retry_budget = 64;
 };
 
+// Thread-safety (DESIGN.md §12): externally synchronized — owned by one
+// RecoveryProtocol and touched only from the simulator's event loop.
 class PeerHealth {
  public:
   explicit PeerHealth(const PeerHealthConfig& config);

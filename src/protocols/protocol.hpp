@@ -48,6 +48,13 @@ struct ProtocolConfig {
   double session_deadline_ms = 0.0;
 };
 
+// Thread-safety (DESIGN.md §12): externally synchronized.  A protocol's
+// shared state (session maps, dedup watermarks, PeerHealth) is driven solely
+// by the owning simulator's single event loop — handlers never run
+// concurrently, so there are no locks to annotate.  Anything that moves
+// protocol handlers onto multiple shards (ROADMAP item 1) must either keep a
+// protocol instance per shard or introduce util::Mutex-guarded state with
+// RMRN_GUARDED_BY annotations.
 class RecoveryProtocol : public sim::EventSink {
  public:
   RecoveryProtocol(sim::SimNetwork& network, metrics::RecoveryMetrics& metrics,

@@ -151,6 +151,7 @@ void RpProtocol::onSessionAbandoned(net::NodeId client, std::uint64_t seq) {
 }
 
 void RpProtocol::onClientCrashed(net::NodeId client) {
+  // rmrn-lint: allow(DET-2) per-key erase sweep; cancel order only permutes the slab free list, never (time, seq) event order
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (static_cast<net::NodeId>(it->first >> 32) == client) {
       if (it->second.timer_armed) simulator().cancel(it->second.timer);

@@ -149,6 +149,7 @@ void SrmProtocol::onSessionAbandoned(net::NodeId client, std::uint64_t seq) {
 void SrmProtocol::onClientCrashed(net::NodeId client) {
   // Silence both roles of the crashed member: its pending requests and any
   // repair it was about to multicast.
+  // rmrn-lint: allow(DET-2) per-key erase sweep; cancel order only permutes the slab free list, never (time, seq) event order
   for (auto it = want_.begin(); it != want_.end();) {
     if (static_cast<net::NodeId>(it->first >> 32) == client) {
       if (it->second.armed) simulator().cancel(it->second.timer);
@@ -157,6 +158,7 @@ void SrmProtocol::onClientCrashed(net::NodeId client) {
       ++it;
     }
   }
+  // rmrn-lint: allow(DET-2) per-key erase sweep; cancel order only permutes the slab free list, never (time, seq) event order
   for (auto it = repairing_.begin(); it != repairing_.end();) {
     if (static_cast<net::NodeId>(it->first >> 32) == client) {
       if (it->second.armed) simulator().cancel(it->second.timer);

@@ -13,10 +13,12 @@ std::uint32_t EventQueue::acquireSlotSlow() {
   if (slots_.size() >= kMaxSlots) {
     throw std::length_error("EventQueue: more than 2^20 pending events");
   }
+  // rmrn-lint: allow(HOT-1) slab warm-up: grows once per high-water mark, then slots recycle (alloc_tests)
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
+// rmrn-lint: allow(HOT-1) compat closure lane; the typed lane (scheduleEvent) is the allocation-free hot path
 EventId EventQueue::schedule(TimeMs at, std::function<void()> action) {
   if (!std::isfinite(at)) {
     throw std::invalid_argument("EventQueue: non-finite event time");
@@ -32,6 +34,7 @@ EventId EventQueue::schedule(TimeMs at, std::function<void()> action) {
     closures_[closure] = std::move(action);
   } else {
     closure = static_cast<std::uint32_t>(closures_.size());
+    // rmrn-lint: allow(HOT-1) closure-shell arena warm-up; shells recycle via free_closures_
     closures_.push_back(std::move(action));
   }
   Slot& s = slots_[slot];
@@ -58,6 +61,7 @@ void EventQueue::maybeCompact() {
   for (const HeapEntry& entry : heap_) {
     if (!entryDead(entry)) heap_[kept++] = entry;
   }
+  // rmrn-lint: allow(HOT-1) shrinking resize: kept <= size(), so capacity is retained, never reallocated
   heap_.resize(kept);
   dead_in_heap_ = 0;
   // Floyd heap construction over the surviving entries.  The start index

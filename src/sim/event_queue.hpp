@@ -43,6 +43,7 @@ class EventQueue {
   /// Closure lane: schedules `action` at absolute time `at`.  Returns a
   /// handle usable with cancel().  Throws std::invalid_argument for
   /// non-finite times or an empty action.
+  // rmrn-lint: allow(HOT-1) compat closure lane; the typed lane (scheduleEvent) is the allocation-free hot path
   EventId schedule(TimeMs at, std::function<void()> action);
 
   /// Typed lane: schedules `record` for dispatch to `sink->onEvent()`.
@@ -65,6 +66,7 @@ class EventQueue {
     EventId id = 0;
     EventRecord record;
     EventSink* sink = nullptr;
+    // rmrn-lint: allow(HOT-1) compat closure lane; empty (no allocation) for typed-lane events
     std::function<void()> action;  // closure lane only
 
     /// Runs the event: invokes the closure or dispatches to the sink.
@@ -160,6 +162,7 @@ class EventQueue {
     if (s.kind == EventKind::kClosure) {
       // Release the captured state now; the std::function shell is recycled.
       closures_[s.data.closure] = nullptr;
+      // rmrn-lint: allow(HOT-1) free list reuses retained capacity; alloc_tests pin the zero-allocation data plane
       free_closures_.push_back(s.data.closure);
     }
     s.sink = nullptr;
@@ -181,6 +184,7 @@ class EventQueue {
     }
     const std::uint64_t seq = next_seq_++;
     slots_[slot].seq = seq;
+    // rmrn-lint: allow(HOT-1) heap grows to the pending-event high-water mark, then reuses capacity (alloc_tests)
     heap_.push_back(HeapEntry{at, (seq << kSlotBits) | slot});
     siftUp(heap_.size() - 1);
     ++live_;
@@ -226,6 +230,7 @@ class EventQueue {
   // the top mutates no observable state, hence mutable for const queries.
   mutable std::vector<HeapEntry> heap_;
   mutable std::size_t dead_in_heap_ = 0;
+  // rmrn-lint: allow(HOT-1) compat closure lane shells, recycled via free_closures_
   std::vector<std::function<void()>> closures_;
   std::vector<std::uint32_t> free_closures_;
   std::uint64_t next_seq_ = 0;

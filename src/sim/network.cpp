@@ -9,6 +9,7 @@
 
 namespace rmrn::sim {
 
+// rmrn-lint: init-phase
 SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
                        const net::Routing& routing, double loss_prob,
                        util::Rng rng)
@@ -68,6 +69,8 @@ SimNetwork::SimNetwork(Simulator& simulator, const net::Topology& topology,
       } else {
         edge_id_[i] = edge_id_[edgeSlot(w, v)];  // mirror from w's row
       }
+      // NOLINTNEXTLINE(bugprone-unchecked-optional-access): w comes from
+      // v's own adjacency row, so the edge (and its delay) must exist.
       edge_delay_[i] = *topology_.graph.edgeDelay(v, w);
     }
   }
@@ -294,10 +297,13 @@ std::uint32_t SimNetwork::acquirePath() {
     path_refs_[path] = 1;
     return path;
   }
+  // rmrn-lint: allow(HOT-1) arena warm-up: grows once per high-water mark, then slots recycle
   paths_.emplace_back();
   // A simple route visits at most every node; reserving up front means no
   // route written into this slot ever reallocates.
+  // rmrn-lint: allow(HOT-1) arena warm-up: grows once per high-water mark, then slots recycle
   paths_.back().reserve(topology_.graph.numNodes());
+  // rmrn-lint: allow(HOT-1) arena warm-up: grows once per high-water mark, then slots recycle
   path_refs_.push_back(1);
   return static_cast<std::uint32_t>(paths_.size() - 1);
 }
@@ -307,6 +313,7 @@ void SimNetwork::pathAddRef(std::uint32_t path) { ++path_refs_[path]; }
 void SimNetwork::releasePath(std::uint32_t path) {
   RMRN_REQUIRE(path_refs_[path] > 0, "path arena refcount underflow");
   if (--path_refs_[path] == 0) {
+    // rmrn-lint: allow(HOT-1) free list reuses retained capacity; alloc_tests pin the zero-allocation data plane
     free_paths_.push_back(path);  // the slot keeps its capacity for reuse
   }
 }
@@ -316,10 +323,13 @@ std::uint32_t SimNetwork::acquirePattern(const LinkLossPattern& loss) {
   if (!free_patterns_.empty()) {
     pattern = free_patterns_.back();
     free_patterns_.pop_back();
+    // rmrn-lint: allow(HOT-1) recycled slot assign reuses retained capacity
     patterns_[pattern].assign(loss.begin(), loss.end());
   } else {
     pattern = static_cast<std::uint32_t>(patterns_.size());
+    // rmrn-lint: allow(HOT-1) arena warm-up: grows once per high-water mark, then slots recycle
     patterns_.push_back(loss);
+    // rmrn-lint: allow(HOT-1) arena warm-up: grows once per high-water mark, then slots recycle
     pattern_refs_.push_back(0);
   }
   pattern_refs_[pattern] = 1;
@@ -332,6 +342,7 @@ void SimNetwork::patternAddRef(std::uint32_t pattern) {
 
 void SimNetwork::patternRelease(std::uint32_t pattern) {
   RMRN_REQUIRE(pattern_refs_[pattern] > 0, "pattern arena refcount underflow");
+  // rmrn-lint: allow(HOT-1) free list reuses retained capacity; alloc_tests pin the zero-allocation data plane
   if (--pattern_refs_[pattern] == 0) free_patterns_.push_back(pattern);
 }
 

@@ -76,8 +76,8 @@ struct NetworkStats {
 
 class SimNetwork final : public EventSink {
  public:
-  using DeliveryHandler =
-      std::function<void(net::NodeId at, const Packet& packet)>;
+  // rmrn-lint: allow(HOT-1) installed once at setup; steady-state delivery only invokes it
+  using DeliveryHandler = std::function<void(net::NodeId, const Packet&)>;
 
   /// `loss_prob` applies per link traversal to every packet.  The topology
   /// and routing must outlive the network.

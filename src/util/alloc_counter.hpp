@@ -6,6 +6,11 @@
 // it, so ordinary binaries keep the default allocator.  The wrappers call
 // malloc/free (never a private pool), so ASan/TSan still interpose and heap
 // diagnostics keep working.
+//
+// Thread-safety (DESIGN.md §12): lock-free.  The counters are relaxed
+// atomics — any thread may allocate concurrently; allocCounts() snapshots
+// are only meaningful between quiescent points (which is how every caller
+// uses them).  No locks, so nothing to RMRN_GUARDED_BY.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,77 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// The repo's concurrency invariants were historically enforced only
+// dynamically (TSan CI job, parallel-determinism tests).  These macros move
+// the lock discipline into the type system: members tagged RMRN_GUARDED_BY
+// can only be touched while their mutex is held, functions tagged
+// RMRN_REQUIRES can only be called with the capability held, and violations
+// are *compile errors* under clang with -Werror=thread-safety (the
+// `RMRN_WERROR` CMake option turns this on; the `thread-safety` CI job builds
+// that configuration).  GCC and MSVC see empty macros, so nothing here
+// affects codegen or portability.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// cannot see through std::lock_guard<std::mutex>.  Lock-protected state must
+// therefore use rmrn::util::Mutex / MutexLock (util/mutex.hpp), the annotated
+// wrapper pair, for the analysis to track acquire/release.  See DESIGN.md §12
+// for the annotation conventions (including how lock-free and
+// externally-synchronized classes are documented instead).
+//
+// Macro set and semantics follow the canonical reference in the clang docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   RMRN_CAPABILITY(x)        — the annotated class is a capability (a mutex).
+//   RMRN_SCOPED_CAPABILITY    — RAII class that acquires on construction and
+//                               releases on destruction.
+//   RMRN_GUARDED_BY(x)        — data member readable/writable only with x held.
+//   RMRN_PT_GUARDED_BY(x)     — pointee guarded by x (the pointer itself not).
+//   RMRN_REQUIRES(...)        — caller must hold the listed capabilities.
+//   RMRN_ACQUIRE(...)         — function acquires them (and must not hold them
+//                               on entry).
+//   RMRN_RELEASE(...)         — function releases them.
+//   RMRN_TRY_ACQUIRE(b, ...)  — acquires them iff the function returns b.
+//   RMRN_EXCLUDES(...)        — caller must NOT hold them (deadlock guard).
+//   RMRN_ASSERT_CAPABILITY(x) — runtime assertion that x is held; informs the
+//                               analysis without acquiring.
+//   RMRN_RETURN_CAPABILITY(x) — function returns a reference to capability x.
+//   RMRN_NO_THREAD_SAFETY_ANALYSIS — opt a function out (constructors of the
+//                               wrappers themselves, intentionally racy code).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RMRN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RMRN_THREAD_ANNOTATION
+#define RMRN_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define RMRN_CAPABILITY(x) RMRN_THREAD_ANNOTATION(capability(x))
+#define RMRN_SCOPED_CAPABILITY RMRN_THREAD_ANNOTATION(scoped_lockable)
+#define RMRN_GUARDED_BY(x) RMRN_THREAD_ANNOTATION(guarded_by(x))
+#define RMRN_PT_GUARDED_BY(x) RMRN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define RMRN_ACQUIRED_BEFORE(...) \
+  RMRN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RMRN_ACQUIRED_AFTER(...) \
+  RMRN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define RMRN_REQUIRES(...) \
+  RMRN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define RMRN_REQUIRES_SHARED(...) \
+  RMRN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define RMRN_ACQUIRE(...) \
+  RMRN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RMRN_ACQUIRE_SHARED(...) \
+  RMRN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RMRN_RELEASE(...) \
+  RMRN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RMRN_RELEASE_SHARED(...) \
+  RMRN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RMRN_TRY_ACQUIRE(...) \
+  RMRN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RMRN_EXCLUDES(...) RMRN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RMRN_ASSERT_CAPABILITY(x) \
+  RMRN_THREAD_ANNOTATION(assert_capability(x))
+#define RMRN_RETURN_CAPABILITY(x) RMRN_THREAD_ANNOTATION(lock_returned(x))
+#define RMRN_NO_THREAD_SAFETY_ANALYSIS \
+  RMRN_THREAD_ANNOTATION(no_thread_safety_analysis)

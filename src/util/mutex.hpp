@@ -1,0 +1,71 @@
+// Annotated mutex wrappers: the capability types behind util/annotations.hpp.
+//
+// libstdc++ ships std::mutex without thread-safety attributes, so clang's
+// analysis cannot track std::lock_guard<std::mutex> acquisitions.  Mutex and
+// MutexLock are thin zero-overhead wrappers (everything inlines to the
+// std::mutex calls) that carry the capability annotations, letting
+// RMRN_GUARDED_BY members and RMRN_REQUIRES functions be checked at compile
+// time.  All lock-protected state in the repo uses these instead of a bare
+// std::mutex — see DESIGN.md §12 for the conventions.
+//
+// MutexLock is a scoped capability with explicit unlock()/lock() so code can
+// drop the lock across a compute section (ThreadPool::workerLoop does), and a
+// wait() bridge to std::condition_variable.  Condition waits release and
+// reacquire internally; the capability is held again when wait() returns, so
+// from the analysis' point of view (as with absl::CondVar) the capability is
+// simply held throughout.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace rmrn::util {
+
+class RMRN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RMRN_ACQUIRE() { m_.lock(); }
+  void unlock() RMRN_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() RMRN_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  /// The wrapped mutex, for std APIs that need it (condition variables).
+  /// Locking through the native handle bypasses the analysis — only
+  /// MutexLock::wait should need it.
+  [[nodiscard]] std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over a Mutex.  Acquires on construction, releases on
+/// destruction; unlock()/lock() allow dropping the capability mid-scope and
+/// the analysis tracks the state across them.
+class RMRN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RMRN_ACQUIRE(mu) : lk_(mu->native()) {}
+  ~MutexLock() RMRN_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() RMRN_RELEASE() { lk_.unlock(); }
+  void lock() RMRN_ACQUIRE() { lk_.lock(); }
+
+  /// Blocks on `cv` until notified.  The lock is released while blocked and
+  /// held again on return; callers re-test their predicate in a loop, which
+  /// keeps every guarded read inside the annotated caller (no predicate
+  /// lambda escapes the analysis).
+  void wait(std::condition_variable& cv) { cv.wait(lk_); }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace rmrn::util

@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     stopping_ = true;
   }
   job_cv_.notify_all();
@@ -37,7 +37,7 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     return;
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   fn_ = &fn;
   end_ = end;
   // Chunks small enough to balance uneven iterations, large enough that the
@@ -54,16 +54,18 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
   runChunks();  // the caller is a lane too
 
   lock.lock();
-  done_cv_.wait(lock, [this] { return active_ == 0; });
+  // Explicit predicate loop (not the lambda-predicate wait overload) so the
+  // guarded active_ read stays inside this annotated function.
+  while (active_ != 0) lock.wait(done_cv_);
   fn_ = nullptr;
   if (error_) std::rethrow_exception(error_);
 }
 
 void ThreadPool::workerLoop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (;;) {
-    job_cv_.wait(lock, [&] { return stopping_ || job_id_ != seen; });
+    while (!stopping_ && job_id_ == seen) lock.wait(job_cv_);
     if (stopping_) return;
     seen = job_id_;
     lock.unlock();
@@ -81,7 +83,7 @@ void ThreadPool::runChunks() {
     try {
       for (std::size_t i = start; i < stop; ++i) (*fn_)(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(&mutex_);
       if (!error_) error_ = std::current_exception();
       next_.store(end_, std::memory_order_relaxed);  // abandon the rest
       return;

@@ -6,6 +6,14 @@
 // index range into chunks claimed off an atomic counter, so callers get
 // bit-identical results regardless of the thread count as long as the body
 // only writes its own slot.  std::thread only — no external dependencies.
+//
+// Lock discipline is compiler-checked: mutex_ is an annotated util::Mutex and
+// every member it protects is RMRN_GUARDED_BY(mutex_), so an unlocked access
+// is a compile error under clang -Werror=thread-safety (the `thread-safety`
+// CI job).  The job-payload members (fn_, end_, chunk_, next_) are
+// deliberately NOT guarded: they are published under mutex_ before job_id_ is
+// bumped and read lock-free by workers inside a job — the happens-before edge
+// is the job_id_ handshake, which the dynamic TSan job verifies.
 #pragma once
 
 #include <atomic>
@@ -14,9 +22,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace rmrn::util {
 
@@ -47,29 +57,32 @@ class ThreadPool {
   /// thrown by fn is rethrown here (remaining chunks are abandoned).
   /// Not reentrant: fn must not call parallelFor on the same pool.
   void parallelFor(std::size_t begin, std::size_t end,
-                   const std::function<void(std::size_t)>& fn);
+                   const std::function<void(std::size_t)>& fn)
+      RMRN_EXCLUDES(mutex_);
 
  private:
-  void workerLoop();
-  void runChunks();
+  void workerLoop() RMRN_EXCLUDES(mutex_);
+  void runChunks() RMRN_EXCLUDES(mutex_);
 
   unsigned num_workers_ = 0;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable job_cv_;   // workers: a new job is posted
   std::condition_variable done_cv_;  // caller: all workers left the job
-  std::uint64_t job_id_ = 0;
-  unsigned active_ = 0;  // workers still inside the current job
-  bool stopping_ = false;
+  std::uint64_t job_id_ RMRN_GUARDED_BY(mutex_) = 0;
+  // Workers still inside the current job.
+  unsigned active_ RMRN_GUARDED_BY(mutex_) = 0;
+  bool stopping_ RMRN_GUARDED_BY(mutex_) = false;
+  std::exception_ptr error_ RMRN_GUARDED_BY(mutex_);
 
   // Current job; written under mutex_ before job_id_ is bumped, read-only
-  // until the caller observes active_ == 0.
+  // (and lock-free) until the caller observes active_ == 0.  See the header
+  // comment for why these carry no RMRN_GUARDED_BY.
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t end_ = 0;
   std::size_t chunk_ = 1;
   std::atomic<std::size_t> next_{0};
-  std::exception_ptr error_;
 };
 
 }  // namespace rmrn::util

@@ -1,0 +1,7 @@
+// DET-1 clean fixture: the stream is derived from an explicit seed.
+#include <random>
+
+int draw(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<int>(gen());
+}

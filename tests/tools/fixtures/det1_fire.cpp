@@ -1,0 +1,7 @@
+// DET-1 firing fixture: unseeded entropy.
+#include <random>
+
+int entropy() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

@@ -1,0 +1,8 @@
+// DET-1 suppressed fixture: a justified allow() silences the finding.
+#include <random>
+
+int entropy() {
+  // rmrn-lint: allow(DET-1) fixture exercises a justified suppression
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

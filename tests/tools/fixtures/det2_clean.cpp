@@ -1,0 +1,8 @@
+// DET-2 clean fixture: sorted key views in place of hash walks.
+#include <algorithm>
+#include <vector>
+
+std::vector<int> sortedCopy(std::vector<int> keys) {
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

@@ -1,0 +1,12 @@
+// DET-2 firing fixture: hash-walk iteration over unordered containers.
+#include <unordered_map>
+
+int total(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  for (const auto& [key, value] : counts) sum += value;
+  return sum;
+}
+
+int first(const std::unordered_map<int, int>& counts) {
+  return counts.begin()->second;
+}

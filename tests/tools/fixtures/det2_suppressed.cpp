@@ -1,0 +1,9 @@
+// DET-2 suppressed fixture: a justified allow() silences the finding.
+#include <unordered_map>
+
+int total(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  // rmrn-lint: allow(DET-2) commutative integer accumulation
+  for (const auto& [key, value] : counts) sum += value;
+  return sum;
+}

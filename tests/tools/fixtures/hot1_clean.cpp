@@ -1,0 +1,8 @@
+// HOT-1 clean fixture: growth confined to the init-phase function.
+#include <vector>
+
+// rmrn-lint: init-phase
+void build(std::vector<int>& samples) {
+  samples.reserve(16);
+  samples.push_back(1);
+}

@@ -1,0 +1,9 @@
+// HOT-1 firing fixture: allocation outside an init-phase function.
+#include <functional>
+#include <vector>
+
+void record(std::vector<int>& samples, int value) {
+  samples.push_back(value);
+}
+
+void invoke(const std::function<void()>& fn) { fn(); }

@@ -1,0 +1,4 @@
+// HYG-1 clean fixture.
+#pragma once
+
+inline int three() { return 3; }

@@ -1,0 +1,6 @@
+// HYG-1 firing fixture: missing #pragma once, using namespace at scope.
+#include <vector>
+
+using namespace std;
+
+inline int three() { return 3; }

@@ -1,0 +1,5 @@
+// HYG-1 suppressed fixture: the using-namespace finding can be allowed.
+#pragma once
+
+// rmrn-lint: allow(HYG-1) fixture exercises a justified suppression
+using namespace std;

@@ -1,0 +1,6 @@
+// LNT-1 firing fixture: malformed suppressions are findings themselves.
+// rmrn-lint: allow(DET-1)
+// rmrn-lint: allow(NOPE-9) unknown rule id
+// rmrn-lint: allow() missing rule list
+// rmrn-lint: typo-directive
+int lntFixture() { return 0; }

@@ -1,0 +1,5 @@
+// LNT-1 non-suppressible fixture: allow(LNT-1) is itself an unknown rule,
+// and an allow covering an LNT-1 line still does not silence it.
+// rmrn-lint: allow(LNT-1) trying to silence the suppression checker
+// rmrn-lint: allow(DET-1)
+int lntFixture() { return 0; }

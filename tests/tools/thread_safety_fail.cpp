@@ -1,0 +1,28 @@
+// Compile-fail witness for the thread-safety annotations: calling an
+// RMRN_REQUIRES(mutex) function without holding the mutex must trip clang's
+// -Wthread-safety ("calling function 'bump' requires holding mutex").  The
+// ctest entry (tests/CMakeLists.txt, clang only) compiles this file with
+// -fsyntax-only and passes only when that diagnostic appears; the file is
+// never linked into any target.
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() RMRN_REQUIRES(mu_) { ++value_; }
+
+  rmrn::util::Mutex mu_;
+
+ private:
+  int value_ RMRN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();  // no lock held: the analysis must reject this call
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Token-level C++ lexer for rmrn-lint.
+//
+// Deliberately not a real C++ front end: the linter's rules (tools/README in
+// DESIGN.md §12) only need identifiers, punctuation and line numbers, with
+// comments preserved for suppression pragmas and strings/char-literals
+// skipped so `"rand("` in a message can never fire DET-1.  Two-character
+// tokens `::` and `->` are lexed as single tokens (rules match qualified
+// names and member accesses); all other punctuation is single-character,
+// which conveniently makes `>>` close two template levels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rmrn_lint {
+
+enum class TokKind {
+  kIdentifier,   // also keywords: `for`, `new`, `using`, ...
+  kNumber,
+  kPunct,        // "::", "->" or one character
+  kString,       // any string literal, raw strings included (text dropped)
+  kCharLit,
+  kPPDirective,  // one whole logical preprocessor line, continuations joined
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // empty for kString/kCharLit
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;      // first line of the comment
+  std::string text;  // body without the // or /* */ fences
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int num_lines = 0;
+};
+
+/// Lexes `content` (the bytes of `path`).  Never throws on malformed input —
+/// an unterminated string or comment simply ends at EOF; the linter must
+/// degrade gracefully on code it half-understands.
+[[nodiscard]] LexedFile lex(std::string path, const std::string& content);
+
+}  // namespace rmrn_lint

@@ -1,0 +1,266 @@
+// rmrn-lint: the repo-specific determinism / hot-path / hygiene linter.
+//
+//   rmrn-lint [options] [files...]
+//     --compile-commands <json>  add every "file" entry from a CMake
+//                                compilation database to the input set
+//     --src-root <dir>           keep only database files under <dir> and
+//                                additionally lint every header beneath it
+//                                (headers never appear in the database);
+//                                repeatable for multiple roots
+//     --rules <A,B,...>          run only the named rules (default: all)
+//     --ignore-paths             treat every input as in-scope for the
+//                                selected rules (fixture/test mode)
+//     --print-files              print the resolved input list and exit
+//     --print-sources            print only the compile units (no headers)
+//                                and exit — the `tidy` target feeds
+//                                clang-tidy with this list
+//     --list-rules               print known rule ids and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.  Findings print as
+//   path:line: RULE-ID: message
+// which editors and CI log scrapers both parse.  No LLVM dependency: the
+// token-level engine (lexer.cpp/rules.cpp) is ~600 lines of plain C++17.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool readFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+// Pulls the "file" entries (resolved against "directory" when relative) out
+// of a compile_commands.json.  A full JSON parser is overkill: the database
+// is machine-written, one flat object per entry.
+std::vector<std::string> compileCommandFiles(const std::string& json) {
+  std::vector<std::string> files;
+  std::string directory;
+  std::string file;
+  std::string key;
+  std::string* pending_value = nullptr;
+  std::size_t i = 0;
+  const std::size_t n = json.size();
+  while (i < n) {
+    const char c = json[i];
+    if (c == '"') {
+      std::string s;
+      ++i;
+      while (i < n && json[i] != '"') {
+        if (json[i] == '\\' && i + 1 < n) {
+          const char e = json[i + 1];
+          s.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+          i += 2;
+        } else {
+          s.push_back(json[i]);
+          ++i;
+        }
+      }
+      ++i;  // closing quote
+      if (pending_value != nullptr) {
+        *pending_value = s;
+        pending_value = nullptr;
+      } else {
+        key = s;
+      }
+      continue;
+    }
+    if (c == ':') {
+      if (key == "directory") pending_value = &directory;
+      if (key == "file") pending_value = &file;
+      key.clear();
+    } else if (c == '{') {
+      directory.clear();
+      file.clear();
+    } else if (c == '}') {
+      if (!file.empty()) {
+        fs::path p(file);
+        if (p.is_relative() && !directory.empty()) p = fs::path(directory) / p;
+        files.push_back(p.lexically_normal().string());
+      }
+      file.clear();
+    }
+    ++i;
+  }
+  return files;
+}
+
+bool isHeaderPath(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+int usageError(const std::string& message) {
+  std::cerr << "rmrn-lint: " << message << " (--help for usage)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string compile_commands;
+  std::vector<std::string> src_roots;
+  rmrn_lint::RuleConfig config;
+  bool print_files = false;
+  bool print_sources = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const auto value = [&]() -> const char* {
+      return a + 1 < argc ? argv[++a] : nullptr;
+    };
+    if (arg == "--compile-commands") {
+      const char* v = value();
+      if (v == nullptr) return usageError("--compile-commands needs a path");
+      compile_commands = v;
+    } else if (arg == "--src-root") {
+      const char* v = value();
+      if (v == nullptr) return usageError("--src-root needs a directory");
+      src_roots.emplace_back(v);
+    } else if (arg == "--rules") {
+      const char* v = value();
+      if (v == nullptr) return usageError("--rules needs a list");
+      std::stringstream ss(v);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        if (rule.empty()) continue;
+        const auto& known = rmrn_lint::allRules();
+        if (std::find(known.begin(), known.end(), rule) == known.end()) {
+          return usageError("unknown rule '" + rule + "'");
+        }
+        config.rules.insert(rule);
+      }
+    } else if (arg == "--ignore-paths") {
+      config.ignore_paths = true;
+    } else if (arg == "--print-files") {
+      print_files = true;
+    } else if (arg == "--print-sources") {
+      print_sources = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : rmrn_lint::allRules()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: rmrn-lint [--compile-commands json] [--src-root dir]"
+                   " [--rules A,B] [--ignore-paths] [--print-files]"
+                   " [--print-sources] [files...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usageError("unknown option '" + arg + "'");
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  std::vector<fs::path> roots;
+  for (const std::string& r : src_roots) {
+    std::error_code ec;
+    roots.push_back(fs::canonical(r, ec));
+    if (ec) return usageError("cannot resolve --src-root '" + r + "'");
+  }
+  const auto under_roots = [&](const fs::path& p) {
+    if (roots.empty()) return true;
+    std::error_code inner;
+    const fs::path canon = fs::weakly_canonical(p, inner);
+    if (inner) return false;
+    return std::any_of(roots.begin(), roots.end(), [&](const fs::path& root) {
+      const std::string rs = root.string() + "/";
+      return canon == root || canon.string().compare(0, rs.size(), rs) == 0;
+    });
+  };
+
+  // Compile units: positional args plus the filtered database entries.
+  if (!compile_commands.empty()) {
+    std::string json;
+    if (!readFile(compile_commands, json)) {
+      return usageError("cannot read '" + compile_commands + "'");
+    }
+    for (const std::string& f : compileCommandFiles(json)) {
+      if (under_roots(f)) inputs.push_back(f);
+    }
+  }
+
+  // Canonicalize, dedup, stable order.
+  const auto normalize = [](std::vector<std::string>& files) {
+    for (std::string& f : files) {
+      std::error_code inner;
+      const fs::path canon = fs::weakly_canonical(f, inner);
+      if (!inner) f = canon.string();
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+  };
+
+  if (print_sources) {
+    normalize(inputs);
+    if (inputs.empty()) return usageError("no input files");
+    for (const std::string& f : inputs) std::cout << f << "\n";
+    return 0;
+  }
+
+  // Headers never appear in the database; lint every one under the roots.
+  for (const fs::path& root : roots) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && isHeaderPath(entry.path())) {
+        inputs.push_back(entry.path().string());
+      }
+    }
+  }
+  normalize(inputs);
+
+  if (inputs.empty()) return usageError("no input files");
+  if (print_files) {
+    for (const std::string& f : inputs) std::cout << f << "\n";
+    return 0;
+  }
+
+  std::size_t total = 0;
+  for (const std::string& path : inputs) {
+    std::string content;
+    if (!readFile(path, content)) {
+      std::cerr << "rmrn-lint: cannot read '" << path << "'\n";
+      return 2;
+    }
+    const rmrn_lint::LexedFile lexed = rmrn_lint::lex(path, content);
+    // DET-2 member maps are declared in the class header; seed the tracked
+    // set from the .cpp's sibling .hpp so they are visible here too.
+    rmrn_lint::RuleConfig file_config = config;
+    if (fs::path(path).extension() == ".cpp") {
+      const fs::path sibling = fs::path(path).replace_extension(".hpp");
+      std::string header;
+      if (readFile(sibling.string(), header)) {
+        file_config.extra_tracked = rmrn_lint::collectTrackedNames(
+            rmrn_lint::lex(sibling.string(), header));
+      }
+    }
+    for (const rmrn_lint::Finding& f :
+         rmrn_lint::runRules(lexed, file_config)) {
+      std::cout << f.path << ":" << f.line << ": " << f.rule << ": "
+                << f.message << "\n";
+      ++total;
+    }
+  }
+  if (total != 0) {
+    std::cerr << "rmrn-lint: " << total << " finding(s) in " << inputs.size()
+              << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}

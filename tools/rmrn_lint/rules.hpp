@@ -1,0 +1,67 @@
+// rmrn-lint rule engine.
+//
+// Rule catalog (DESIGN.md §12 has rationale and the suppression policy):
+//   DET-1  no unseeded/wall-clock randomness in src/ (std::random_device,
+//          rand()/srand(), time(), std::chrono clock reads).  src/harness/
+//          is exempt — it may time real experiments.
+//   DET-2  no range-for or begin()-iteration over std::unordered_{map,set}
+//          in plan- or event-order-affecting code (src/{core,sim,protocols,
+//          net}): hash-table walk order is not part of the determinism
+//          contract the goldens pin.
+//   HOT-1  no allocation introduced in the designated hot-path files
+//          (sim/event_queue.*, sim/network.*, core/shard_planner.*) outside
+//          functions marked `// rmrn-lint: init-phase`: operator new,
+//          make_shared/make_unique, std::function, and container growth
+//          calls (push_back/emplace/resize/reserve/insert/assign).
+//   HYG-1  header hygiene: every header has #pragma once and no
+//          namespace-scope `using namespace`.
+//   LNT-1  suppression hygiene: every `// rmrn-lint: allow(RULE) reason`
+//          names a known rule and carries a non-empty reason.  Not
+//          suppressible, always on.
+//
+// Suppressions: `// rmrn-lint: allow(RULE[,RULE]) reason...` silences the
+// named rules on the comment's own line and the line directly below it.
+// `// rmrn-lint: init-phase` marks the next brace-block (a function body) as
+// allocation-allowed for HOT-1.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace rmrn_lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleConfig {
+  /// Selected rule ids; empty means all.  LNT-1 is always run.
+  std::set<std::string> rules;
+  /// Treat every input file as in-scope for the selected rules instead of
+  /// applying the per-rule path filters (fixture/test mode).
+  bool ignore_paths = false;
+  /// Extra names DET-2 treats as unordered containers — the driver seeds
+  /// this with names collected from a .cpp file's sibling header, so member
+  /// maps declared in foo.hpp are tracked while linting foo.cpp.
+  std::set<std::string> extra_tracked;
+};
+
+/// Names declared in `file` with a std::unordered_{map,set,multimap,multiset}
+/// type (members, locals, parameters) — DET-2's tracked set.
+[[nodiscard]] std::set<std::string> collectTrackedNames(const LexedFile& file);
+
+/// All known (selectable) rule ids.
+[[nodiscard]] const std::vector<std::string>& allRules();
+
+/// Runs the configured rules over one lexed file and returns surviving
+/// (non-suppressed) findings, sorted by line.
+[[nodiscard]] std::vector<Finding> runRules(const LexedFile& file,
+                                            const RuleConfig& config);
+
+}  // namespace rmrn_lint
