@@ -9,13 +9,14 @@
 int main(int argc, char** argv) {
   using namespace rmrn::bench;
   std::cerr << "[fig5] latency vs clients sweep (p = 5%)\n";
+  const bool coded = parseCoded(argc, argv);
   const auto rows = runClientSweep(Metric::kLatency, 3,
                                    parseThreads(argc, argv),
-                                   parseFaultPlan(argc, argv));
+                                   parseFaultPlan(argc, argv), coded);
   printFigure(std::cout,
               "Figure 5: average recovery latency per packet recovered "
               "(ms), p = 5%",
-              "n(clients)", "latency", rows);
-  maybeWriteCsv(argc, argv, "n(clients)", "latency", rows);
+              "n(clients)", "latency", rows, coded);
+  maybeWriteCsv(argc, argv, "n(clients)", "latency", rows, coded);
   return 0;
 }

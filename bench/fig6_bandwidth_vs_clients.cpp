@@ -8,13 +8,14 @@
 int main(int argc, char** argv) {
   using namespace rmrn::bench;
   std::cerr << "[fig6] bandwidth vs clients sweep (p = 5%)\n";
+  const bool coded = parseCoded(argc, argv);
   const auto rows = runClientSweep(Metric::kBandwidth, 3,
                                    parseThreads(argc, argv),
-                                   parseFaultPlan(argc, argv));
+                                   parseFaultPlan(argc, argv), coded);
   printFigure(std::cout,
               "Figure 6: average bandwidth usage per packet recovered "
               "(hops), p = 5%",
-              "n(clients)", "bandwidth", rows);
-  maybeWriteCsv(argc, argv, "n(clients)", "bandwidth", rows);
+              "n(clients)", "bandwidth", rows, coded);
+  maybeWriteCsv(argc, argv, "n(clients)", "bandwidth", rows, coded);
   return 0;
 }

@@ -9,12 +9,13 @@
 int main(int argc, char** argv) {
   using namespace rmrn::bench;
   std::cerr << "[fig7] latency vs loss sweep (n = 500)\n";
+  const bool coded = parseCoded(argc, argv);
   const auto rows = runLossSweep(Metric::kLatency, 2,
                                  parseThreads(argc, argv),
-                                 parseFaultPlan(argc, argv));
+                                 parseFaultPlan(argc, argv), coded);
   printFigure(std::cout,
               "Figure 7: average delay per packet recovered (ms), n = 500",
-              "p(%)", "latency", rows);
-  maybeWriteCsv(argc, argv, "p(%)", "latency", rows);
+              "p(%)", "latency", rows, coded);
+  maybeWriteCsv(argc, argv, "p(%)", "latency", rows, coded);
   return 0;
 }

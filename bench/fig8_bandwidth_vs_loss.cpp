@@ -9,13 +9,14 @@
 int main(int argc, char** argv) {
   using namespace rmrn::bench;
   std::cerr << "[fig8] bandwidth vs loss sweep (n = 500)\n";
+  const bool coded = parseCoded(argc, argv);
   const auto rows = runLossSweep(Metric::kBandwidth, 2,
                                  parseThreads(argc, argv),
-                                 parseFaultPlan(argc, argv));
+                                 parseFaultPlan(argc, argv), coded);
   printFigure(std::cout,
               "Figure 8: average bandwidth usage per packet recovered "
               "(hops), n = 500",
-              "p(%)", "bandwidth", rows);
+              "p(%)", "bandwidth", rows, coded);
 
   // Trend check the paper calls out in the text.
   if (rows.size() >= 2) {
@@ -27,6 +28,6 @@ int main(int argc, char** argv) {
               << "; RP trend: "
               << (last.rp > first.rp ? "increasing" : "decreasing") << "\n";
   }
-  maybeWriteCsv(argc, argv, "p(%)", "bandwidth", rows);
+  maybeWriteCsv(argc, argv, "p(%)", "bandwidth", rows, coded);
   return 0;
 }

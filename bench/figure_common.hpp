@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,27 +49,35 @@ struct FigureRow {
   double srm = 0.0;
   double rma = 0.0;
   double rp = 0.0;
+  double coded = 0.0;  // filled only when the sweep ran with the coded arm
 };
 
 inline void printFigure(std::ostream& out, const std::string& title,
                         const std::string& x_label,
                         const std::string& y_label,
-                        const std::vector<FigureRow>& rows) {
+                        const std::vector<FigureRow>& rows,
+                        bool with_coded = false) {
   out << title << "\n";
-  harness::TextTable table({x_label, "clients", "SRM " + y_label,
-                            "RMA " + y_label, "RP " + y_label});
+  std::vector<std::string> header{x_label, "clients", "SRM " + y_label,
+                                  "RMA " + y_label, "RP " + y_label};
+  if (with_coded) header.push_back("CODED " + y_label);
+  harness::TextTable table(header);
   double srm_sum = 0.0;
   double rma_sum = 0.0;
   double rp_sum = 0.0;
+  double coded_sum = 0.0;
   for (const FigureRow& row : rows) {
-    table.addRow({harness::TextTable::num(row.x, 0),
-                  harness::TextTable::num(row.clients, 0),
-                  harness::TextTable::num(row.srm),
-                  harness::TextTable::num(row.rma),
-                  harness::TextTable::num(row.rp)});
+    std::vector<std::string> cells{harness::TextTable::num(row.x, 0),
+                                   harness::TextTable::num(row.clients, 0),
+                                   harness::TextTable::num(row.srm),
+                                   harness::TextTable::num(row.rma),
+                                   harness::TextTable::num(row.rp)};
+    if (with_coded) cells.push_back(harness::TextTable::num(row.coded));
+    table.addRow(cells);
     srm_sum += row.srm;
     rma_sum += row.rma;
     rp_sum += row.rp;
+    coded_sum += row.coded;
   }
   table.print(out);
   if (srm_sum > 0.0 && rma_sum > 0.0) {
@@ -78,14 +87,22 @@ inline void printFigure(std::ostream& out, const std::string& title,
         << harness::TextTable::num(100.0 * (1.0 - rp_sum / rma_sum), 2)
         << "% lower (averaged over the sweep)\n";
   }
+  if (with_coded && rp_sum > 0.0) {
+    out << "CODED vs RP: "
+        << harness::TextTable::num(100.0 * (1.0 - coded_sum / rp_sum), 2)
+        << "% lower (averaged over the sweep; see BENCH_coded.json for the "
+           "source-load crossover)\n";
+  }
   out << std::endl;
 }
 
 /// Optional CSV sidecar: when argv contains "--csv <path>", writes the
-/// figure rows there (x, clients, srm, rma, rp) for external plotting.
+/// figure rows there (x, clients, srm, rma, rp[, coded]) for external
+/// plotting.
 inline void maybeWriteCsv(int argc, char** argv, const std::string& x_label,
                           const std::string& y_label,
-                          const std::vector<FigureRow>& rows) {
+                          const std::vector<FigureRow>& rows,
+                          bool with_coded = false) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) != "--csv") continue;
     std::ofstream out(argv[i + 1]);
@@ -94,14 +111,18 @@ inline void maybeWriteCsv(int argc, char** argv, const std::string& x_label,
       return;
     }
     harness::CsvWriter csv(out);
-    csv.row({x_label, "clients", "srm_" + y_label, "rma_" + y_label,
-             "rp_" + y_label});
+    std::vector<std::string> header{x_label, "clients", "srm_" + y_label,
+                                    "rma_" + y_label, "rp_" + y_label};
+    if (with_coded) header.push_back("coded_" + y_label);
+    csv.row(header);
     for (const FigureRow& row : rows) {
-      csv.row({harness::TextTable::num(row.x, 4),
-               harness::TextTable::num(row.clients, 0),
-               harness::TextTable::num(row.srm, 6),
-               harness::TextTable::num(row.rma, 6),
-               harness::TextTable::num(row.rp, 6)});
+      std::vector<std::string> cells{harness::TextTable::num(row.x, 4),
+                                     harness::TextTable::num(row.clients, 0),
+                                     harness::TextTable::num(row.srm, 6),
+                                     harness::TextTable::num(row.rma, 6),
+                                     harness::TextTable::num(row.rp, 6)};
+      if (with_coded) cells.push_back(harness::TextTable::num(row.coded, 6));
+      csv.row(cells);
     }
     std::cerr << "wrote " << argv[i + 1] << "\n";
     return;
@@ -112,6 +133,17 @@ enum class Metric { kLatency, kBandwidth };
 
 inline double metricOf(const harness::ProtocolResult& r, Metric m) {
   return m == Metric::kLatency ? r.avg_latency_ms : r.avg_bandwidth_hops;
+}
+
+/// "--coded" from argv: append the sliding-window RLC arm (DESIGN.md §13)
+/// to the figure sweep as a fourth column.  Off by default — the legacy
+/// three-protocol campaign stays bit-identical (the coded arm draws from
+/// its own RNG substream, so the other columns match either way).
+inline bool parseCoded(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--coded") return true;
+  }
+  return false;
 }
 
 /// "--threads N" from argv: worker threads for the per-seed repetition
@@ -170,11 +202,23 @@ inline void printEngineRate(std::uint64_t events, double wall_ms) {
             << " events/sec)\n";
 }
 
+/// Protocol set for a figure sweep: the paper's three, plus the coded arm
+/// on request.
+inline std::span<const harness::ProtocolKind> figureKinds(bool with_coded) {
+  static constexpr harness::ProtocolKind kWithCoded[] = {
+      harness::ProtocolKind::kSrm, harness::ProtocolKind::kRma,
+      harness::ProtocolKind::kRp, harness::ProtocolKind::kCodedRlc};
+  return with_coded ? std::span<const harness::ProtocolKind>(kWithCoded)
+                    : std::span<const harness::ProtocolKind>(
+                          harness::kAllProtocols);
+}
+
 /// Runs the Fig. 5/6 client-count sweep and returns one row per size.
 inline std::vector<FigureRow> runClientSweep(Metric metric,
                                              std::uint32_t runs = 3,
                                              unsigned threads = 0,
-                                             const sim::FaultPlan& faults = {}) {
+                                             const sim::FaultPlan& faults = {},
+                                             bool with_coded = false) {
   std::vector<FigureRow> rows;
   std::uint64_t sweep_events = 0;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -186,7 +230,7 @@ inline std::vector<FigureRow> runClientSweep(Metric metric,
     config.faults = faults;
     const harness::ExperimentResult result =
         harness::runAveragedExperimentParallel(config, runs,
-                                               harness::kAllProtocols,
+                                               figureKinds(with_coded),
                                                threads);
     const std::uint64_t events = totalEvents(result);
     sweep_events += events;
@@ -194,7 +238,11 @@ inline std::vector<FigureRow> runClientSweep(Metric metric,
         {result.num_clients, result.num_clients,
          metricOf(result.result(harness::ProtocolKind::kSrm), metric),
          metricOf(result.result(harness::ProtocolKind::kRma), metric),
-         metricOf(result.result(harness::ProtocolKind::kRp), metric)});
+         metricOf(result.result(harness::ProtocolKind::kRp), metric),
+         with_coded
+             ? metricOf(result.result(harness::ProtocolKind::kCodedRlc),
+                        metric)
+             : 0.0});
     std::cerr << "  n=" << n << " done (k~" << result.num_clients << ", "
               << events << " events)\n";
   }
@@ -209,7 +257,8 @@ inline std::vector<FigureRow> runClientSweep(Metric metric,
 inline std::vector<FigureRow> runLossSweep(Metric metric,
                                            std::uint32_t runs = 2,
                                            unsigned threads = 0,
-                                           const sim::FaultPlan& faults = {}) {
+                                           const sim::FaultPlan& faults = {},
+                                           bool with_coded = false) {
   std::vector<FigureRow> rows;
   std::uint64_t sweep_events = 0;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -220,7 +269,7 @@ inline std::vector<FigureRow> runLossSweep(Metric metric,
     config.faults = faults;
     const harness::ExperimentResult result =
         harness::runAveragedExperimentParallel(config, runs,
-                                               harness::kAllProtocols,
+                                               figureKinds(with_coded),
                                                threads);
     const std::uint64_t events = totalEvents(result);
     sweep_events += events;
@@ -228,7 +277,11 @@ inline std::vector<FigureRow> runLossSweep(Metric metric,
         {100.0 * p, result.num_clients,
          metricOf(result.result(harness::ProtocolKind::kSrm), metric),
          metricOf(result.result(harness::ProtocolKind::kRma), metric),
-         metricOf(result.result(harness::ProtocolKind::kRp), metric)});
+         metricOf(result.result(harness::ProtocolKind::kRp), metric),
+         with_coded
+             ? metricOf(result.result(harness::ProtocolKind::kCodedRlc),
+                        metric)
+             : 0.0});
     std::cerr << "  p=" << 100.0 * p << "% done (" << events << " events)\n";
   }
   printEngineRate(sweep_events,

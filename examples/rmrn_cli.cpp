@@ -68,6 +68,19 @@
 //       --out; --json prints it to stdout (CI smoke); exit 1 on any gate
 //       failure.
 //
+//   rmrn_cli coded [--nodes N] [--packets K] [--seed S] [--runs R]
+//                  [--burst B] [--losses 2,5,10,15,20,30] [--threads T]
+//                  [--out BENCH_coded.json] [--json]
+//       Coded-repair crossover sweep (DESIGN.md §13): RP vs the
+//       sliding-window RLC arm over a grid of Gilbert-Elliott loss rates,
+//       identical draws per rate.  Per row: losses, each arm's source
+//       transmissions (RP REQUESTs answered vs coded repair multicasts),
+//       latency/bandwidth, residuals.  Reports the crossover — the lowest
+//       swept rate from which coding touches the source less than RP.
+//       Gates: both arms fully recover every row (zero reachable residual)
+//       and the crossover exists.  Writes the sweep as JSON to --out;
+//       --json prints it to stdout (CI smoke); exit 1 on any gate failure.
+//
 //   rmrn_cli config [--out file]
 //       Print (or write) a complete default experiment config to edit.
 #include <algorithm>
@@ -93,7 +106,7 @@ using namespace rmrn;
 
 int usage() {
   std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|audit|resilience"
-               "|chaos|scale|config> [--flags]\n"
+               "|chaos|scale|coded|config> [--flags]\n"
                "  see the header comment of examples/rmrn_cli.cpp\n";
   return 2;
 }
@@ -238,6 +251,8 @@ std::vector<harness::ProtocolKind> parseProtocols(const std::string& list) {
       kinds.push_back(harness::ProtocolKind::kSourceDirect);
     } else if (token == "fec") {
       kinds.push_back(harness::ProtocolKind::kParityFec);
+    } else if (token == "coded") {
+      kinds.push_back(harness::ProtocolKind::kCodedRlc);
     } else {
       throw std::invalid_argument("unknown protocol '" + token + "'");
     }
@@ -929,6 +944,133 @@ int cmdScale(const util::Flags& flags) {
   return all_ok ? 0 : 1;
 }
 
+int cmdCoded(const util::Flags& flags) {
+  harness::ExperimentConfig config;
+  config.num_nodes =
+      static_cast<std::uint32_t>(flags.getUnsigned("nodes", 60));
+  config.num_packets =
+      static_cast<std::uint32_t>(flags.getUnsigned("packets", 64));
+  config.seed = flags.getUnsigned("seed", config.seed);
+  config.mean_burst_packets = flags.getDouble("burst", 4.0);
+  const auto runs = static_cast<std::uint32_t>(flags.getUnsigned("runs", 3));
+  const std::vector<double> losses =
+      parseRates(flags.getString("losses", "2,5,10,15,20,30"));
+  const auto threads = static_cast<unsigned>(flags.getUnsigned("threads", 0));
+  const std::string out_path = flags.getString("out", "BENCH_coded.json");
+  const bool json_stdout = flags.getBool("json", false);
+  if (const int rc = failUnknownFlags(flags)) return rc;
+
+  const harness::ProtocolKind kinds[] = {harness::ProtocolKind::kRp,
+                                         harness::ProtocolKind::kCodedRlc};
+  struct Row {
+    double loss_pct = 0.0;
+    harness::ExperimentResult result;
+  };
+  std::vector<Row> rows;
+  double num_clients = 0.0;
+  for (const double pct : losses) {
+    harness::ExperimentConfig swept = config;
+    swept.loss_prob = pct / 100.0;
+    rows.push_back({pct, harness::runAveragedExperimentParallel(
+                             swept, runs, kinds, threads)});
+    num_clients = rows.back().result.num_clients;
+  }
+
+  // Crossover: the lowest swept rate from which coding's repair multicasts
+  // undercut RP's source REQUESTs.  RP wins quiet networks (peers absorb
+  // most recovery, the source is barely touched); one coded wave amortizing
+  // a whole burst's union of losses wins loud ones.
+  double crossover_pct = -1.0;
+  for (const Row& row : rows) {
+    const auto& rp = row.result.result(harness::ProtocolKind::kRp);
+    const auto& coded = row.result.result(harness::ProtocolKind::kCodedRlc);
+    if (rp.source_requests > 0 &&
+        coded.source_repair_multicasts < rp.source_requests) {
+      crossover_pct = row.loss_pct;
+      break;
+    }
+  }
+
+  bool all_recovered = true;
+  for (const Row& row : rows) {
+    const auto& rp = row.result.result(harness::ProtocolKind::kRp);
+    const auto& coded = row.result.result(harness::ProtocolKind::kCodedRlc);
+    all_recovered &= rp.fully_recovered && coded.fully_recovered &&
+                     rp.residual_reachable == 0 &&
+                     coded.residual_reachable == 0;
+  }
+  const bool ok = all_recovered && crossover_pct >= 0.0;
+
+  std::ostringstream json;
+  json.precision(10);
+  json << "{\n";
+  json << "  \"bench\": \"coded\",\n";
+  json << "  \"ok\": " << (ok ? "true" : "false") << ",\n";
+  json << "  \"protocols\": [\"RP\", \"CODED\"],\n";
+  json << "  \"nodes\": " << config.num_nodes << ",\n";
+  json << "  \"mean_clients\": " << num_clients << ",\n";
+  json << "  \"packets\": " << config.num_packets << ",\n";
+  json << "  \"runs\": " << runs << ",\n";
+  json << "  \"mean_burst_packets\": " << config.mean_burst_packets << ",\n";
+  json << "  \"window_size\": " << config.coded.window_size << ",\n";
+  json << "  \"crossover_loss_pct\": " << crossover_pct << ",\n";
+  json << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& rp = rows[i].result.result(harness::ProtocolKind::kRp);
+    const auto& coded =
+        rows[i].result.result(harness::ProtocolKind::kCodedRlc);
+    json << "    {\"loss_pct\": " << rows[i].loss_pct
+         << ", \"losses\": " << coded.losses
+         << ", \"rp_source_tx\": " << rp.source_requests
+         << ", \"coded_source_tx\": " << coded.source_repair_multicasts
+         << ", \"coded_nacks\": " << coded.fec_nacks_sent
+         << ", \"rp_latency_ms\": " << rp.avg_latency_ms
+         << ", \"coded_latency_ms\": " << coded.avg_latency_ms
+         << ", \"rp_bandwidth_hops\": " << rp.avg_bandwidth_hops
+         << ", \"coded_bandwidth_hops\": " << coded.avg_bandwidth_hops
+         << ", \"rp_residual\": " << rp.residual_reachable
+         << ", \"coded_residual\": " << coded.residual_reachable << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+  }
+  if (json_stdout) {
+    std::cout << json.str();
+  } else {
+    std::cout << "coded crossover sweep: n=" << config.num_nodes << " (k~"
+              << num_clients << "), " << config.num_packets << " packets x "
+              << runs << " run(s), burst " << config.mean_burst_packets
+              << "\n";
+    harness::TextTable table({"loss %", "losses", "RP src tx", "coded src tx",
+                              "coded NACKs", "RP lat (ms)", "coded lat (ms)"});
+    for (const Row& row : rows) {
+      const auto& rp = row.result.result(harness::ProtocolKind::kRp);
+      const auto& coded = row.result.result(harness::ProtocolKind::kCodedRlc);
+      table.addRow({harness::TextTable::num(row.loss_pct, 1),
+                    std::to_string(coded.losses),
+                    std::to_string(rp.source_requests),
+                    std::to_string(coded.source_repair_multicasts),
+                    std::to_string(coded.fec_nacks_sent),
+                    harness::TextTable::num(rp.avg_latency_ms),
+                    harness::TextTable::num(coded.avg_latency_ms)});
+    }
+    table.print(std::cout);
+    if (crossover_pct >= 0.0) {
+      std::cout << "crossover: coding beats RP's source load from "
+                << harness::TextTable::num(crossover_pct, 1) << "% loss\n";
+    } else {
+      std::cout << "crossover: none in the swept range\n";
+    }
+    if (!out_path.empty()) std::cout << "wrote " << out_path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
 int cmdConfig(const util::Flags& flags) {
   const std::string out_path = flags.getString("out", "");
   if (const int rc = failUnknownFlags(flags)) return rc;
@@ -958,6 +1100,7 @@ int main(int argc, char** argv) {
     if (command == "resilience") return cmdResilience(flags);
     if (command == "chaos") return cmdChaos(flags);
     if (command == "scale") return cmdScale(flags);
+    if (command == "coded") return cmdCoded(flags);
     if (command == "config") return cmdConfig(flags);
     return usage();
   } catch (const std::exception& e) {

@@ -88,6 +88,14 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
       protocol = std::make_unique<protocols::ParityProtocol>(
           network, recovery, proto_config, config.parity);
       break;
+    case ProtocolKind::kCodedRlc:
+      // The coefficient RNG lives in its own substream: runs without the
+      // coded arm never draw from it, so legacy results stay bit-identical.
+      protocol = std::make_unique<protocols::CodedProtocol>(
+          network, recovery, proto_config, config.coded,
+          root_rng.fork(kProtocolStreamBase + 60 +
+                        static_cast<std::uint64_t>(kind)));
+      break;
   }
   protocol->attach();
 
@@ -145,6 +153,15 @@ ProtocolResult runOneProtocol(const ExperimentConfig& config,
       protocol->duplicateRequestsSuppressed();
   result.duplicate_sessions = protocol->duplicateSessions();
   result.abandoned_sessions = recovery.abandonedSessions();
+  if (const auto* parity =
+          dynamic_cast<const protocols::ParityProtocol*>(protocol.get())) {
+    result.source_repair_multicasts = parity->paritiesSent();
+    result.fec_nacks_sent = parity->nacksSent();
+  } else if (const auto* coded = dynamic_cast<const protocols::CodedProtocol*>(
+                 protocol.get())) {
+    result.source_repair_multicasts = coded->codedRepairsSent();
+    result.fec_nacks_sent = coded->nacksSent();
+  }
 
   // Reachability-aware accounting: a partitioned client's abandoned losses
   // are expected; a source-reachable client leaving residual is a protocol
@@ -309,6 +326,8 @@ ExperimentResult aggregate(std::vector<ExperimentResult> results) {
       acc.reachable_recoveries += cur.reachable_recoveries;
       acc.residual_reachable += cur.residual_reachable;
       acc.plan_audit_violations += cur.plan_audit_violations;
+      acc.source_repair_multicasts += cur.source_repair_multicasts;
+      acc.fec_nacks_sent += cur.fec_nacks_sent;
       acc.events_processed += cur.events_processed;
     }
   }

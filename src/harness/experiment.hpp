@@ -12,6 +12,7 @@
 #include "core/planner.hpp"
 #include "metrics/stats.hpp"
 #include "net/topology.hpp"
+#include "protocols/coded_protocol.hpp"
 #include "protocols/parity_protocol.hpp"
 #include "protocols/rp_protocol.hpp"
 #include "protocols/srm_protocol.hpp"
@@ -30,6 +31,9 @@ enum class ProtocolKind {
   /// Parity-based source recovery (the paper's related-work class [5]):
   /// block FEC with NACK-aggregated parity multicast.
   kParityFec,
+  /// Sliding-window random linear coding over GF(256): NACK-aggregated
+  /// coded-repair multicast with honest rank-based decoding (DESIGN.md §13).
+  kCodedRlc,
 };
 
 [[nodiscard]] constexpr std::string_view toString(ProtocolKind kind) {
@@ -44,6 +48,8 @@ enum class ProtocolKind {
       return "SRC";
     case ProtocolKind::kParityFec:
       return "FEC";
+    case ProtocolKind::kCodedRlc:
+      return "CODED";
   }
   return "?";
 }
@@ -85,6 +91,7 @@ struct ExperimentConfig {
   protocols::ProtocolConfig protocol;
   protocols::SrmConfig srm;
   protocols::ParityConfig parity;
+  protocols::CodedConfig coded;
   core::PlannerOptions rp_planner;  // timeout_ms 0 -> auto (see RpPlanner)
   protocols::SourceRecoveryMode rp_source_mode =
       protocols::SourceRecoveryMode::kUnicast;
@@ -141,6 +148,14 @@ struct ProtocolResult {
   std::size_t residual_reachable = 0;
   /// Failover-plan audit violations (RP with audit_failover_plans).
   std::uint64_t plan_audit_violations = 0;
+  /// Source-side repair multicasts (FEC parity waves / coded-repair waves;
+  /// zero for the per-sequence protocols, whose source load shows up in
+  /// source_requests instead).
+  std::uint64_t source_repair_multicasts = 0;
+  /// Aggregated window/block NACKs the FEC-style clients unicast to the
+  /// source (distinct from source_requests, which counts per-sequence
+  /// REQUESTs delivered there).
+  std::uint64_t fec_nacks_sent = 0;
   /// Simulator events fired during the run (summed across repetitions in
   /// averaged experiments); drivers report events/sec from it.
   std::uint64_t events_processed = 0;

@@ -7,6 +7,7 @@
 
 #include "metrics/recovery_metrics.hpp"
 #include "net/routing.hpp"
+#include "protocols/coded_protocol.hpp"
 #include "protocols/parity_protocol.hpp"
 #include "protocols/rma_protocol.hpp"
 #include "protocols/rp_protocol.hpp"
@@ -65,6 +66,11 @@ TransferReport runTransfer(const net::Topology& topology,
     case ProtocolKind::kParityFec:
       protocol = std::make_unique<protocols::ParityProtocol>(
           network, recovery, config.protocol_config, config.parity);
+      break;
+    case ProtocolKind::kCodedRlc:
+      protocol = std::make_unique<protocols::CodedProtocol>(
+          network, recovery, config.protocol_config, config.coded,
+          root.fork(4));
       break;
   }
   protocol->attach();

@@ -31,6 +31,7 @@ struct TransferConfig {
   protocols::ProtocolConfig protocol_config;
   protocols::SrmConfig srm;
   protocols::ParityConfig parity;
+  protocols::CodedConfig coded;
   core::PlannerOptions rp_planner;
   protocols::SourceRecoveryMode rp_source_mode =
       protocols::SourceRecoveryMode::kUnicast;

@@ -27,10 +27,9 @@ void ParityProtocol::onLossDetected(net::NodeId client, std::uint64_t seq) {
 void ParityProtocol::sendNack(net::NodeId client, std::uint64_t block,
                               bool retransmit) {
   auto& state = client_blocks_.at(key(client, block));
-  const std::uint64_t needed =
-      state.missing.size() > state.parity_indices.size()
-          ? state.missing.size() - state.parity_indices.size()
-          : 0;
+  const std::uint64_t needed = state.missing.size() > state.innovative
+                                   ? state.missing.size() - state.innovative
+                                   : 0;
   if (needed == 0) return;
 
   ++nacks_sent_;
@@ -57,8 +56,12 @@ void ParityProtocol::onTimer(std::uint32_t kind, std::uint64_t a,
     const auto client = static_cast<net::NodeId>(a);
     const std::uint64_t block = b;
     const auto it = client_blocks_.find(key(client, block));
-    if (it == client_blocks_.end() || it->second.missing.empty()) return;
+    if (it == client_blocks_.end()) return;
+    // The timer just fired, so the armed flag must drop even when there is
+    // nothing left to chase: leaving it set would make a later sendNack for
+    // the same block cancel a handle this fire already consumed.
     it->second.timer_armed = false;
+    if (it->second.missing.empty()) return;
     noteRequestTimeout(client, source());
     sendNack(client, block, /*retransmit=*/true);
     return;
@@ -103,20 +106,27 @@ void ParityProtocol::onParity(net::NodeId at, const sim::Packet& packet) {
   const std::uint64_t block = packet.seq;
   const auto it = client_blocks_.find(key(at, block));
   if (it == client_blocks_.end()) return;  // nothing missing here
-  it->second.parity_indices.insert(packet.tag);
+  // A parity is innovative only if it is a fresh index AND the block has
+  // live losses to spend it on: one received while the block was whole is
+  // gone by the time a later loss opens the missing set again (the decoder
+  // does not warehouse parities for completed blocks).  `parity_indices`
+  // still dedups network re-deliveries of the same wave forever.
+  const bool fresh = it->second.parity_indices.insert(packet.tag).second;
+  if (fresh && !it->second.missing.empty()) ++it->second.innovative;
   tryDecode(at, block);
 }
 
 bool ParityProtocol::tryDecode(net::NodeId client, std::uint64_t block) {
   auto& state = client_blocks_.at(key(client, block));
-  if (state.missing.empty() ||
-      state.parity_indices.size() < state.missing.size()) {
+  if (state.missing.empty() || state.innovative < state.missing.size()) {
     return false;
   }
-  // Enough innovative parities: every missing packet of the block decodes.
+  // Enough innovative parities: every missing packet of the block decodes,
+  // and the decode consumes them (surplus does not bank for later losses).
   const std::vector<std::uint64_t> decoded(state.missing.begin(),
                                            state.missing.end());
   state.missing.clear();
+  state.innovative = 0;
   if (state.timer_armed) {
     simulator().cancel(state.retry_timer);
     state.timer_armed = false;
@@ -153,7 +163,21 @@ std::size_t ParityProtocol::openSessions() const {
   for (const auto& [unused, state] : client_blocks_) {
     open += state.missing.size();
   }
+  // A source block still gathering NACKs is live protocol state: counting it
+  // keeps a pending gather wave from escaping the finalizeRun() sweep.
+  // rmrn-lint: allow(DET-2) commutative integer accumulation
+  for (const auto& [unused, src] : source_blocks_) {
+    if (src.gathering) ++open;
+  }
   return open;
+}
+
+bool ParityProtocol::blockHasInterest(std::uint64_t block) const {
+  // rmrn-lint: allow(DET-2) order-independent existence scan
+  for (const auto& [k, state] : client_blocks_) {
+    if ((k & 0xffffffffULL) == block && !state.missing.empty()) return true;
+  }
+  return false;
 }
 
 void ParityProtocol::onClientCrashed(net::NodeId client) {
@@ -165,6 +189,16 @@ void ParityProtocol::onClientCrashed(net::NodeId client) {
     } else {
       ++it;
     }
+  }
+  // A gather window the crashed client's NACKs opened must not fire into a
+  // block with no remaining interested client: cancel it, or the wave is a
+  // wasted multicast and the gathering block outlives every session.
+  // rmrn-lint: allow(DET-2) per-block cancel sweep; cancel order only permutes the slab free list, never (time, seq) event order
+  for (auto& [block, src] : source_blocks_) {
+    if (!src.gathering || blockHasInterest(block)) continue;
+    simulator().cancel(src.gather_timer);
+    src.gathering = false;
+    src.wave_request = 0;
   }
 }
 

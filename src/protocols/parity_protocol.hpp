@@ -34,6 +34,11 @@ struct ParityConfig {
 };
 
 class ParityProtocol final : public RecoveryProtocol {
+  /// White-box regression access (tests/protocols/parity_protocol_test.cpp):
+  /// the kTimerRetry stale-flag fix guards a state no organic event order
+  /// reaches, so its test injects the timer fire directly.
+  friend struct ParityProtocolTestPeer;
+
  public:
   ParityProtocol(sim::SimNetwork& network, metrics::RecoveryMetrics& metrics,
                  const ProtocolConfig& config,
@@ -71,12 +76,21 @@ class ParityProtocol final : public RecoveryProtocol {
   /// Sends (or re-sends) the client's NACK for a block and arms the retry
   /// timer.
   void sendNack(net::NodeId client, std::uint64_t block, bool retransmit);
+  /// True while some client still has losses open against `block`.
+  [[nodiscard]] bool blockHasInterest(std::uint64_t block) const;
   /// Decodes if enough parities arrived; returns true when the block closed.
   bool tryDecode(net::NodeId client, std::uint64_t block);
 
   struct ClientBlock {
     std::set<std::uint64_t> missing;         // data seqs still lost
     std::set<std::uint64_t> parity_indices;  // distinct parities received
+    /// Fresh parities received while this block's missing set was live —
+    /// the decode currency.  Reset on every decode: a parity that arrived
+    /// while the block was whole (or was consumed by an earlier decode)
+    /// repairs nothing later, matching what an RS decoder that discards
+    /// parity packets once the block completes can do.  Contrast with
+    /// `parity_indices`, which only dedups re-deliveries forever.
+    std::uint64_t innovative = 0;
     sim::EventId retry_timer = 0;
     bool timer_armed = false;
   };

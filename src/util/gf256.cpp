@@ -1,0 +1,93 @@
+#include "util/gf256.hpp"
+
+#include "util/check.hpp"
+
+namespace rmrn::util::gf256 {
+
+// 64 KiB of rodata, computed once at compile time.  Keeping the definition
+// here (rather than `inline constexpr` in the header) avoids re-evaluating
+// the constexpr builder in every translation unit that touches the field.
+const Tables kTables = buildTables();
+
+std::uint8_t inv(std::uint8_t a) {
+  RMRN_REQUIRE(a != 0, "gf256::inv: zero has no inverse");
+  return kTables.inv[a];
+}
+
+void scaleRow(std::uint8_t* row, std::size_t n, std::uint8_t c) {
+  const std::uint8_t* products = &kTables.mul[static_cast<std::size_t>(c)
+                                              << 8U];
+  for (std::size_t i = 0; i < n; ++i) row[i] = products[row[i]];
+}
+
+void addScaledRow(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                  std::uint8_t c) {
+  if (c == 0) return;
+  const std::uint8_t* products = &kTables.mul[static_cast<std::size_t>(c)
+                                              << 8U];
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ products[src[i]]);
+  }
+}
+
+std::size_t eliminate(std::uint8_t* matrix, std::size_t rows,
+                      std::size_t cols) {
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows; ++col) {
+    // Find a pivot in this column at or below the current rank row.
+    std::size_t pivot = rank;
+    while (pivot < rows && matrix[pivot * cols + col] == 0) ++pivot;
+    if (pivot == rows) continue;
+    if (pivot != rank) {
+      for (std::size_t i = 0; i < cols; ++i) {
+        const std::uint8_t tmp = matrix[rank * cols + i];
+        matrix[rank * cols + i] = matrix[pivot * cols + i];
+        matrix[pivot * cols + i] = tmp;
+      }
+    }
+    std::uint8_t* prow = &matrix[rank * cols];
+    scaleRow(prow, cols, inv(prow[col]));
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == rank) continue;
+      addScaledRow(&matrix[r * cols], prow, cols, matrix[r * cols + col]);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::size_t solve(std::uint8_t* augmented, std::uint8_t* x, std::size_t n) {
+  RMRN_REQUIRE(n > 0, "gf256::solve: empty system");
+  const std::size_t cols = n + 1;
+  // Eliminate over the coefficient columns only: the rank reported is the
+  // rank of A, and the augmented column is carried through the row ops so a
+  // full-rank system leaves x in reduced form.
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < n && rank < n; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < n && augmented[pivot * cols + col] == 0) ++pivot;
+    if (pivot == n) continue;
+    if (pivot != rank) {
+      for (std::size_t i = 0; i < cols; ++i) {
+        const std::uint8_t tmp = augmented[rank * cols + i];
+        augmented[rank * cols + i] = augmented[pivot * cols + i];
+        augmented[pivot * cols + i] = tmp;
+      }
+    }
+    std::uint8_t* prow = &augmented[rank * cols];
+    scaleRow(prow, cols, inv(prow[col]));
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == rank) continue;
+      addScaledRow(&augmented[r * cols], prow, cols,
+                   augmented[r * cols + col]);
+    }
+    ++rank;
+  }
+  if (rank < n) return rank;  // exactness contract: no partial solutions
+  // Full rank: after Gauss-Jordan the matrix is a permutation-free identity
+  // (pivots were taken in column order), so row i solves unknown i.
+  for (std::size_t i = 0; i < n; ++i) x[i] = augmented[i * cols + n];
+  return rank;
+}
+
+}  // namespace rmrn::util::gf256

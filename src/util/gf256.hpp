@@ -1,0 +1,100 @@
+// GF(2^8) arithmetic kernel for the coded-repair arm (DESIGN.md §13).
+//
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) — the 0x11d polynomial
+// used by Reed-Solomon and the RLC literature — with every operation served
+// from tables computed at compile time:
+//
+//   * exp/log tables for the multiplicative group (generator 2), and
+//   * a flat 256x256 multiplication table (mul[a << 8 | b]) so the
+//     elimination inner loops are a single indexed load with no branch on
+//     zero operands, plus a 256-entry inverse table.
+//
+// Everything here is constant-initialized and allocation-free: the tables
+// are constexpr data in the binary's rodata, and the row operations write
+// only into caller-provided buffers.  The file is in the rmrn-lint HOT-1
+// hot-path scope — protocols::CodedProtocol runs these routines on every
+// coded repair delivery.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rmrn::util::gf256 {
+
+/// The reduction polynomial x^8 + x^4 + x^3 + x^2 + 1.
+inline constexpr std::uint32_t kPoly = 0x11d;
+
+struct Tables {
+  /// exp[i] = 2^i; doubled length so mul via logs never needs a mod 255.
+  std::array<std::uint8_t, 510> exp{};
+  /// log[a] for a != 0; log[0] is unused (held at 0).
+  std::array<std::uint8_t, 256> log{};
+  /// inv[a] for a != 0; inv[0] is unused (held at 0).
+  std::array<std::uint8_t, 256> inv{};
+  /// Flat product table: mul[a << 8 | b] = a * b in GF(256).
+  std::array<std::uint8_t, 256 * 256> mul{};
+};
+
+[[nodiscard]] constexpr Tables buildTables() {
+  Tables t;
+  std::uint32_t x = 1;
+  for (std::size_t i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.exp[i + 255] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1U;
+    if ((x & 0x100U) != 0) x ^= kPoly;
+  }
+  for (std::size_t a = 1; a < 256; ++a) {
+    t.inv[a] = t.exp[255 - t.log[a]];
+    for (std::size_t b = 1; b < 256; ++b) {
+      t.mul[(a << 8U) | b] = t.exp[static_cast<std::size_t>(t.log[a]) +
+                                   static_cast<std::size_t>(t.log[b])];
+    }
+  }
+  return t;
+}
+
+/// The one table set, materialized in rodata (definition in gf256.cpp).
+extern const Tables kTables;
+
+[[nodiscard]] inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  return kTables.mul[(static_cast<std::size_t>(a) << 8U) | b];
+}
+
+/// Multiplicative inverse.  Requires a != 0 (checked in the .cpp).
+[[nodiscard]] std::uint8_t inv(std::uint8_t a);
+
+/// a / b.  Requires b != 0.
+[[nodiscard]] inline std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  return mul(a, inv(b));
+}
+
+/// Addition and subtraction coincide (characteristic 2).
+[[nodiscard]] inline std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;
+}
+
+/// row[i] *= c for i in [0, n).
+void scaleRow(std::uint8_t* row, std::size_t n, std::uint8_t c);
+
+/// dst[i] += c * src[i] for i in [0, n) — the elimination inner loop.
+void addScaledRow(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                  std::uint8_t c);
+
+/// In-place forward elimination of a `rows` x `cols` row-major matrix.
+/// Returns the rank; afterwards the first `rank` rows are in row-echelon
+/// form (each with a leading pivot strictly right of the previous row's) and
+/// the remaining rows are zero.  Scratch-free and allocation-free.
+[[nodiscard]] std::size_t eliminate(std::uint8_t* matrix, std::size_t rows,
+                                    std::size_t cols);
+
+/// Solves A x = b for an n x n system, given as an n x (n + 1) row-major
+/// augmented matrix [A | b] (destroyed in place).  Returns the rank of A;
+/// `x` (length n) is written only when rank == n — the decoder's exactness
+/// contract: decode at full rank, never below.
+[[nodiscard]] std::size_t solve(std::uint8_t* augmented, std::uint8_t* x,
+                                std::size_t n);
+
+}  // namespace rmrn::util::gf256

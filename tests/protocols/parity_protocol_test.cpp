@@ -5,6 +5,26 @@
 #include "proto_fixture.hpp"
 
 namespace rmrn::protocols {
+
+// White-box access for the state-machine regression tests below: the stale
+// timer_armed path is unreachable through organic event orders (every
+// transition that empties `missing` also cancels the armed timer), so its
+// regression injects the timer fire directly.
+struct ParityProtocolTestPeer {
+  static ParityProtocol::ClientBlock& block(ParityProtocol& p,
+                                            net::NodeId client,
+                                            std::uint64_t block_id) {
+    return p.client_blocks_.at(ParityProtocol::key(client, block_id));
+  }
+  static void fireRetry(ParityProtocol& p, net::NodeId client,
+                        std::uint64_t block_id) {
+    p.onTimer(ParityProtocol::kTimerRetry, client, block_id, 0);
+  }
+  static std::size_t openSessions(const ParityProtocol& p) {
+    return p.openSessions();
+  }
+};
+
 namespace {
 
 using testutil::ProtoHarness;
@@ -139,6 +159,91 @@ TEST(ParityProtocolTest, LatencyIncludesGatherWindow) {
   ASSERT_EQ(h.metrics.recoveries(), 1u);
   // NACK travel + 50ms gather + parity travel: well above the bare RTT.
   EXPECT_GE(h.metrics.latency().mean(), 50.0);
+}
+
+// --- state-machine regressions (PR 9) --------------------------------------
+
+TEST(ParityProtocolTest, RetryFireOnDecodedBlockClearsArmedFlag) {
+  // Regression: kTimerRetry firing on a block whose missing set already
+  // emptied must still clear timer_armed.  The buggy early return left the
+  // flag set with a consumed handle, so the next sendNack for the block
+  // cancelled a timer that no longer existed.
+  ParityHarness h;
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.sim.run();
+  ASSERT_TRUE(h.protocol.allRecovered());
+  auto& state = ParityProtocolTestPeer::block(h.protocol, 3, 0);
+  ASSERT_TRUE(state.missing.empty());
+
+  // Re-create the fire-after-decode race: the flag says armed, but the
+  // timer pops with nothing left to chase.
+  state.timer_armed = true;
+  ParityProtocolTestPeer::fireRetry(h.protocol, 3, 0);
+  EXPECT_FALSE(state.timer_armed) << "stale armed flag after no-op fire";
+  const std::uint64_t nacks_before = h.protocol.nacksSent();
+
+  // Re-loss on the same block must then run a clean second cycle.
+  h.protocol.sourceMulticast(1, h.lossInto({3}));
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_EQ(h.protocol.nacksSent(), nacks_before + 1);
+  EXPECT_FALSE(ParityProtocolTestPeer::block(h.protocol, 3, 0).timer_armed);
+}
+
+TEST(ParityProtocolTest, CrashDuringGatherCancelsOrphanWave) {
+  // Regression: a gather window opened by the only interested client must
+  // die with that client.  Pre-fix the wave fired anyway (wasted multicast)
+  // and the gathering block escaped the openSessions() liveness count.
+  ParityConfig parity;
+  parity.gather_window_ms = 100.0;
+  ParityHarness h(0.0, 1, parity);
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  // The NACK reaches the source 16ms in (3ms downhill + 10ms detection +
+  // 3ms uphill); probe the liveness count mid-window, then crash the loser.
+  std::size_t open_mid_gather = 0;
+  h.sim.scheduleAt(18.0, [&] {
+    open_mid_gather = ParityProtocolTestPeer::openSessions(h.protocol);
+  });
+  h.sim.scheduleAt(25.0, [&] { h.protocol.clientCrashed(3); });
+  h.sim.run();
+  // 1 missing seq + 1 gathering source block while the window was open.
+  EXPECT_EQ(open_mid_gather, 2u);
+  EXPECT_EQ(h.protocol.paritiesSent(), 0u) << "wave fired for a dead client";
+  EXPECT_EQ(ParityProtocolTestPeer::openSessions(h.protocol), 0u);
+}
+
+TEST(ParityProtocolTest, CrashDuringGatherKeepsWaveForSurvivors) {
+  // Companion: with a second interested loser the gather must survive the
+  // crash and still serve the survivor.
+  ParityConfig parity;
+  parity.gather_window_ms = 100.0;
+  ParityHarness h(0.0, 1, parity);
+  h.protocol.sourceMulticast(0, h.lossInto({2}));  // clients 3 and 4 lose
+  h.sim.scheduleAt(20.0, [&] { h.protocol.clientCrashed(3); });
+  h.sim.run();
+  EXPECT_EQ(h.protocol.paritiesSent(), 1u);
+  EXPECT_TRUE(h.protocol.hasPacket(4, 0));
+  EXPECT_EQ(ParityProtocolTestPeer::openSessions(h.protocol), 0u);
+}
+
+TEST(ParityProtocolTest, LateLossNeedsFreshParity) {
+  // Regression: a parity consumed by an earlier decode must not pay for a
+  // loss detected later in the same block.  Pre-fix, parity_indices from
+  // wave 1 satisfied `parity_indices.size() >= missing.size()` for the new
+  // loss and the client "recovered" without any repair traffic at all.
+  ParityHarness h;
+  h.protocol.sourceMulticast(0, h.lossInto({3}));
+  h.sim.run();
+  ASSERT_TRUE(h.protocol.allRecovered());
+  ASSERT_EQ(h.protocol.nacksSent(), 1u);
+  ASSERT_EQ(h.protocol.paritiesSent(), 1u);
+
+  // Second loss, same block (block_size 8 covers seqs 0..7).
+  h.protocol.sourceMulticast(1, h.lossInto({3}));
+  h.sim.run();
+  EXPECT_TRUE(h.protocol.allRecovered());
+  EXPECT_EQ(h.protocol.nacksSent(), 2u) << "late loss decoded from thin air";
+  EXPECT_EQ(h.protocol.paritiesSent(), 2u);
 }
 
 }  // namespace

@@ -42,10 +42,17 @@ bool inDetTwoScope(const std::string& path) {
 }
 
 bool inHotScope(const std::string& path) {
-  static const std::array<const char*, 6> kHotFiles = {
-      "sim/event_queue.hpp",    "sim/event_queue.cpp", "sim/network.hpp",
-      "sim/network.cpp",        "core/shard_planner.hpp",
+  static const std::array<const char*, 10> kHotFiles = {
+      "sim/event_queue.hpp",
+      "sim/event_queue.cpp",
+      "sim/network.hpp",
+      "sim/network.cpp",
+      "core/shard_planner.hpp",
       "core/shard_planner.cpp",
+      "util/gf256.hpp",
+      "util/gf256.cpp",
+      "protocols/coded_protocol.hpp",
+      "protocols/coded_protocol.cpp",
   };
   return std::any_of(kHotFiles.begin(), kHotFiles.end(),
                      [&](const char* f) { return endsWith(path, f); });
