@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/planner.hpp"
+#include "harness/bench_json.hpp"
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "util/rng.hpp"
@@ -178,8 +179,7 @@ int runJsonDriver(const std::string& out_path, std::uint32_t nodes,
   out << "{\n";
   out << "  \"benchmark\": \"whole-group RP planning (sparse routing rows "
          "prebuilt)\",\n";
-  out << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n";
+  harness::writeBenchEnvelope(out);
   out << "  \"topology\": {\"nodes\": " << nodes
       << ", \"clients\": " << topo.clients.size()
       << ", \"seed\": 7},\n";

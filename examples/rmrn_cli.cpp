@@ -81,6 +81,18 @@
 //       and the crossover exists.  Writes the sweep as JSON to --out;
 //       --json prints it to stdout (CI smoke); exit 1 on any gate failure.
 //
+//   rmrn_cli parsim [--nodes N] [--packets K] [--loss P%] [--seed S]
+//                   [--regions R] [--workers 1,2,4] [--protocol rp|srm|...]
+//                   [--lossy-recovery] [--repeats N]
+//                   [--out BENCH_parsim.json] [--json]
+//       Sharded parallel engine sweep (DESIGN.md §14): one seeded transfer
+//       replayed at each worker count over the FIXED canonical region set.
+//       Gates (exit 1 on failure): every worker count's report bit-identical
+//       to the 1-worker run, and the transfer complete.  Also times the
+//       serial engine and a single-region parallel run (engine overhead).
+//       Speedups are recorded, not gated — CI gates them only on multi-core
+//       runners (the JSON records hardware_concurrency honestly).
+//
 //   rmrn_cli config [--out file]
 //       Print (or write) a complete default experiment config to edit.
 #include <algorithm>
@@ -88,13 +100,16 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/auditor.hpp"
 #include "core/planner.hpp"
 #include "core/shard_planner.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/config_io.hpp"
 #include "harness/csv.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parsim.hpp"
 #include "harness/table.hpp"
 #include "harness/transfer.hpp"
 #include "net/serialization.hpp"
@@ -106,7 +121,7 @@ using namespace rmrn;
 
 int usage() {
   std::cerr << "usage: rmrn_cli <gen|plan|run|transfer|audit|resilience"
-               "|chaos|scale|coded|config> [--flags]\n"
+               "|chaos|scale|coded|parsim|config> [--flags]\n"
                "  see the header comment of examples/rmrn_cli.cpp\n";
   return 2;
 }
@@ -315,13 +330,19 @@ int cmdRun(const util::Flags& flags) {
                   std::to_string(r.events_processed)});
   }
   table.print(std::cout);
+  // events/sec is sim-only: topology/routing/planner construction is setup,
+  // not engine throughput.  Sim and setup are sums over repetitions, so
+  // with --threads > 1 they exceed the elapsed wall.
   std::cout << "engine: " << total_events << " events in "
-            << harness::TextTable::num(wall_ms) << " ms ("
+            << harness::TextTable::num(result.sim_wall_ms) << " ms sim ("
             << harness::TextTable::num(
-                   wall_ms > 0.0
-                       ? static_cast<double>(total_events) / (wall_ms / 1000.0)
+                   result.sim_wall_ms > 0.0
+                       ? static_cast<double>(total_events) /
+                             (result.sim_wall_ms / 1000.0)
                        : 0.0)
-            << " events/sec)\n";
+            << " events/sec); setup "
+            << harness::TextTable::num(result.setup_wall_ms)
+            << " ms; elapsed " << harness::TextTable::num(wall_ms) << " ms\n";
 
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
@@ -463,6 +484,7 @@ int cmdResilience(const util::Flags& flags) {
   json.precision(10);
   json << "{\n";
   json << "  \"bench\": \"resilience\",\n";
+  harness::writeBenchEnvelope(json);
   json << "  \"protocol\": \"RP\",\n";
   json << "  \"nodes\": " << config.num_nodes << ",\n";
   json << "  \"mean_clients\": " << num_clients << ",\n";
@@ -658,6 +680,7 @@ int cmdChaos(const util::Flags& flags) {
   json.precision(10);
   json << "{\n";
   json << "  \"bench\": \"chaos\",\n";
+  harness::writeBenchEnvelope(json);
   json << "  \"protocol\": \"RP\",\n";
   json << "  \"nodes\": " << config.num_nodes << ",\n";
   json << "  \"mean_clients\": " << num_clients << ",\n";
@@ -885,6 +908,7 @@ int cmdScale(const util::Flags& flags) {
   json.precision(10);
   json << "{\n";
   json << "  \"bench\": \"scale\",\n";
+  harness::writeBenchEnvelope(json);
   json << "  \"planner\": \"ShardPlanner\",\n";
   json << "  \"shard_budget\": " << shard_budget << ",\n";
   json << "  \"seed\": " << seed << ",\n";
@@ -1005,6 +1029,7 @@ int cmdCoded(const util::Flags& flags) {
   json.precision(10);
   json << "{\n";
   json << "  \"bench\": \"coded\",\n";
+  harness::writeBenchEnvelope(json);
   json << "  \"ok\": " << (ok ? "true" : "false") << ",\n";
   json << "  \"protocols\": [\"RP\", \"CODED\"],\n";
   json << "  \"nodes\": " << config.num_nodes << ",\n";
@@ -1071,6 +1096,247 @@ int cmdCoded(const util::Flags& flags) {
   return ok ? 0 : 1;
 }
 
+std::vector<unsigned> parseWorkers(const std::string& list) {
+  std::vector<unsigned> workers;
+  std::stringstream stream(list);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    const long long w = std::stoll(token);
+    if (w < 1) throw std::invalid_argument("--workers entries must be >= 1");
+    workers.push_back(static_cast<unsigned>(w));
+  }
+  if (workers.empty()) {
+    throw std::invalid_argument("--workers must be non-empty");
+  }
+  return workers;
+}
+
+/// Bit-identity across worker counts: every reported value equal (pool
+/// lanes excluded — the host clamps those to its core count).
+bool parsimReportsIdentical(const harness::ParsimReport& a,
+                            const harness::ParsimReport& b) {
+  if (a.regions != b.regions || a.epochs != b.epochs ||
+      a.handoffs != b.handoffs || a.events != b.events ||
+      a.lookahead_ms != b.lookahead_ms || a.retries != b.retries ||
+      a.timeouts != b.timeouts || a.abandoned != b.abandoned ||
+      a.abandoned_sessions != b.abandoned_sessions ||
+      a.chaos_link_drops != b.chaos_link_drops ||
+      a.duplicates_created != b.duplicates_created) {
+    return false;
+  }
+  const harness::TransferReport& ta = a.transfer;
+  const harness::TransferReport& tb = b.transfer;
+  if (ta.complete != tb.complete || ta.losses != tb.losses ||
+      ta.recoveries != tb.recoveries || ta.data_hops != tb.data_hops ||
+      ta.recovery_hops != tb.recovery_hops ||
+      ta.duration_ms != tb.duration_ms ||
+      ta.avg_recovery_latency_ms != tb.avg_recovery_latency_ms ||
+      ta.completions.size() != tb.completions.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < ta.completions.size(); ++i) {
+    if (ta.completions[i].client != tb.completions[i].client ||
+        ta.completions[i].completed_at_ms !=
+            tb.completions[i].completed_at_ms ||
+        ta.completions[i].losses != tb.completions[i].losses) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmdParsim(const util::Flags& flags) {
+  const auto nodes =
+      static_cast<std::uint32_t>(flags.getUnsigned("nodes", 200));
+  const auto packets =
+      static_cast<std::uint32_t>(flags.getUnsigned("packets", 200));
+  const double loss = flags.getDouble("loss", 10.0) / 100.0;
+  const std::uint64_t seed = flags.getUnsigned("seed", 1);
+  const auto regions =
+      static_cast<std::uint32_t>(flags.getUnsigned("regions", 8));
+  const std::vector<unsigned> worker_counts =
+      parseWorkers(flags.getString("workers", "1,2,4"));
+  const auto kind = parseOneProtocol(flags.getString("protocol", "rp"));
+  const bool lossy_recovery = flags.getBool("lossy-recovery", true);
+  const auto repeats =
+      static_cast<unsigned>(flags.getUnsigned("repeats", 3));
+  const std::string out_path = flags.getString("out", "BENCH_parsim.json");
+  const bool json_stdout = flags.getBool("json", false);
+  if (const int rc = failUnknownFlags(flags)) return rc;
+  if (repeats == 0) throw std::invalid_argument("--repeats must be >= 1");
+
+  util::Rng rng(seed);
+  net::TopologyConfig topo_config;
+  topo_config.num_nodes = nodes;
+  const net::Topology topo = net::generateTopology(topo_config, rng);
+
+  harness::TransferConfig config;
+  config.protocol = kind;
+  config.num_packets = packets;
+  config.loss_prob = loss;
+  config.lossy_recovery = lossy_recovery;
+  config.seed = seed;
+
+  using Clock = std::chrono::steady_clock;
+  const auto wallOf = [](const auto& fn) {
+    const auto start = Clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+
+  // Serial engine baseline and the single-region parallel run it is compared
+  // against (the engine-overhead probe; bench/simcore carries the gated
+  // lossless-recovery version of this comparison).
+  double serial_wall_ms = 0.0;
+  for (unsigned r = 0; r < repeats; ++r) {
+    const double ms = wallOf([&] {
+      const harness::TransferReport report = harness::runTransfer(topo, config);
+      if (!report.complete) throw std::runtime_error("serial run incomplete");
+    });
+    serial_wall_ms = r == 0 ? ms : std::min(serial_wall_ms, ms);
+  }
+  harness::ParsimConfig single;
+  single.target_regions = 1;
+  single.workers = 1;
+  double single_wall_ms = 0.0;
+  for (unsigned r = 0; r < repeats; ++r) {
+    const double ms = wallOf(
+        [&] { (void)harness::runParallelTransfer(topo, config, single); });
+    single_wall_ms = r == 0 ? ms : std::min(single_wall_ms, ms);
+  }
+  const double single_region_overhead =
+      serial_wall_ms > 0.0 ? single_wall_ms / serial_wall_ms - 1.0 : 0.0;
+
+  // Worker sweep over the FIXED canonical region set: the worker count only
+  // changes which thread advances a region, so every report must be
+  // bit-identical to the 1-worker run (DESIGN.md §14).
+  struct Row {
+    unsigned workers = 0;
+    harness::ParsimReport report;
+    double wall_ms = 0.0;
+    bool identical = true;
+  };
+  std::vector<Row> rows;
+  for (const unsigned w : worker_counts) {
+    harness::ParsimConfig parallel;
+    parallel.target_regions = regions;
+    parallel.workers = w;
+    Row row;
+    row.workers = w;
+    for (unsigned r = 0; r < repeats; ++r) {
+      harness::ParsimReport report;
+      const double ms = wallOf([&] {
+        report = harness::runParallelTransfer(topo, config, parallel);
+      });
+      row.wall_ms = r == 0 ? ms : std::min(row.wall_ms, ms);
+      if (r == 0) {
+        row.report = std::move(report);
+      } else if (!parsimReportsIdentical(row.report, report)) {
+        row.identical = false;  // not even self-consistent across repeats
+      }
+    }
+    if (!rows.empty()) {
+      row.identical = row.identical &&
+                      parsimReportsIdentical(rows.front().report, row.report);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  bool all_identical = true;
+  for (const Row& row : rows) all_identical &= row.identical;
+  const Row& base = rows.front();
+  const bool ok = all_identical && base.report.transfer.complete;
+
+  std::ostringstream json;
+  json.precision(10);
+  json << "{\n";
+  json << "  \"bench\": \"parsim\",\n";
+  harness::writeBenchEnvelope(json);
+  json << "  \"protocol\": \"" << toString(kind) << "\",\n";
+  json << "  \"nodes\": " << nodes << ",\n";
+  json << "  \"clients\": " << topo.clients.size() << ",\n";
+  json << "  \"packets\": " << packets << ",\n";
+  json << "  \"loss_prob\": " << loss << ",\n";
+  json << "  \"lossy_recovery\": " << (lossy_recovery ? "true" : "false")
+       << ",\n";
+  json << "  \"seed\": " << seed << ",\n";
+  json << "  \"repeats\": " << repeats << ",\n";
+  json << "  \"target_regions\": " << regions << ",\n";
+  json << "  \"regions\": " << base.report.regions << ",\n";
+  json << "  \"lookahead_ms\": " << base.report.lookahead_ms << ",\n";
+  json << "  \"epochs\": " << base.report.epochs << ",\n";
+  json << "  \"handoffs\": " << base.report.handoffs << ",\n";
+  json << "  \"events\": " << base.report.events << ",\n";
+  json << "  \"serial_wall_ms\": " << serial_wall_ms << ",\n";
+  json << "  \"single_region_wall_ms\": " << single_wall_ms << ",\n";
+  json << "  \"single_region_overhead\": " << single_region_overhead << ",\n";
+  json << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const double eps =
+        row.wall_ms > 0.0
+            ? static_cast<double>(row.report.events) / (row.wall_ms / 1000.0)
+            : 0.0;
+    const double speedup =
+        row.wall_ms > 0.0 ? base.wall_ms / row.wall_ms : 0.0;
+    json << "    {\"workers\": " << row.workers
+         << ", \"lanes\": " << row.report.lanes
+         << ", \"wall_ms\": " << row.wall_ms
+         << ", \"events_per_sec\": " << eps
+         << ", \"speedup_vs_one_worker\": " << speedup
+         << ", \"identical\": " << (row.identical ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"identical_across_workers\": "
+       << (all_identical ? "true" : "false") << ",\n";
+  json << "  \"ok\": " << (ok ? "true" : "false") << "\n";
+  json << "}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json.str();
+  }
+  if (json_stdout) {
+    std::cout << json.str();
+  } else {
+    std::cout << toString(kind) << " parsim sweep: n=" << nodes << " ("
+              << topo.clients.size() << " clients), " << packets
+              << " packets at p=" << loss * 100.0 << "%, "
+              << base.report.regions << " regions (target " << regions
+              << "), lookahead "
+              << harness::TextTable::num(base.report.lookahead_ms)
+              << " ms, " << base.report.epochs << " epochs, "
+              << base.report.handoffs << " handoffs\n";
+    std::cout << "serial engine: "
+              << harness::TextTable::num(serial_wall_ms)
+              << " ms; single-region parallel: "
+              << harness::TextTable::num(single_wall_ms) << " ms ("
+              << harness::TextTable::num(100.0 * single_region_overhead, 1)
+              << "% overhead)\n";
+    harness::TextTable table({"workers", "lanes", "wall (ms)", "events/sec",
+                              "speedup", "identical"});
+    for (const Row& row : rows) {
+      const double eps =
+          row.wall_ms > 0.0
+              ? static_cast<double>(row.report.events) / (row.wall_ms / 1000.0)
+              : 0.0;
+      table.addRow({std::to_string(row.workers),
+                    std::to_string(row.report.lanes),
+                    harness::TextTable::num(row.wall_ms),
+                    harness::TextTable::num(eps),
+                    harness::TextTable::num(
+                        row.wall_ms > 0.0 ? base.wall_ms / row.wall_ms : 0.0,
+                        2),
+                    row.identical ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    if (!out_path.empty()) std::cout << "wrote " << out_path << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
 int cmdConfig(const util::Flags& flags) {
   const std::string out_path = flags.getString("out", "");
   if (const int rc = failUnknownFlags(flags)) return rc;
@@ -1101,6 +1367,7 @@ int main(int argc, char** argv) {
     if (command == "chaos") return cmdChaos(flags);
     if (command == "scale") return cmdScale(flags);
     if (command == "coded") return cmdCoded(flags);
+    if (command == "parsim") return cmdParsim(flags);
     if (command == "config") return cmdConfig(flags);
     return usage();
   } catch (const std::exception& e) {

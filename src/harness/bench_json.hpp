@@ -1,0 +1,28 @@
+// Uniform envelope fields for every BENCH_*.json emitter: a schema version
+// (bumped whenever any emitter's layout changes shape) and the emitting
+// host's core count, so recorded throughput and speedup numbers can never be
+// read without knowing the hardware they came from.
+#pragma once
+
+#include <ostream>
+#include <thread>
+
+namespace rmrn::harness {
+
+/// BENCH_*.json envelope version.  1 was the pre-versioned layout (no
+/// schema_version field, hardware_concurrency only in some emitters); 2 adds
+/// both fields to every emitter.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Writes the uniform fields every BENCH_*.json carries, as lines of a
+/// two-space-indented top-level object (caller opens "{" and continues with
+/// its own fields after):
+///   "schema_version": 2,
+///   "hardware_concurrency": <emitting host's core count>,
+inline void writeBenchEnvelope(std::ostream& out) {
+  out << "  \"schema_version\": " << kBenchSchemaVersion << ",\n";
+  out << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n";
+}
+
+}  // namespace rmrn::harness

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -224,6 +225,8 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   if (config.num_packets == 0) {
     throw std::invalid_argument("runExperiment: need at least one packet");
   }
+  using Clock = std::chrono::steady_clock;
+  const auto setup_start = Clock::now();
   util::Rng root(config.seed);
 
   net::TopologyConfig topo_config = config.topology;
@@ -266,10 +269,17 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   result.clients_per_run.push_back(
       static_cast<std::uint32_t>(topology.clients.size()));
   result.loss_prob = config.loss_prob;
+  const auto sim_start = Clock::now();
+  result.setup_wall_ms =
+      std::chrono::duration<double, std::milli>(sim_start - setup_start)
+          .count();
   for (const ProtocolKind kind : kinds) {
     result.protocols.push_back(runOneProtocol(config, kind, topology, routing,
                                               planner, losses, root));
   }
+  result.sim_wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - sim_start)
+          .count();
   return result;
 }
 
@@ -296,6 +306,8 @@ ExperimentResult aggregate(std::vector<ExperimentResult> results) {
     total.clients_per_run.insert(total.clients_per_run.end(),
                                  one.clients_per_run.begin(),
                                  one.clients_per_run.end());
+    total.setup_wall_ms += one.setup_wall_ms;
+    total.sim_wall_ms += one.sim_wall_ms;
     for (std::size_t i = 0; i < total.protocols.size(); ++i) {
       ProtocolResult& acc = total.protocols[i];
       const ProtocolResult& cur = one.protocols[i];

@@ -171,6 +171,16 @@ struct ExperimentResult {
   double loss_prob = 0.0;
   std::vector<ProtocolResult> protocols;
 
+  /// Wall-clock split, accumulated across repetitions: setup covers
+  /// topology generation, routing table and planner construction plus the
+  /// shared loss draws; sim covers only the event-loop execution (protocol
+  /// construction through finalizeRun).  Drivers must report events/sec
+  /// against sim_wall_ms — setup cost would otherwise dilute the engine
+  /// rate.  In parallel averaged runs these are sums of per-repetition
+  /// walls (aggregate engine time), not elapsed time.
+  double setup_wall_ms = 0.0;
+  double sim_wall_ms = 0.0;
+
   [[nodiscard]] const ProtocolResult& result(ProtocolKind kind) const;
 };
 

@@ -143,9 +143,13 @@ void RecoveryProtocol::sourceMulticast(std::uint64_t seq,
   // check instead; the handler registers the loss from ground truth (the
   // client still lacks the packet at detection time).  Chaos off keeps the
   // legacy pre-registration path bit-identical.
+  // Shard mode: each region's protocol instance registers losses and runs
+  // detection for ITS clients only, and only the source's region floods the
+  // data packet.  Serially both guards are vacuously true.
   const double now = simulator().now();
   const bool chaos = network_.chaosEnabled();
   for (const net::NodeId client : topology().clients) {
+    if (!network_.isShardLocal(client)) continue;
     if (network_.isAgentFailed(client)) continue;
     if (!chaos) {
       bool lost = false;
@@ -163,6 +167,7 @@ void RecoveryProtocol::sourceMulticast(std::uint64_t seq,
     scheduleTimerAt(detect_at, kTimerLossDetect, client, seq);
   }
 
+  if (!network_.shardOwnsSource()) return;
   sim::Packet data{sim::Packet::Type::kData, seq, topology().source,
                    net::kInvalidNode, 0};
   network_.multicastFromSource(data, &losses);

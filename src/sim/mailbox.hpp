@@ -1,0 +1,139 @@
+// Cross-region handoff plumbing for the conservative parallel engine
+// (sim/parallel_engine.hpp; DESIGN.md §14).
+//
+// A ShardHandoff is a packet crossing a region boundary: the sending region
+// has already drawn its loss/chaos outcomes for the crossing hop, so only
+// *surviving* traversals are handed off.  Handoffs are trivially copyable
+// records — the receiving region re-derives any pointer state (unicast
+// routes, staged loss patterns) from shared immutable structures, so nothing
+// in a handoff aliases sender-owned memory.
+//
+// ShardMailbox is the single-producer/single-consumer channel between one
+// ordered region pair.  The fast path is a fixed-capacity ring with
+// acquire/release atomics: the producer writes a slot then publishes it with
+// a release store of head, the consumer reads tail..head with acquire loads
+// — classic SPSC, lock-free, zero steady-state allocation.  Overflow spills
+// to a mutex-guarded vector (the only lock, never touched while the ring has
+// room).  The conservative barrier makes this safe to keep simple: producers
+// only push during an epoch's compute phase and the consumer only drains at
+// the barrier after all producers stopped, so drain() needs no concurrent-
+// producer defense — the epoch protocol is the real synchronization, the
+// atomics just order the memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/event.hpp"
+#include "sim/packet.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace rmrn::sim {
+
+/// One cross-region packet transfer, scheduled to materialize in the
+/// destination region at absolute time `at` (>= the next epoch's start, by
+/// the lookahead argument).  `kind` selects which fields are meaningful:
+///   kForwardHop — a unicast mid-route: the receiver rebuilds the route
+///       `ufrom -> uto` from shared routing and resumes at hop `hop`;
+///   kFloodStep — a tree flood crossing into `next` from `came_from`, with
+///       the flood's boundary/down_only state and the *staged* loss-pattern
+///       id (kNoPattern when the flood samples Bernoulli losses).
+/// kDeliver never crosses: deliveries happen at the node that owns them.
+struct ShardHandoff {
+  TimeMs at = 0.0;
+  EventKind kind = EventKind::kForwardHop;
+  Packet packet;
+  // kForwardHop
+  net::NodeId ufrom = net::kInvalidNode;
+  net::NodeId uto = net::kInvalidNode;
+  std::uint32_t hop = 0;
+  // kFloodStep
+  net::NodeId next = net::kInvalidNode;
+  net::NodeId came_from = net::kInvalidNode;
+  net::NodeId boundary = net::kInvalidNode;
+  std::uint32_t pattern = kNoPattern;
+  bool down_only = false;
+};
+static_assert(std::is_trivially_copyable_v<ShardHandoff>,
+              "handoffs are copied across threads by value");
+
+/// Where a sharded SimNetwork emits packets that leave its region.  The
+/// parallel engine implements this per region, routing each handoff into the
+/// mailbox for (source region, dst_region).
+class ShardOutbox {
+ public:
+  virtual ~ShardOutbox() = default;
+  virtual void emit(std::uint32_t dst_region, const ShardHandoff& handoff) = 0;
+};
+
+/// SPSC mailbox: lock-free fixed-capacity ring plus a locked spill vector
+/// for overflow.  Produce during an epoch, drain at the barrier; the barrier
+/// guarantees produce and drain never overlap, and drain preserves push
+/// order (ring first, then spill — spills only start once the ring is full
+/// and the ring is empty again after every drain).
+class ShardMailbox {
+ public:
+  // rmrn-lint: init-phase
+  explicit ShardMailbox(std::size_t capacity) : ring_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("ShardMailbox: capacity must be positive");
+    }
+  }
+
+  ShardMailbox(const ShardMailbox&) = delete;
+  ShardMailbox& operator=(const ShardMailbox&) = delete;
+
+  /// Producer side (exactly one producer thread per epoch).
+  void push(const ShardHandoff& handoff) RMRN_EXCLUDES(spill_mutex_) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail < ring_.size()) {
+      ring_[head % ring_.size()] = handoff;
+      head_.store(head + 1, std::memory_order_release);
+      return;
+    }
+    // Ring full: spill under the lock.  Cold by construction — capacity is
+    // sized for the steady state and the ring empties at every barrier.
+    util::MutexLock lock(&spill_mutex_);
+    // rmrn-lint: allow(HOT-1) overflow spill; the ring serves steady state
+    spill_.push_back(handoff);
+  }
+
+  /// Consumer side, barrier-only: appends everything pushed this epoch to
+  /// `out` in push order and empties the mailbox.  Must not run concurrently
+  /// with push() — the epoch barrier provides that exclusion.
+  void drain(std::vector<ShardHandoff>& out) RMRN_EXCLUDES(spill_mutex_) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail) {
+      // rmrn-lint: allow(HOT-1) drain scratch reuses capacity across epochs
+      out.push_back(ring_[tail % ring_.size()]);
+    }
+    tail_.store(tail, std::memory_order_release);
+    util::MutexLock lock(&spill_mutex_);
+    for (const ShardHandoff& handoff : spill_) {
+      // rmrn-lint: allow(HOT-1) drain scratch reuses capacity across epochs
+      out.push_back(handoff);
+    }
+    spill_.clear();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  // Lock-free SPSC state: head_ is producer-owned, tail_ consumer-owned;
+  // each publishes with a release store the other reads with acquire.
+  std::vector<ShardHandoff> ring_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+
+  util::Mutex spill_mutex_;
+  std::vector<ShardHandoff> spill_ RMRN_GUARDED_BY(spill_mutex_);
+};
+
+}  // namespace rmrn::sim

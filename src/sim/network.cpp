@@ -103,6 +103,66 @@ void SimNetwork::setDeliveryHandler(DeliveryHandler handler) {
   handler_ = std::move(handler);
 }
 
+// rmrn-lint: init-phase
+void SimNetwork::enableShardMode(const RegionMap& regions,
+                                 std::uint32_t my_region, ShardOutbox* outbox) {
+  if (my_region >= regions.numRegions()) {
+    throw std::invalid_argument("SimNetwork: shard region out of range");
+  }
+  if (outbox == nullptr) {
+    throw std::invalid_argument("SimNetwork: shard mode needs an outbox");
+  }
+  regions_ = &regions;
+  my_region_ = my_region;
+  outbox_ = outbox;
+}
+
+// rmrn-lint: init-phase
+std::uint32_t SimNetwork::stageLossPattern(const LinkLossPattern& loss) {
+  if (loss.size() != topology_.tree.numMembers()) {
+    throw std::invalid_argument(
+        "SimNetwork: staged loss pattern size mismatch");
+  }
+  // The pin ref from acquirePattern is never released, so staged slots are
+  // stable for the whole run.  Staging happens before any traffic, so the
+  // free list is empty and ids come out 0..N-1 in every region alike.
+  const std::uint32_t pattern = acquirePattern(loss);
+  staged_by_seq_.push_back(pattern);
+  return pattern;
+}
+
+void SimNetwork::injectHandoff(const ShardHandoff& handoff) {
+  switch (handoff.kind) {
+    case EventKind::kForwardHop: {
+      // Rebuild the route from the shared (immutable) routing tables: the
+      // sender's path arena never crosses threads.
+      const std::uint32_t path = acquirePath();
+      routing_.pathInto(handoff.ufrom, handoff.uto, paths_[path]);
+      RMRN_REQUIRE(handoff.hop + 1 < paths_[path].size(),
+                   "SimNetwork: handoff hop beyond route");
+      EventRecord record{EventKind::kForwardHop, {}};
+      record.data.forward = ForwardHopEvent{path, handoff.hop, handoff.packet};
+      simulator_.scheduleEventAt(handoff.at, this, record);
+      return;
+    }
+    case EventKind::kFloodStep: {
+      // Mirror sendAcross's reference: onFloodStep releases it after firing.
+      if (handoff.pattern != kNoPattern) patternAddRef(handoff.pattern);
+      EventRecord record{EventKind::kFloodStep, {}};
+      record.data.flood =
+          FloodStepEvent{handoff.next, handoff.came_from, handoff.boundary,
+                         handoff.pattern, handoff.down_only, handoff.packet};
+      simulator_.scheduleEventAt(handoff.at, this, record);
+      return;
+    }
+    case EventKind::kDeliver:
+    case EventKind::kClosure:
+    case EventKind::kTimer:
+      break;
+  }
+  throw std::logic_error("SimNetwork: unexpected handoff kind");
+}
+
 void SimNetwork::setTraceSink(TraceSink sink) { trace_sink_ = std::move(sink); }
 
 void SimNetwork::setAgentFault(net::NodeId agent, AgentFault fault,
@@ -443,6 +503,28 @@ void SimNetwork::sendHop(std::uint32_t path, std::uint32_t hop,
     releasePath(path);
     return;
   }
+  if (!isShardLocal(b)) {
+    // The hop survived this region's loss/chaos draws; hand the in-flight
+    // packet to b's region, which resumes the route at the same hop index.
+    ShardHandoff handoff;
+    handoff.at = simulator_.now() + chaosDelay(slot);
+    handoff.kind = EventKind::kForwardHop;
+    handoff.packet = packet;
+    handoff.ufrom = route.front();
+    handoff.uto = route.back();
+    handoff.hop = hop;
+    ++handoffs_out_;
+    outbox_->emit(regions_->regionOf(b), handoff);
+    if (chaosDuplicates(slot)) {
+      ++stats_.duplicates_created;
+      countHopSlot(packet, slot);
+      handoff.at = simulator_.now() + chaosDelay(slot);
+      ++handoffs_out_;
+      outbox_->emit(regions_->regionOf(b), handoff);
+    }
+    releasePath(path);
+    return;
+  }
   EventRecord record{EventKind::kForwardHop, {}};
   record.data.forward = ForwardHopEvent{path, hop, packet};
   simulator_.scheduleEventAfter(chaosDelay(slot), this, record);
@@ -474,12 +556,26 @@ void SimNetwork::multicastFromSource(Packet packet,
         "SimNetwork: forced loss pattern size mismatch");
   }
   // Copy the pattern into the arena: the flood's scheduled events outlive
-  // the caller's argument.
-  const std::uint32_t pattern =
-      forced_loss ? acquirePattern(*forced_loss) : kNoPattern;
+  // the caller's argument.  In shard mode forced patterns MUST be staged
+  // (stageLossPattern) so their arena ids are meaningful in every region;
+  // the staged slot is pinned, so no release balances the lookup.
+  std::uint32_t pattern = kNoPattern;
+  bool staged = false;
+  if (forced_loss) {
+    if (regions_ != nullptr) {
+      RMRN_REQUIRE(packet.seq < staged_by_seq_.size(),
+                   "SimNetwork: shard-mode forced loss must be staged");
+      pattern = staged_by_seq_[packet.seq];
+      staged = true;
+    } else {
+      pattern = acquirePattern(*forced_loss);
+    }
+  }
   floodFrom(topology_.tree.root(), net::kInvalidNode, packet,
             /*down_only=*/true, /*boundary=*/net::kInvalidNode, pattern);
-  if (pattern != kNoPattern) patternRelease(pattern);  // drop the send's ref
+  if (pattern != kNoPattern && !staged) {
+    patternRelease(pattern);  // drop the send's ref
+  }
 }
 
 void SimNetwork::multicastGroup(net::NodeId from, Packet packet) {
@@ -517,6 +613,25 @@ void SimNetwork::multicastDownInto(net::NodeId subtree_root, Packet packet) {
     trace(TraceEvent::Kind::kHopDrop, parent, subtree_root, packet);
     return;
   }
+  if (!isShardLocal(subtree_root)) {
+    ShardHandoff handoff;
+    handoff.at = simulator_.now() + chaosDelay(slot);
+    handoff.kind = EventKind::kFloodStep;
+    handoff.packet = packet;
+    handoff.next = subtree_root;
+    handoff.came_from = parent;
+    handoff.down_only = true;
+    ++handoffs_out_;
+    outbox_->emit(regions_->regionOf(subtree_root), handoff);
+    if (chaosDuplicates(slot)) {
+      ++stats_.duplicates_created;
+      countHopSlot(packet, slot);
+      handoff.at = simulator_.now() + chaosDelay(slot);
+      ++handoffs_out_;
+      outbox_->emit(regions_->regionOf(subtree_root), handoff);
+    }
+    return;
+  }
   EventRecord record{EventKind::kFloodStep, {}};
   record.data.flood = FloodStepEvent{subtree_root, parent,
                                      /*boundary=*/net::kInvalidNode, kNoPattern,
@@ -545,6 +660,29 @@ void SimNetwork::floodFrom(net::NodeId node, net::NodeId came_from,
     if (lost) {
       ++stats_.packets_lost;
       trace(TraceEvent::Kind::kHopDrop, node, next, packet);
+      return;
+    }
+    if (!isShardLocal(next)) {
+      // Surviving crossing: the destination region re-acquires the pattern
+      // reference itself (injectHandoff), so no local ref is taken here.
+      ShardHandoff handoff;
+      handoff.at = simulator_.now() + chaosDelay(slot);
+      handoff.kind = EventKind::kFloodStep;
+      handoff.packet = packet;
+      handoff.next = next;
+      handoff.came_from = node;
+      handoff.boundary = boundary;
+      handoff.pattern = pattern;
+      handoff.down_only = down_only;
+      ++handoffs_out_;
+      outbox_->emit(regions_->regionOf(next), handoff);
+      if (chaosDuplicates(slot)) {
+        ++stats_.duplicates_created;
+        countHopSlot(packet, slot);
+        handoff.at = simulator_.now() + chaosDelay(slot);
+        ++handoffs_out_;
+        outbox_->emit(regions_->regionOf(next), handoff);
+      }
       return;
     }
     if (pattern != kNoPattern) patternAddRef(pattern);

@@ -28,7 +28,9 @@
 #include "net/topology.hpp"
 #include "net/types.hpp"
 #include "sim/event.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/packet.hpp"
+#include "sim/region_map.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
@@ -131,6 +133,34 @@ class SimNetwork final : public EventSink {
   /// and v's tree root path (repair multicasts) must be fully up.  Cold
   /// path (allocates); meant for end-of-run reachability accounting.
   [[nodiscard]] bool reachableFromSource(net::NodeId v) const;
+
+  /// Shard mode (conservative parallel engine, DESIGN.md §14): this network
+  /// instance simulates only the nodes of `my_region`; a packet whose next
+  /// hop leaves the region is emitted to `outbox` (with this region's loss
+  /// and chaos draws already applied) instead of being scheduled locally.
+  /// `regions` and `outbox` must outlive the network.  Serial networks never
+  /// call this and behave exactly as before — every shard check degrades to
+  /// one predictable null test.
+  void enableShardMode(const RegionMap& regions, std::uint32_t my_region,
+                       ShardOutbox* outbox);
+  /// True when node `v` is simulated by this instance (always true serially).
+  [[nodiscard]] bool isShardLocal(net::NodeId v) const {
+    return regions_ == nullptr || regions_->regionOf(v) == my_region_;
+  }
+  /// True when this instance owns the multicast source (true serially).
+  [[nodiscard]] bool shardOwnsSource() const {
+    return isShardLocal(topology_.source);
+  }
+  /// Stages the forced loss pattern of the next data multicast (call in
+  /// ascending seq order before the run).  Every region stages the identical
+  /// pattern sequence, so the returned arena ids agree across regions and
+  /// travel in flood handoffs.  Staged slots stay pinned for the run.
+  std::uint32_t stageLossPattern(const LinkLossPattern& loss);
+  /// Materializes a handoff emitted by another region (engine barrier only;
+  /// `handoff.at` must not be in this region's past).
+  void injectHandoff(const ShardHandoff& handoff);
+  /// Cross-region packets this instance has emitted.
+  [[nodiscard]] std::uint64_t handoffsEmitted() const { return handoffs_out_; }
 
   /// Sends `packet` from `from` to `to` along the shortest path, hop by hop.
   /// Loss on any hop silently drops the packet (recovery relies on timeouts).
@@ -293,6 +323,14 @@ class SimNetwork final : public EventSink {
   std::vector<LinkLossPattern> patterns_;
   std::vector<std::uint32_t> pattern_refs_;
   std::vector<std::uint32_t> free_patterns_;
+
+  // Shard mode (all null/empty serially).  staged_by_seq_ maps data seq ->
+  // pinned pattern arena id; identical in every region by construction.
+  const RegionMap* regions_ = nullptr;
+  std::uint32_t my_region_ = 0;
+  ShardOutbox* outbox_ = nullptr;
+  std::vector<std::uint32_t> staged_by_seq_;
+  std::uint64_t handoffs_out_ = 0;
 };
 
 }  // namespace rmrn::sim

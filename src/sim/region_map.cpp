@@ -1,0 +1,75 @@
+#include "sim/region_map.hpp"
+
+#include <algorithm>
+
+#include "core/group_partition.hpp"
+#include "util/check.hpp"
+
+namespace rmrn::sim {
+
+// rmrn-lint: init-phase
+RegionMap::RegionMap(const net::Topology& topology,
+                     std::uint32_t target_regions) {
+  const std::size_t n = topology.graph.numNodes();
+  region_of_.assign(n, 0);
+  const std::size_t num_clients = topology.clients.size();
+  if (target_regions <= 1 || num_clients == 0) {
+    clients_of_.assign(1, {});
+    clients_of_[0].assign(topology.clients.begin(), topology.clients.end());
+    return;  // trivial map: one region, infinite lookahead
+  }
+
+  const auto budget = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>((num_clients + target_regions - 1) /
+                                    target_regions));
+  const core::GroupPartition partition(topology.tree, topology.clients,
+                                       budget);
+
+  // Renumber live slots ascending into regions 1..R (canonical: slot order
+  // depends only on the partition inputs) and mark each shard root.
+  const auto& tree = topology.tree;
+  std::vector<std::uint32_t> root_region(tree.numMembers(), 0);
+  std::uint32_t next_region = 1;
+  for (std::uint32_t id = 0;
+       id < static_cast<std::uint32_t>(partition.numSlots()); ++id) {
+    if (!partition.isLive(id)) continue;
+    root_region[tree.memberIndex(partition.shard(id).root)] = next_region++;
+  }
+  num_regions_ = next_region;
+  clients_of_.assign(num_regions_, {});
+
+  // Deepest-shard-root-on-root-path rule, resolved in preorder: a member is
+  // its own shard's region when it is a shard root, otherwise it inherits
+  // its parent.  Nested shards (a residual singleton's subtree containing
+  // other shards) resolve to the deeper root because preorder visits
+  // parents first.  Off-tree routers stay in the crown.
+  for (const net::NodeId v : tree.members()) {
+    const std::uint32_t own = root_region[tree.memberIndex(v)];
+    if (own != 0) {
+      region_of_[v] = own;
+    } else if (v != tree.root()) {
+      region_of_[v] = region_of_[tree.parent(v)];
+    }
+  }
+  // The source always drives from the crown, even in the degenerate case
+  // where the whole group fit into one shard rooted at the tree root.
+  region_of_[topology.source] = 0;
+
+  for (const net::NodeId c : topology.clients) {
+    clients_of_[region_of_[c]].push_back(c);  // clients sorted => sorted
+  }
+
+  double lookahead = kInfiniteLookahead;
+  for (net::NodeId v = 0; v < static_cast<net::NodeId>(n); ++v) {
+    for (const net::HalfEdge& half : topology.graph.neighbors(v)) {
+      if (region_of_[v] != region_of_[half.to]) {
+        lookahead = std::min(lookahead, half.delay);
+      }
+    }
+  }
+  lookahead_ms_ = lookahead;
+  RMRN_ENSURE(lookahead_ms_ > 0.0,
+              "RegionMap: non-positive cross-region lookahead");
+}
+
+}  // namespace rmrn::sim

@@ -1,0 +1,72 @@
+// Region partition for conservative parallel simulation (DESIGN.md §14).
+//
+// The multicast tree decomposes into client subtrees that interact only
+// through their root links — core::GroupPartition computes exactly that
+// decomposition for the hierarchical planner, and the parallel engine reuses
+// it as its partitioning oracle.  A RegionMap freezes one such partition
+// into a total map over ALL graph nodes:
+//
+//   region 0 ("crown")  — the source, every tree node not inside a shard
+//                         subtree, and every off-tree router;
+//   regions 1..R        — one per GroupPartition shard, numbered by
+//                         ascending slot id (canonical: depends only on the
+//                         topology and the target, never on thread count).
+//
+// A tree node inside nested shards (a residual singleton's subtree may
+// contain other shards) belongs to the DEEPEST shard root on its root path.
+//
+// The conservative lookahead is the minimum delay over graph edges whose
+// endpoints map to different regions: any packet crossing a region boundary
+// is in flight for at least that long, which is what makes barrier epochs of
+// that width safe (proof sketch in DESIGN.md §14).  Edge delays are strictly
+// positive, so the lookahead is too; with a single region it is infinite.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace rmrn::sim {
+
+class RegionMap {
+ public:
+  /// Partitions `topology` into at most `target_regions` worker regions plus
+  /// the crown.  `target_regions <= 1` yields the trivial single-region map
+  /// (everything in region 0, infinite lookahead).  The shard-size budget is
+  /// derived as ceil(clients / target_regions); GroupPartition may produce
+  /// fewer or more shards than the target, and every live shard becomes a
+  /// region — the target steers granularity, it is not a hard cap.
+  RegionMap(const net::Topology& topology, std::uint32_t target_regions);
+
+  /// Total regions including the crown (>= 1).
+  [[nodiscard]] std::uint32_t numRegions() const { return num_regions_; }
+
+  /// Region of graph node `v` (every node has one).
+  [[nodiscard]] std::uint32_t regionOf(net::NodeId v) const {
+    return region_of_[v];
+  }
+
+  /// Conservative lookahead: min delay over region-crossing graph edges;
+  /// infinity when no edge crosses (single region).
+  [[nodiscard]] double lookaheadMs() const { return lookahead_ms_; }
+
+  /// Clients owned by region `r`, ascending (empty for pure-router regions).
+  [[nodiscard]] const std::vector<net::NodeId>& clientsOf(
+      std::uint32_t r) const {
+    return clients_of_[r];
+  }
+
+  static constexpr double kInfiniteLookahead =
+      std::numeric_limits<double>::infinity();
+
+ private:
+  std::uint32_t num_regions_ = 1;
+  double lookahead_ms_ = kInfiniteLookahead;
+  std::vector<std::uint32_t> region_of_;            // by NodeId
+  std::vector<std::vector<net::NodeId>> clients_of_;  // by region
+};
+
+}  // namespace rmrn::sim

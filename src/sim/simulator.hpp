@@ -35,6 +35,14 @@ class Simulator {
   bool step();
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Absolute time of the earliest pending event, kForever when idle — the
+  /// per-region horizon input of the conservative parallel driver
+  /// (sim/parallel_engine.hpp).
+  [[nodiscard]] TimeMs nextEventTime() const {
+    return queue_.empty() ? kForever : queue_.nextTime();
+  }
+
   [[nodiscard]] std::size_t pendingEvents() const {
     return queue_.pendingCount();
   }

@@ -1,0 +1,115 @@
+#include "sim/region_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rmrn::sim {
+namespace {
+
+net::Topology makeTopology(std::uint64_t seed = 1, std::uint32_t n = 80) {
+  util::Rng rng(seed);
+  net::TopologyConfig config;
+  config.num_nodes = n;
+  return net::generateTopology(config, rng);
+}
+
+TEST(RegionMapTest, SingleRegionIsTrivial) {
+  const net::Topology topo = makeTopology();
+  const RegionMap map(topo, 1);
+  EXPECT_EQ(map.numRegions(), 1u);
+  EXPECT_EQ(map.lookaheadMs(), RegionMap::kInfiniteLookahead);
+  for (net::NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    EXPECT_EQ(map.regionOf(v), 0u);
+  }
+  EXPECT_EQ(map.clientsOf(0), topo.clients);
+}
+
+TEST(RegionMapTest, PartitionsClientsDisjointly) {
+  const net::Topology topo = makeTopology(2);
+  const RegionMap map(topo, 4);
+  ASSERT_GE(map.numRegions(), 2u);
+  std::vector<net::NodeId> all;
+  for (std::uint32_t r = 0; r < map.numRegions(); ++r) {
+    for (const net::NodeId c : map.clientsOf(r)) {
+      EXPECT_EQ(map.regionOf(c), r);
+      all.push_back(c);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, topo.clients);
+}
+
+TEST(RegionMapTest, SourceAndOffTreeNodesLiveInTheCrown) {
+  const net::Topology topo = makeTopology(3);
+  const RegionMap map(topo, 4);
+  EXPECT_EQ(map.regionOf(topo.source), 0u);
+  for (net::NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    if (!topo.tree.contains(v)) {
+      EXPECT_EQ(map.regionOf(v), 0u);
+    }
+  }
+}
+
+TEST(RegionMapTest, LookaheadIsMinimumCrossRegionDelay) {
+  const net::Topology topo = makeTopology(4);
+  const RegionMap map(topo, 4);
+  ASSERT_GE(map.numRegions(), 2u);
+  double expected = RegionMap::kInfiniteLookahead;
+  for (net::NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+    for (const net::HalfEdge& half : topo.graph.neighbors(v)) {
+      if (map.regionOf(v) != map.regionOf(half.to)) {
+        expected = std::min(expected, half.delay);
+      }
+    }
+  }
+  EXPECT_LT(map.lookaheadMs(), RegionMap::kInfiniteLookahead);
+  EXPECT_GT(map.lookaheadMs(), 0.0);
+  EXPECT_DOUBLE_EQ(map.lookaheadMs(), expected);
+}
+
+TEST(RegionMapTest, NonCrownRegionsAreConnectedSubtrees) {
+  // Every non-crown region must be a contiguous chunk of the tree: a
+  // member's region either matches its parent's or starts a new region at a
+  // shard root.  Equivalently, walking up from any node in region r stays in
+  // r until it leaves exactly once (regions never interleave on a root
+  // path, including through nested residual shards).
+  const net::Topology topo = makeTopology(5, 120);
+  const RegionMap map(topo, 6);
+  for (const net::NodeId v : topo.tree.members()) {
+    const std::uint32_t r = map.regionOf(v);
+    if (r == 0 || v == topo.tree.root()) continue;
+    bool left = false;
+    for (net::NodeId u = topo.tree.parent(v); u != topo.tree.root();
+         u = topo.tree.parent(u)) {
+      if (map.regionOf(u) != r) {
+        left = true;
+      } else {
+        EXPECT_FALSE(left) << "region " << r << " re-entered above node " << v;
+      }
+    }
+  }
+}
+
+TEST(RegionMapTest, DeterministicAcrossConstructionsAndSeeds) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+    const net::Topology topo = makeTopology(seed);
+    for (const std::uint32_t target : {2u, 4u, 8u}) {
+      const RegionMap a(topo, target);
+      const RegionMap b(topo, target);
+      ASSERT_EQ(a.numRegions(), b.numRegions());
+      EXPECT_DOUBLE_EQ(a.lookaheadMs(), b.lookaheadMs());
+      for (net::NodeId v = 0; v < topo.graph.numNodes(); ++v) {
+        ASSERT_LT(a.regionOf(v), a.numRegions());
+        EXPECT_EQ(a.regionOf(v), b.regionOf(v));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmrn::sim
